@@ -1,0 +1,42 @@
+"""Shared machinery for the benchmark harness.
+
+Every reconstructed table/figure (DESIGN.md section 4) has one benchmark
+module.  Each benchmark runs its experiment driver exactly once under
+pytest-benchmark timing (the drivers are deterministic, so repeated
+rounds would only re-measure the same computation) and prints the
+rendered table — the rows/series the paper's table or figure reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Pass a larger scale for paper-quality curves::
+
+    RTMDM_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import pathlib
+
+from repro.eval.experiments import run_experiment
+from repro.eval.reporting import render
+
+#: Rendered tables are also written here (one file per experiment), so
+#: the rows survive pytest's output capturing.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def bench_experiment(benchmark, exp_id, **kwargs):
+    """Run one experiment driver under the benchmark, print its table,
+    and persist it under ``benchmark_results/``."""
+    scale = float(os.environ.get("RTMDM_BENCH_SCALE", "1.0"))
+    kwargs.setdefault("scale", scale)
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+    )
+    text = render(result)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
+    return result

@@ -1,0 +1,7 @@
+"""Benchmark for EXP-F10: DMA arbitration policy ablation."""
+
+from conftest import bench_experiment
+
+
+def test_f10_dma_policy(benchmark):
+    bench_experiment(benchmark, "EXP-F10", n_sets=5)

@@ -1,0 +1,11 @@
+"""Benchmark for EXP-F11: staging buffer depth ablation."""
+
+from conftest import bench_experiment
+
+
+def test_f11_buffering(benchmark):
+    result = bench_experiment(benchmark, "EXP-F11", n_sets=16)
+    for row in result.rows:
+        name, b1, b2, b3 = row[0], row[1], row[2], row[3]
+        if isinstance(b1, float) and isinstance(b2, float) and not name.startswith("sched"):
+            assert b2 <= b1, f"{name}: double buffering slower than single"

@@ -1,0 +1,11 @@
+"""Benchmark for EXP-F12: fixed-priority vs EDF (extension)."""
+
+from conftest import bench_experiment
+
+
+def test_f12_fp_vs_edf(benchmark):
+    result = bench_experiment(benchmark, "EXP-F12", n_sets=6)
+    # The FP analysis must admit at least as much as the conservative
+    # EDF demand test at every utilization.
+    for row in result.rows:
+        assert row[1] >= row[2]

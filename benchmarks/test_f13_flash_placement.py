@@ -1,0 +1,12 @@
+"""Benchmark for EXP-F13: internal-flash weight placement (extension)."""
+
+from conftest import bench_experiment
+
+
+def test_f13_flash_placement(benchmark):
+    result = bench_experiment(benchmark, "EXP-F13", n_sets=8)
+    for row in result.rows:
+        util, external_only, with_flash, _ = row
+        assert with_flash >= external_only, (
+            f"flash placement must not hurt admission at U={util}"
+        )

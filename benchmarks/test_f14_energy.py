@@ -1,0 +1,11 @@
+"""Benchmark for EXP-F14: energy per inference (extension)."""
+
+from conftest import bench_experiment
+
+
+def test_f14_energy(benchmark):
+    result = bench_experiment(benchmark, "EXP-F14")
+    for row in result.rows:
+        model, rtmdm, sequential, xip, ratio = row
+        assert rtmdm <= sequential + 1e-9, model
+        assert rtmdm <= xip + 1e-9, model

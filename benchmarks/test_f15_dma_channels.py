@@ -1,0 +1,11 @@
+"""Benchmark for EXP-F15: DMA channel count ablation (extension)."""
+
+from conftest import bench_experiment
+
+
+def test_f15_dma_channels(benchmark):
+    result = bench_experiment(benchmark, "EXP-F15", n_sets=4)
+    for row in result.rows:
+        ratio = row[-1]
+        if ratio is not None:
+            assert ratio <= 1.05, "second channel should not hurt responses"

@@ -1,0 +1,7 @@
+"""Benchmark for EXP-F3 (see DESIGN.md section 4)."""
+
+from conftest import bench_experiment
+
+
+def test_f3_single_dnn_latency(benchmark):
+    bench_experiment(benchmark, "EXP-F3")

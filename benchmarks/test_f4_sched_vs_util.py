@@ -1,0 +1,27 @@
+"""Benchmark for EXP-F4: schedulability ratio vs utilization.
+
+The headline figure: RT-MDM's admission curve must dominate the
+baselines that lack its preemption points (np-whole) or its staging
+(xip), and stay within noise of the sequential analysis (which trades
+away DMA-blocking terms by folding loads into compute — see
+EXPERIMENTS.md for why per-point dominance over `sequential` is not an
+honest claim of the *analysis*, even though the *execution* dominates
+per EXP-F3/EXP-F7).
+"""
+
+from conftest import bench_experiment
+
+
+def test_f4_sched_vs_util(benchmark):
+    result = bench_experiment(benchmark, "EXP-F4", n_sets=24)
+    rtmdm = result.column("rtmdm")
+    for baseline in ("np-whole", "xip"):
+        other = result.column(baseline)
+        assert sum(rtmdm) >= sum(other), (
+            f"RT-MDM should dominate {baseline} overall: {rtmdm} vs {other}"
+        )
+    sequential = result.column("sequential")
+    assert sum(rtmdm) >= 0.9 * sum(sequential)
+    # RT-MDM is never worse than its own suspension-oblivious analysis.
+    oblivious = result.column("rtmdm-oblivious")
+    assert all(a >= b for a, b in zip(rtmdm, oblivious))

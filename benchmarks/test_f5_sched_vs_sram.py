@@ -1,0 +1,12 @@
+"""Benchmark for EXP-F5: schedulability ratio vs SRAM budget."""
+
+from conftest import bench_experiment
+
+
+def test_f5_sched_vs_sram(benchmark):
+    result = bench_experiment(benchmark, "EXP-F5", n_sets=24)
+    rtmdm = result.column("rtmdm")
+    # More SRAM never hurts in aggregate: the top half of the sweep must
+    # admit at least as much as the bottom half.
+    half = len(rtmdm) // 2
+    assert sum(rtmdm[half:]) >= sum(rtmdm[:half])

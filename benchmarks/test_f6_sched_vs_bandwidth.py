@@ -1,0 +1,13 @@
+"""Benchmark for EXP-F6: schedulability ratio vs external bandwidth.
+
+Draws are paired across bandwidth points, so per-workload monotonicity
+is meaningful: more bandwidth must not reduce RT-MDM admission overall.
+"""
+
+from conftest import bench_experiment
+
+
+def test_f6_sched_vs_bandwidth(benchmark):
+    result = bench_experiment(benchmark, "EXP-F6", n_sets=24)
+    rtmdm = result.column("rtmdm")
+    assert rtmdm[-1] >= rtmdm[0], "8x bandwidth should beat 0.25x"

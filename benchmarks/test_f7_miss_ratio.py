@@ -1,0 +1,14 @@
+"""Benchmark for EXP-F7: simulated deadline-miss ratios.
+
+The safety column is the contract: task sets admitted by RT-MDM's
+analysis must never miss a deadline in simulation.
+"""
+
+from conftest import bench_experiment
+
+
+def test_f7_miss_ratio(benchmark):
+    result = bench_experiment(benchmark, "EXP-F7", n_sets=4, n_phasings=1)
+    assert all(row[-1] == 0 for row in result.rows), (
+        "RT-MDM-admitted sets missed deadlines in simulation"
+    )

@@ -1,0 +1,11 @@
+"""Benchmark for EXP-F8: analysis tightness (observed / bound)."""
+
+from conftest import bench_experiment
+
+
+def test_f8_tightness(benchmark):
+    result = bench_experiment(benchmark, "EXP-F8", n_sets=8)
+    for row in result.rows:
+        method, samples, p50, p90, worst = row
+        if worst is not None:
+            assert worst <= 1.0, f"{method} bound violated: max ratio {worst}"

@@ -1,0 +1,7 @@
+"""Benchmark for EXP-F9 (see DESIGN.md section 4)."""
+
+from conftest import bench_experiment
+
+
+def test_f9_granularity(benchmark):
+    bench_experiment(benchmark, "EXP-F9")

@@ -1,0 +1,7 @@
+"""Benchmark for EXP-T1 (see DESIGN.md section 4)."""
+
+from conftest import bench_experiment
+
+
+def test_t1_model_zoo(benchmark):
+    bench_experiment(benchmark, "EXP-T1")

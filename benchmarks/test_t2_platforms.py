@@ -1,0 +1,7 @@
+"""Benchmark for EXP-T2 (see DESIGN.md section 4)."""
+
+from conftest import bench_experiment
+
+
+def test_t2_platforms(benchmark):
+    bench_experiment(benchmark, "EXP-T2")

@@ -1,0 +1,7 @@
+"""Benchmark for EXP-T3 (see DESIGN.md section 4)."""
+
+from conftest import bench_experiment
+
+
+def test_t3_case_study(benchmark):
+    bench_experiment(benchmark, "EXP-T3")

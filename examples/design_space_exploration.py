@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design-space exploration: which platform can host this workload?
+
+Given a fixed multi-DNN workload, sweep the platform presets (and a few
+SRAM down-bins of each) and report which configurations RT-MDM admits —
+the question a system architect actually asks: *what is the cheapest
+hardware that still meets every deadline?*
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import RtMdm, build_model, get_platform
+from repro.hw.presets import PLATFORMS
+
+WORKLOAD = (
+    ("kws", "ds-cnn", 0.250),
+    ("vision", "mobilenet-v1-0.25", 1.000),
+    ("anomaly", "autoencoder", 0.500),
+)
+
+SRAM_BINS_KIB = (128, 192, 256, 320, 512)
+
+
+def try_configuration(platform):
+    """Plan the workload on one platform; return (admitted, detail)."""
+    rt = RtMdm(platform)
+    for name, model_name, period_s in WORKLOAD:
+        rt.add_task(name, build_model(model_name), period_s=period_s)
+    config = rt.configure()
+    if not config.feasible:
+        return False, f"infeasible ({config.infeasible_reason.split(':')[0]})"
+    if not config.admitted:
+        worst = min(
+            (config.analysis.margin(t.name) or -1, t.name) for t in config.taskset
+        )
+        return False, f"analysis rejects (worst margin: {worst[1]})"
+    slack = min(
+        config.analysis.margin(t.name) / t.deadline for t in config.taskset
+    )
+    return True, f"admitted, min deadline slack {100 * slack:.0f}%"
+
+
+def main() -> None:
+    print("workload:")
+    for name, model_name, period_s in WORKLOAD:
+        print(f"  {name:8s} {model_name:20s} every {1000 * period_s:.0f} ms")
+    print()
+    for key in sorted(PLATFORMS):
+        base = get_platform(key)
+        for sram_kib in SRAM_BINS_KIB:
+            if sram_kib * 1024 > base.mcu.sram_bytes:
+                continue
+            platform = base.with_sram_bytes(sram_kib * 1024)
+            admitted, detail = try_configuration(platform)
+            marker = "OK " if admitted else "-- "
+            print(f"{marker} {key:12s} @ {sram_kib:4d} KiB SRAM: {detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Energy accounting and schedule visualization for a multi-DNN node.
+
+Plans the industrial scenario twice — weights in external memory vs the
+small models pinned in internal flash — then compares the energy budget
+of both deployments and writes an SVG of each schedule.
+
+Run with::
+
+    python examples/energy_and_schedule_viz.py [output_dir]
+"""
+
+import sys
+
+from repro import RtMdm, get_platform
+from repro.hw.energy import energy_of_run, power_model_for
+from repro.sched.svg import write_svg
+from repro.workload.scenarios import get_scenario
+
+
+def plan(scenario, platform, use_flash):
+    rt = RtMdm(platform, use_internal_flash=use_flash)
+    for spec in scenario.specs():
+        rt.add_task(spec.name, spec.model, spec.period_s, spec.deadline_s)
+    return rt.configure()
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    scenario = get_scenario("industrial")
+    platform = get_platform(scenario.platform_key)
+    pm = power_model_for(platform.mcu)
+    print(f"=== {scenario.description} on {platform.name} ===")
+    print(f"power model: {pm.cpu_active_mw:.0f} mW active / "
+          f"{pm.idle_mw:.1f} mW idle / {pm.ext_read_nj_per_byte:.1f} nJ/B ext\n")
+
+    for use_flash in (False, True):
+        label = "flash-resident" if use_flash else "external-only"
+        config = plan(scenario, platform, use_flash)
+        if not config.admitted:
+            print(f"[{label}] not admitted: {config.infeasible_reason}")
+            continue
+        result = config.simulate(duration_s=4.0, record_trace=True)
+        breakdown = energy_of_run(result, config.taskset, platform)
+        placed = (
+            ", ".join(config.placement.resident)
+            if config.placement and config.placement.resident
+            else "none"
+        )
+        print(f"[{label}] resident models: {placed}")
+        print(
+            f"  energy over {breakdown.duration_s:.1f} s: "
+            f"{breakdown.total_mj:.1f} mJ "
+            f"(CPU {breakdown.cpu_mj:.1f} + DMA {breakdown.dma_mj:.2f} + "
+            f"ext {breakdown.ext_mj:.2f} + idle {breakdown.idle_mj:.1f})"
+        )
+        print(f"  average power: {breakdown.average_mw:.1f} mW")
+        svg_path = f"{out_dir}/industrial_{label}.svg"
+        window = platform.mcu.seconds_to_cycles(1.0)
+        write_svg(
+            result.trace,
+            svg_path,
+            mcu=platform.mcu,
+            until=window,
+            title=f"industrial ({label})",
+        )
+        print(f"  schedule written to {svg_path}\n")
+
+
+if __name__ == "__main__":
+    main()

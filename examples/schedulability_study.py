@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Schedulability study: sweep utilization and compare execution strategies.
+
+A miniature version of the paper-style experiment (EXP-F4): draw random
+multi-DNN task sets at each target utilization and measure the fraction
+each execution strategy admits.  Expect RT-MDM to dominate, sequential
+staging to fall off earliest on load-heavy draws, and XIP to suffer on
+weight-heavy models.
+
+Run with::
+
+    python examples/schedulability_study.py [n_sets_per_point]
+"""
+
+import random
+import sys
+
+from repro import get_platform
+from repro.eval.systems import LABELS, SYSTEMS, admit
+from repro.workload.taskset import generate_case
+
+
+def main() -> None:
+    n_sets = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    platform = get_platform("f746-qspi")
+    utils = (0.2, 0.35, 0.5, 0.65, 0.8)
+
+    print(f"platform: {platform.name}, {n_sets} task sets per point\n")
+    header = "util  " + "  ".join(f"{s:>16s}" for s in SYSTEMS)
+    print(header)
+    print("-" * len(header))
+    for util in utils:
+        rng = random.Random(1000 + int(util * 100))
+        admitted = {s: 0 for s in SYSTEMS}
+        for _ in range(n_sets):
+            case = generate_case(platform, util, rng)
+            for system in SYSTEMS:
+                admitted[system] += admit(system, case)
+        cells = "  ".join(f"{admitted[s] / n_sets:16.2f}" for s in SYSTEMS)
+        print(f"{util:4.2f}  {cells}")
+
+    print("\nlegend:")
+    for system in SYSTEMS:
+        print(f"  {system:16s} {LABELS[system]}")
+
+
+if __name__ == "__main__":
+    main()

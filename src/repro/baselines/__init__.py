@@ -1,0 +1,21 @@
+"""Baseline execution strategies RT-MDM is compared against.
+
+Every baseline is expressed as a transformation from (or alternative to)
+the RT-MDM segmented task, so the same simulator and analyses apply:
+
+* :func:`~repro.baselines.sequential.sequentialize` — staging without
+  overlap: the CPU busy-waits on every transfer.
+* :func:`~repro.baselines.layerwise.single_buffered` — DMA staging but
+  only one buffer: transfers never overlap compute.
+* :func:`~repro.baselines.npwhole.whole_job` — one non-preemptive section
+  per job (no inter-task preemption points).
+* :func:`~repro.baselines.xip.xip_task` — execute-in-place from external
+  memory: no staging, weights fetched over the bus during compute.
+"""
+
+from repro.baselines.layerwise import single_buffered
+from repro.baselines.npwhole import whole_job
+from repro.baselines.sequential import sequentialize
+from repro.baselines.xip import xip_task
+
+__all__ = ["sequentialize", "single_buffered", "whole_job", "xip_task"]

@@ -1,0 +1,24 @@
+"""Single-buffer baseline: DMA staging without prefetch overlap.
+
+The DMA is used (the CPU is free during transfers and other tasks may
+run), but with only one staging buffer the next segment's load cannot
+start until the current segment's compute finished — isolating the
+benefit of double buffering from the benefit of DMA offload.
+"""
+
+from __future__ import annotations
+
+from repro.sched.task import PeriodicTask
+
+
+def single_buffered(task: PeriodicTask) -> PeriodicTask:
+    """The same segments with buffer depth 1 (no prefetch)."""
+    return PeriodicTask(
+        name=task.name,
+        segments=task.segments,
+        period=task.period,
+        deadline=task.deadline,
+        priority=task.priority,
+        phase=task.phase,
+        buffers=1,
+    )

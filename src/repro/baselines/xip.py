@@ -1,0 +1,49 @@
+"""Execute-in-place (XIP) baseline: no staging at all.
+
+Weights are fetched from external memory by the CPU as the kernels
+consume them.  No SRAM staging buffers are needed (only activations),
+but every weight byte pays the scatter-degraded external-bus rate — the
+standard "just map the flash" deployment that RT-MDM's staging replaces.
+
+Each layer remains a segment boundary (the scheduler can still switch
+between tasks at layer granularity), with zero load legs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnn.models import Model
+from repro.dnn.quantization import INT8, Quantization
+from repro.hw.platform import Platform
+from repro.sched.task import PeriodicTask, Segment
+
+
+def xip_task(
+    name: str,
+    model: Model,
+    platform: Platform,
+    period: int,
+    deadline: Optional[int] = None,
+    priority: int = 0,
+    quant: Quantization = INT8,
+) -> PeriodicTask:
+    """Build the XIP version of a model as a periodic task (cycles)."""
+    segments = tuple(
+        Segment(
+            name=f"{name}/{layer.name}",
+            load_cycles=0,
+            compute_cycles=platform.xip_cycles(layer, quant.weight_bytes),
+            load_bytes=0,
+            xip_bytes=layer.param_bytes(quant),
+        )
+        for layer in model.layers
+    )
+    return PeriodicTask(
+        name=name,
+        segments=segments,
+        period=period,
+        deadline=deadline if deadline is not None else period,
+        priority=priority,
+        buffers=1,
+    )

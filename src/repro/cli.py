@@ -1,0 +1,281 @@
+"""Command-line interface: ``rtmdm <command>``.
+
+Commands:
+
+* ``models`` — list the model zoo with key statistics.
+* ``platforms`` — list platform presets.
+* ``plan`` — plan a scenario and print the deployment table.
+* ``simulate`` — plan + simulate a scenario, print a Gantt excerpt
+  (optionally write an SVG of the schedule).
+* ``energy`` — plan + simulate a scenario and report its energy budget.
+* ``exp`` — run one (or ``all``) reconstructed experiments.
+* ``validate`` — analysis-vs-simulation consistency sweep (self-test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.framework import RtMdm
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model, list_models
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.reporting import render
+from repro.hw.presets import PLATFORMS, get_platform
+from repro.workload.scenarios import SCENARIOS, get_scenario
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    print(f"{'model':20s} {'layers':>6s} {'MMACs':>8s} {'weights':>10s} {'peak act':>10s}")
+    for name in list_models():
+        model = build_model(name)
+        print(
+            f"{name:20s} {model.num_layers:6d} {model.total_macs / 1e6:8.2f} "
+            f"{model.total_param_bytes(INT8) / 1024:8.1f}Ki "
+            f"{model.peak_activation_bytes(INT8) / 1024:8.1f}Ki"
+        )
+    return 0
+
+
+def _cmd_platforms(_: argparse.Namespace) -> int:
+    print(f"{'key':12s} {'platform':26s} {'MHz':>5s} {'SRAM':>8s} {'ext BW':>9s}")
+    for key, platform in sorted(PLATFORMS.items()):
+        print(
+            f"{key:12s} {platform.name:26s} {platform.mcu.clock_hz / 1e6:5.0f} "
+            f"{platform.mcu.usable_sram_bytes / 1024:6.0f}Ki "
+            f"{platform.memory.read_bandwidth_bps / 1e6:7.1f}MB"
+        )
+    return 0
+
+
+def _build_config(
+    scenario_key: str, platform_key: Optional[str], use_flash: bool = False
+):
+    scenario = get_scenario(scenario_key)
+    platform = get_platform(platform_key or scenario.platform_key)
+    rt = RtMdm(platform, use_internal_flash=use_flash)
+    for spec in scenario.specs():
+        rt.add_task(spec.name, spec.model, spec.period_s, spec.deadline_s)
+    return rt.configure()
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    config = _build_config(args.scenario, args.platform, args.flash)
+    if not config.feasible:
+        print(f"INFEASIBLE: {config.infeasible_reason}")
+        return 1
+    print(f"platform: {config.platform.name}")
+    print(f"admitted: {config.admitted} (analysis: {config.analysis.method})")
+    for row in config.report_rows():
+        wcrt = f"{row['wcrt_ms']:.2f}" if row["wcrt_ms"] is not None else "-"
+        print(
+            f"  {row['task']:10s} prio={row['priority']} T={row['period_ms']:.0f}ms "
+            f"segs={row['segments']:3d} sram={row['sram_kib']:.1f}Ki "
+            f"weights={row['weights_in']:8s} "
+            f"lat={row['latency_ms']:.2f}ms wcrt={wcrt}ms "
+            f"{'OK' if row['admitted'] else 'MISS-RISK'}"
+        )
+    if config.placement and config.placement.resident:
+        print(
+            f"internal flash: {config.placement.flash_used / 1024:.0f} / "
+            f"{config.placement.flash_budget / 1024:.0f} KiB for "
+            f"{', '.join(config.placement.resident)}"
+        )
+    if config.sram_plan:
+        print(
+            f"SRAM: {config.sram_plan.used / 1024:.1f} / "
+            f"{config.sram_plan.capacity / 1024:.1f} KiB used"
+        )
+    return 0 if config.admitted else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args.scenario, args.platform, args.flash)
+    if not config.feasible:
+        print(f"INFEASIBLE: {config.infeasible_reason}")
+        return 1
+    result = config.simulate(duration_s=args.duration, record_trace=True)
+    mcu = config.platform.mcu
+    print(f"simulated {mcu.cycles_to_ms(result.end_time):.0f} ms")
+    print(f"misses: {result.total_misses}")
+    for name, stats in result.stats.items():
+        worst = stats.max_response
+        worst_ms = f"{mcu.cycles_to_ms(worst):.2f}" if worst is not None else "-"
+        print(f"  {name:10s} jobs={stats.jobs:4d} worst={worst_ms}ms misses={stats.misses}")
+    if result.trace is not None:
+        window = min(result.end_time, mcu.seconds_to_cycles(args.gantt_window))
+        print(result.trace.gantt(until=window, width=90))
+        if args.svg:
+            from repro.sched.svg import write_svg
+
+            write_svg(
+                result.trace,
+                args.svg,
+                mcu=mcu,
+                until=window,
+                title=f"{args.scenario} on {config.platform.name}",
+            )
+            print(f"wrote {args.svg}")
+    return 0 if result.no_misses else 1
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.hw.energy import energy_of_run, power_model_for
+
+    config = _build_config(args.scenario, args.platform, args.flash)
+    if not config.feasible:
+        print(f"INFEASIBLE: {config.infeasible_reason}")
+        return 1
+    result = config.simulate(duration_s=args.duration)
+    breakdown = energy_of_run(result, config.taskset, config.platform)
+    pm = power_model_for(config.platform.mcu)
+    print(f"platform: {config.platform.name} "
+          f"(CPU {pm.cpu_active_mw:.0f} mW active, {pm.idle_mw:.1f} mW idle)")
+    print(f"simulated {breakdown.duration_s:.2f} s")
+    print(f"  CPU active : {breakdown.cpu_mj:9.2f} mJ")
+    print(f"  DMA engine : {breakdown.dma_mj:9.2f} mJ")
+    print(f"  ext. reads : {breakdown.ext_mj:9.2f} mJ")
+    print(f"  idle floor : {breakdown.idle_mj:9.2f} mJ")
+    print(f"  total      : {breakdown.total_mj:9.2f} mJ "
+          f"(avg {breakdown.average_mw:.1f} mW)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.eval.validation import validate
+
+    platform = get_platform(args.platform) if args.platform else None
+    report = validate(
+        platform=platform,
+        n_cases=args.cases,
+        phasings=args.phasings,
+        seed=args.seed,
+    )
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.passed else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.segmentation import SegmentationError, search_segmentation
+    from repro.dnn.models import refine_model
+
+    platform = get_platform(args.platform or "f746-qspi")
+    model = build_model(args.model)
+    print(f"{args.model} on {platform.name}")
+    print(f"{'#':>3s} {'layer':22s} {'kind':9s} {'out shape':>14s} "
+          f"{'MACs':>10s} {'w bytes':>9s} {'act bytes':>10s}")
+    for row in model.summary_rows(INT8):
+        print(
+            f"{row['index']:3d} {row['name']:22s} {row['kind']:9s} "
+            f"{str(row['output_shape']):>14s} {row['macs']:10,d} "
+            f"{row['param_bytes']:9,d} {row['working_act_bytes']:10,d}"
+        )
+    print(
+        f"total: {model.total_macs / 1e6:.2f} MMACs, "
+        f"{model.total_param_bytes(INT8) / 1024:.1f} KiB weights, "
+        f"{model.peak_activation_bytes(INT8) / 1024:.1f} KiB peak activations"
+    )
+    budget = args.budget * 1024 if args.budget else platform.usable_sram_bytes
+    refined = refine_model(model, INT8, max(2048, budget // 8))
+    try:
+        seg = search_segmentation(refined, platform, budget, INT8, buffers=2)
+    except SegmentationError as error:
+        print(f"segmentation: INFEASIBLE within {budget // 1024} KiB ({error})")
+        return 1
+    ms = platform.mcu.cycles_to_ms
+    print(
+        f"segmentation within {budget // 1024} KiB: {seg.num_segments} segments, "
+        f"{seg.sram_need_bytes() / 1024:.1f} KiB SRAM, "
+        f"latency {ms(seg.isolated_latency()):.2f} ms "
+        f"(sequential {ms(seg.sequential_latency()):.2f} ms)"
+    )
+    return 0
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+    for exp_id in ids:
+        result = run_experiment(exp_id, scale=args.scale)
+        print(render(result))
+        if args.plot and len(result.rows) >= 2:
+            from repro.eval.plots import ascii_plot
+
+            try:
+                print()
+                print(ascii_plot(result))
+            except (TypeError, ValueError):
+                pass  # non-sweep results have no meaningful plot
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``rtmdm`` script)."""
+    parser = argparse.ArgumentParser(
+        prog="rtmdm",
+        description="RT-MDM: multi-DNN real-time scheduling on MCUs (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(fn=_cmd_models)
+    sub.add_parser("platforms", help="list platform presets").set_defaults(
+        fn=_cmd_platforms
+    )
+
+    plan = sub.add_parser("plan", help="plan a scenario deployment")
+    plan.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?", default="doorbell")
+    plan.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    plan.add_argument("--flash", action="store_true",
+                      help="place small models in internal flash")
+    plan.set_defaults(fn=_cmd_plan)
+
+    sim = sub.add_parser("simulate", help="plan and simulate a scenario")
+    sim.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?", default="doorbell")
+    sim.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    sim.add_argument("--flash", action="store_true",
+                     help="place small models in internal flash")
+    sim.add_argument("--duration", type=float, default=None, help="seconds")
+    sim.add_argument("--gantt-window", type=float, default=1.0, help="seconds shown")
+    sim.add_argument("--svg", default=None, metavar="FILE",
+                     help="write the schedule as an SVG")
+    sim.set_defaults(fn=_cmd_simulate)
+
+    energy = sub.add_parser("energy", help="energy budget of a scenario")
+    energy.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",
+                        default="doorbell")
+    energy.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    energy.add_argument("--flash", action="store_true",
+                        help="place small models in internal flash")
+    energy.add_argument("--duration", type=float, default=None, help="seconds")
+    energy.set_defaults(fn=_cmd_energy)
+
+    val = sub.add_parser("validate", help="analysis-vs-simulation self-test")
+    val.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    val.add_argument("--cases", type=int, default=20)
+    val.add_argument("--phasings", type=int, default=3)
+    val.add_argument("--seed", type=int, default=1)
+    val.set_defaults(fn=_cmd_validate)
+
+    inspect = sub.add_parser("inspect", help="per-layer report for one model")
+    inspect.add_argument("model", choices=list_models())
+    inspect.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    inspect.add_argument("--budget", type=int, default=None, metavar="KIB",
+                         help="SRAM budget for the segmentation preview")
+    inspect.set_defaults(fn=_cmd_inspect)
+
+    exp = sub.add_parser("exp", help="run a reconstructed experiment")
+    exp.add_argument("id", help="experiment id (e.g. EXP-F4) or 'all'")
+    exp.add_argument("--scale", type=float, default=1.0, help="sample-count scale")
+    exp.add_argument("--plot", action="store_true", help="ASCII chart for sweeps")
+    exp.set_defaults(fn=_cmd_exp)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""RT-MDM core: the paper's contribution, reconstructed.
+
+Pipeline of responsibilities:
+
+1. :mod:`repro.core.segmentation` — partition each DNN's layer chain into
+   segments whose staging buffers fit the task's SRAM budget, minimizing
+   pipelined latency.
+2. :mod:`repro.core.buffers` — lay the staging/activation buffers of all
+   tasks out in SRAM and verify the plan fits.
+3. :mod:`repro.core.pipeline` — the double-buffer pipeline timing model
+   and the conversion of a segmented DNN into a schedulable task.
+4. :mod:`repro.core.analysis` — schedulability analyses for the
+   two-resource (CPU + DMA) segmented task model.
+5. :mod:`repro.core.priority` — priority assignment (DM/RM/Audsley).
+6. :mod:`repro.core.framework` — :class:`~repro.core.framework.RtMdm`,
+   the top-level API tying everything together.
+"""
+
+from repro.core.analysis import AnalysisResult, analyze
+from repro.core.buffers import BufferPlan, SramPlan, plan_sram
+from repro.core.edf import edf_schedulable
+from repro.core.placement import (
+    FlashPlacement,
+    choose_flash_residents,
+    resident_segmentation,
+)
+from repro.core.framework import Configuration, RtMdm, TaskSpec
+from repro.core.pipeline import (
+    SegmentedModel,
+    isolated_latency,
+    pipeline_finish_times,
+    sequential_latency,
+)
+from repro.core.priority import audsley, deadline_monotonic, rate_monotonic
+from repro.core.segmentation import (
+    SegmentationError,
+    coarsest_feasible_segments,
+    search_segmentation,
+    segment_model,
+)
+
+__all__ = [
+    "SegmentedModel",
+    "pipeline_finish_times",
+    "isolated_latency",
+    "sequential_latency",
+    "segment_model",
+    "search_segmentation",
+    "coarsest_feasible_segments",
+    "SegmentationError",
+    "BufferPlan",
+    "SramPlan",
+    "plan_sram",
+    "analyze",
+    "AnalysisResult",
+    "deadline_monotonic",
+    "rate_monotonic",
+    "audsley",
+    "RtMdm",
+    "TaskSpec",
+    "Configuration",
+    "edf_schedulable",
+    "FlashPlacement",
+    "choose_flash_residents",
+    "resident_segmentation",
+]

@@ -1,0 +1,149 @@
+"""SRAM buffer planning: lay out every task's staging and activation regions.
+
+Each task gets ``buffers`` equally-sized weight staging slots (sized for
+its largest segment) plus a resident activation region (its model's peak
+working set).  Regions are packed back-to-back in the usable SRAM window;
+the plan either fits or reports exactly how many bytes are missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.pipeline import SegmentedModel
+from repro.hw.mcu import SramRegion
+from repro.hw.platform import Platform
+
+#: Alignment for DMA-targeted buffers (cache line / burst alignment).
+BUFFER_ALIGN = 32
+
+
+def _align(value: int, alignment: int = BUFFER_ALIGN) -> int:
+    """Round ``value`` up to ``alignment``."""
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """SRAM regions of one task.
+
+    Attributes:
+        task_name: Owning task.
+        slot_bytes: Size of each weight staging slot (aligned).
+        slots: The staging slot regions.
+        activation: The resident activation region.
+    """
+
+    task_name: str
+    slot_bytes: int
+    slots: Tuple[SramRegion, ...]
+    activation: SramRegion
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes this task occupies in SRAM."""
+        return sum(r.size for r in self.slots) + self.activation.size
+
+    @property
+    def regions(self) -> Tuple[SramRegion, ...]:
+        """All regions of this task."""
+        return (*self.slots, self.activation)
+
+
+@dataclass(frozen=True)
+class SramPlan:
+    """A complete SRAM layout for a task set.
+
+    Attributes:
+        plans: Per-task buffer plans, in allocation order.
+        capacity: Usable SRAM bytes of the platform.
+        used: Bytes allocated.
+    """
+
+    plans: Tuple[BufferPlan, ...]
+    capacity: int
+    used: int
+
+    @property
+    def fits(self) -> bool:
+        """Whether the layout fits the usable SRAM window."""
+        return self.used <= self.capacity
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining bytes (negative when the plan does not fit)."""
+        return self.capacity - self.used
+
+    def plan_for(self, task_name: str) -> BufferPlan:
+        """Look up a task's plan."""
+        for plan in self.plans:
+            if plan.task_name == task_name:
+                return plan
+        raise KeyError(f"no buffer plan for task {task_name!r}")
+
+    def verify_disjoint(self) -> None:
+        """Assert no two regions overlap (property-test invariant)."""
+        regions: List[Tuple[str, SramRegion]] = []
+        for plan in self.plans:
+            for region in plan.regions:
+                regions.append((plan.task_name, region))
+        for i, (name_a, a) in enumerate(regions):
+            for name_b, b in regions[i + 1:]:
+                if a.overlaps(b):
+                    raise AssertionError(
+                        f"SRAM regions overlap: {name_a}:{a} vs {name_b}:{b}"
+                    )
+
+
+def plan_sram(
+    segmented_models: Sequence[Tuple[str, SegmentedModel]],
+    platform: Platform,
+) -> SramPlan:
+    """Pack every task's staging slots and activation region into SRAM.
+
+    Args:
+        segmented_models: ``(task_name, segmented_model)`` pairs in
+            allocation order.
+        platform: Provides the usable SRAM capacity.
+
+    Returns:
+        An :class:`SramPlan`; check :attr:`SramPlan.fits` before use.
+    """
+    offset = 0
+    plans: List[BufferPlan] = []
+    for task_name, segmented in segmented_models:
+        if segmented.resident:
+            slot_bytes = 0  # weights in internal flash: nothing to stage
+        else:
+            slot_bytes = _align(segmented.max_segment_weight_bytes)
+        slots = []
+        for i in range(segmented.buffers if slot_bytes else 0):
+            slots.append(
+                SramRegion(
+                    name=f"{task_name}/slot{i}",
+                    offset=offset,
+                    size=slot_bytes,
+                    purpose="weight staging",
+                )
+            )
+            offset += slot_bytes
+        act_bytes = _align(segmented.model.peak_activation_bytes(segmented.quant))
+        activation = SramRegion(
+            name=f"{task_name}/act",
+            offset=offset,
+            size=act_bytes,
+            purpose="activations",
+        )
+        offset += act_bytes
+        plans.append(
+            BufferPlan(
+                task_name=task_name,
+                slot_bytes=slot_bytes,
+                slots=tuple(slots),
+                activation=activation,
+            )
+        )
+    return SramPlan(
+        plans=tuple(plans), capacity=platform.usable_sram_bytes, used=offset
+    )

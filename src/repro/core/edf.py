@@ -1,0 +1,78 @@
+"""EDF admission for segmented two-resource tasks (extension).
+
+The simulator supports segment-level non-preemptive EDF
+(:attr:`~repro.sched.policies.CpuPolicy.EDF_NP`); this module provides a
+conservative offline admission test for it, built from the classic
+processor-demand criterion:
+
+1. **Virtualize** the two resources into one: each job demands
+   ``sum(C) + sum(L)`` on a single virtual processor.  A cycle in which
+   the CPU serves one task and the DMA another counts twice — the
+   virtual processor is strictly slower than the real platform, never
+   faster, for any work-conserving schedule.
+2. **Fold blocking into demand**: under segment-level non-preemptive
+   EDF, a job can be blocked once per segment boundary by an
+   already-running later-deadline section (and once per issued transfer
+   at the DMA).  Those cycles are added to the job's own demand
+   (``n_seg * maxC_other + n_load * maxL_other``) — double-counting the
+   blocker's work, which is conservative.
+3. Apply the preemptive-EDF **demand-bound test** to the inflated demand.
+
+This construction is deliberately conservative; its safety for the
+two-resource pipelined model is validated by the adversarial suite
+(``tests/test_analysis_adversarial.py`` exercises EDF simulations
+against it) rather than by a formal proof — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sched.rta import RtaTask, edf_demand_schedulable
+from repro.sched.task import TaskSet
+
+
+def _inflated_demand(taskset: TaskSet) -> Dict[str, int]:
+    """Per-task virtual demand: serialized work plus folded blocking."""
+    demands = {}
+    for task in taskset:
+        others = [t for t in taskset if t.name != task.name]
+        max_c_other = max((t.max_segment_compute for t in others), default=0)
+        max_l_other = max((t.max_segment_load for t in others), default=0)
+        n_load = sum(1 for s in task.segments if s.load_cycles > 0)
+        demands[task.name] = (
+            task.total_compute
+            + task.total_load
+            + task.num_segments * max_c_other
+            + n_load * max_l_other
+        )
+    return demands
+
+
+def edf_schedulable(taskset: TaskSet) -> bool:
+    """Conservative EDF-NP admission for a segmented task set.
+
+    Returns True only when the inflated single-resource demand passes
+    the processor-demand criterion at every deadline.
+    """
+    demands = _inflated_demand(taskset)
+    rta_tasks = [
+        RtaTask(
+            name=t.name,
+            exec_cycles=demands[t.name],
+            period=t.period,
+            deadline=t.deadline,
+            priority=index,
+        )
+        for index, t in enumerate(taskset)
+    ]
+    return edf_demand_schedulable(rta_tasks)
+
+
+def edf_utilization_bound(taskset: TaskSet) -> float:
+    """Virtual-processor utilization of the inflated demand.
+
+    Above 1.0 the demand test must fail; reported in EXP-F12.
+    """
+    demands = _inflated_demand(taskset)
+    return sum(demands[t.name] / t.period for t in taskset)

@@ -1,0 +1,193 @@
+"""Double-buffer pipeline timing model.
+
+With ``b`` staging buffers, the load of segment *j* may start once the
+compute of segment ``j - b`` has finished (that segment's buffer is free),
+and the compute of segment *j* starts once both its load and the previous
+compute have finished:
+
+.. code-block:: text
+
+    f_load(j) = max(f_load(j-1), f_comp(j-b)) + L_j
+    f_comp(j) = max(f_comp(j-1), f_load(j))   + C_j
+
+The job's isolated latency is ``f_comp(m)``.  These recurrences are exact
+for an uncontended platform and are validated against the discrete-event
+simulator by the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dnn.models import Model
+from repro.dnn.quantization import Quantization
+from repro.hw.platform import Platform
+from repro.sched.task import PeriodicTask, Segment
+
+
+def pipeline_finish_times(
+    segments: Sequence[Segment], buffers: int = 2
+) -> List[Tuple[int, int]]:
+    """Per-segment ``(load_finish, compute_finish)`` in isolation.
+
+    Args:
+        segments: The job body in execution order.
+        buffers: Staging buffer depth (``1`` disables overlap).
+    """
+    if buffers < 1:
+        raise ValueError(f"buffers must be >= 1, got {buffers}")
+    finish: List[Tuple[int, int]] = []
+    for j, segment in enumerate(segments):
+        prev_load = finish[j - 1][0] if j >= 1 else 0
+        freed = finish[j - buffers][1] if j >= buffers else 0
+        load_finish = max(prev_load, freed) + segment.load_cycles
+        prev_comp = finish[j - 1][1] if j >= 1 else 0
+        comp_finish = max(prev_comp, load_finish) + segment.compute_cycles
+        finish.append((load_finish, comp_finish))
+    return finish
+
+
+def isolated_latency(segments: Sequence[Segment], buffers: int = 2) -> int:
+    """Job latency on an otherwise idle platform."""
+    if not segments:
+        raise ValueError("segments must be non-empty")
+    return pipeline_finish_times(segments, buffers)[-1][1]
+
+
+def sequential_latency(segments: Sequence[Segment]) -> int:
+    """Latency with no overlap at all: every load then its compute."""
+    return sum(s.load_cycles + s.compute_cycles for s in segments)
+
+
+def stall_cycles(segments: Sequence[Segment], buffers: int = 2) -> int:
+    """Cycles the CPU idles waiting for loads, in isolation.
+
+    This is the pipeline's residual exposure to the external memory:
+    ``isolated_latency - total_compute``.
+    """
+    total_compute = sum(s.compute_cycles for s in segments)
+    return isolated_latency(segments, buffers) - total_compute
+
+
+@dataclass(frozen=True)
+class SegmentedModel:
+    """A DNN partitioned into staging segments on a concrete platform.
+
+    Attributes:
+        model: The source DNN.
+        platform: Target hardware (provides cycle costs).
+        quant: Deployment quantization.
+        boundaries: Segment extents as ``(start, end)`` layer index pairs,
+            contiguous and covering ``range(model.num_layers)``.
+        buffers: Staging buffer depth used for latency/pipelining.
+        resident: Weights live in *internal* flash (no staging at all):
+            segments have zero load legs and SRAM holds activations only.
+            Segment boundaries remain preemption points (the compute cap
+            still applies).
+    """
+
+    model: Model
+    platform: Platform
+    quant: Quantization
+    boundaries: Tuple[Tuple[int, int], ...]
+    buffers: int = 2
+    resident: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.boundaries:
+            raise ValueError("boundaries must be non-empty")
+        expected = 0
+        for start, end in self.boundaries:
+            if start != expected or end <= start:
+                raise ValueError(
+                    f"boundaries must be contiguous and non-empty, got {self.boundaries}"
+                )
+            expected = end
+        if expected != self.model.num_layers:
+            raise ValueError(
+                f"boundaries cover {expected} layers, model has {self.model.num_layers}"
+            )
+        if self.buffers < 1:
+            raise ValueError(f"buffers must be >= 1, got {self.buffers}")
+
+    # ------------------------------------------------------------------
+    # Segment materialization
+    # ------------------------------------------------------------------
+    def segment_weight_bytes(self, index: int) -> int:
+        """Weight+bias bytes staged for segment ``index``."""
+        start, end = self.boundaries[index]
+        return sum(
+            layer.param_bytes(self.quant) for layer in self.model.layers[start:end]
+        )
+
+    @property
+    def max_segment_weight_bytes(self) -> int:
+        """Size each staging buffer slot must have."""
+        return max(self.segment_weight_bytes(i) for i in range(len(self.boundaries)))
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments."""
+        return len(self.boundaries)
+
+    def segments(self) -> Tuple[Segment, ...]:
+        """Materialize scheduler segments with platform cycle costs."""
+        result = []
+        for index, (start, end) in enumerate(self.boundaries):
+            load_bytes = 0 if self.resident else self.segment_weight_bytes(index)
+            compute = sum(
+                self.platform.compute_cycles(layer, self.quant.weight_bytes)
+                for layer in self.model.layers[start:end]
+            )
+            result.append(
+                Segment(
+                    name=f"{self.model.name}[{start}:{end}]",
+                    load_cycles=self.platform.load_cycles(load_bytes),
+                    compute_cycles=compute,
+                    load_bytes=load_bytes,
+                )
+            )
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # Derived timing
+    # ------------------------------------------------------------------
+    def isolated_latency(self) -> int:
+        """Pipelined latency in isolation."""
+        return isolated_latency(self.segments(), self.buffers)
+
+    def sequential_latency(self) -> int:
+        """Unpipelined latency (loads serialized with computes)."""
+        return sequential_latency(self.segments())
+
+    def sram_need_bytes(self) -> int:
+        """SRAM this segmentation requires: staging slots + activations.
+
+        Flash-resident models stage nothing; only activations need SRAM.
+        """
+        if self.resident:
+            return self.model.peak_activation_bytes(self.quant)
+        return (
+            self.buffers * self.max_segment_weight_bytes
+            + self.model.peak_activation_bytes(self.quant)
+        )
+
+    def to_task(
+        self,
+        period: int,
+        deadline: Optional[int] = None,
+        priority: int = 0,
+        phase: int = 0,
+        name: Optional[str] = None,
+    ) -> PeriodicTask:
+        """Build the schedulable periodic task for this segmented model."""
+        return PeriodicTask(
+            name=name or self.model.name,
+            segments=self.segments(),
+            period=period,
+            deadline=deadline if deadline is not None else period,
+            priority=priority,
+            phase=phase,
+            buffers=self.buffers,
+        )

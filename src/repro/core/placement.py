@@ -1,0 +1,136 @@
+"""Weight placement: which models live in internal flash vs external memory.
+
+MCUs in this class have 0.5-2 MiB of internal flash, most of it occupied
+by code — but the remainder can hold the weights of the *smaller* models,
+which then execute without any staging (internal flash sits behind the
+ART/flash accelerator with negligible weight-fetch penalty).  Placing a
+model internally removes both its external-bus traffic and its SRAM
+staging slots, so placement directly improves schedulability of the
+*remaining* tasks.
+
+The placement problem is a 0/1 knapsack: items = models (size = weight
+bytes), capacity = internal flash minus the code reserve, value = the
+external-bus traffic avoided per second (``weight_bytes / period_s`` —
+the highest-rate models relieve the DMA the most).  The exact DP is used
+(item counts are tiny).
+
+This module is the ``use_internal_flash=True`` path of
+:class:`~repro.core.framework.RtMdm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import SegmentedModel
+from repro.core.segmentation import min_max_weight_partition
+from repro.dnn.models import Model
+from repro.dnn.quantization import INT8, Quantization
+from repro.hw.platform import Platform
+
+#: Knapsack weight granularity (bytes); flash is written in pages anyway.
+_GRANULE = 1024
+
+
+@dataclass(frozen=True)
+class FlashPlacement:
+    """The outcome of weight placement.
+
+    Attributes:
+        resident: Names of tasks whose weights live in internal flash.
+        flash_used: Bytes of flash consumed by resident weights.
+        flash_budget: Bytes that were available for weights.
+    """
+
+    resident: Tuple[str, ...]
+    flash_used: int
+    flash_budget: int
+
+    def is_resident(self, task_name: str) -> bool:
+        """Whether ``task_name`` was placed in internal flash."""
+        return task_name in self.resident
+
+
+def choose_flash_residents(
+    candidates: Sequence[Tuple[str, Model, float]],
+    flash_budget: int,
+    quant: Quantization = INT8,
+) -> FlashPlacement:
+    """Select models to keep in internal flash (exact 0/1 knapsack).
+
+    Args:
+        candidates: ``(task_name, model, period_s)`` triples.
+        flash_budget: Flash bytes available for weights (after code).
+        quant: Quantization (sets weight sizes).
+
+    Value of a model = external traffic avoided per second
+    (``weight_bytes / period_s``).
+    """
+    if flash_budget <= 0 or not candidates:
+        return FlashPlacement(resident=(), flash_used=0, flash_budget=max(0, flash_budget))
+    items = []
+    for name, model, period_s in candidates:
+        size = model.total_param_bytes(quant)
+        granules = -(-size // _GRANULE)  # ceil
+        value = size / period_s
+        items.append((name, size, granules, value))
+    capacity = flash_budget // _GRANULE
+    # Exact 0/1 knapsack with per-item rows (tiny item counts) so the
+    # chosen set can be reconstructed by backtracking.
+    table: List[List[float]] = [[0.0] * (capacity + 1)]
+    for _, _, granules, value in items:
+        prev = table[-1]
+        row = list(prev)
+        for cap in range(granules, capacity + 1):
+            row[cap] = max(prev[cap], prev[cap - granules] + value)
+        table.append(row)
+    chosen: List[str] = []
+    cap = capacity
+    used = 0
+    for index in range(len(items) - 1, -1, -1):
+        name, size, granules, value = items[index]
+        if granules <= cap and table[index + 1][cap] != table[index][cap]:
+            chosen.append(name)
+            used += size
+            cap -= granules
+    return FlashPlacement(
+        resident=tuple(sorted(chosen)), flash_used=used, flash_budget=flash_budget
+    )
+
+
+def resident_segmentation(
+    model: Model,
+    platform: Platform,
+    quant: Quantization = INT8,
+    max_segment_compute: Optional[int] = None,
+) -> SegmentedModel:
+    """Segment a flash-resident model (preemption points only).
+
+    With no staging there is no SRAM constraint on segmentation; the
+    layer chain is cut purely to respect the non-preemptive-section cap.
+    """
+    computes = [platform.compute_cycles(layer, quant.weight_bytes) for layer in model.layers]
+    if max_segment_compute is None:
+        boundaries = [(0, model.num_layers)]
+    else:
+        cap = max(max_segment_compute, max(computes))
+        total = sum(computes)
+        k = min(model.num_layers, max(1, -(-total // cap)))
+        boundaries = min_max_weight_partition(computes, k)
+        # min-max on computes may still exceed the cap with few parts;
+        # refine until it fits or we reach layer granularity.
+        while (
+            max(sum(computes[s:e]) for s, e in boundaries) > cap
+            and k < model.num_layers
+        ):
+            k += 1
+            boundaries = min_max_weight_partition(computes, k)
+    return SegmentedModel(
+        model=model,
+        platform=platform,
+        quant=quant,
+        boundaries=tuple(boundaries),
+        buffers=1,
+        resident=True,
+    )

@@ -1,0 +1,366 @@
+"""Segmentation: partition a layer chain into SRAM-feasible segments.
+
+Feasibility of a segmentation with buffer depth ``b``:
+
+* **SRAM**: ``b * max_segment_weight_bytes + peak_activation_bytes <=
+  sram_budget`` (each staging slot is sized for the largest segment;
+  activations stay resident);
+* **preemption granularity** (optional): no segment's compute may exceed
+  ``max_segment_compute`` cycles.  Segment boundaries are the only
+  preemption points, so a long segment is a non-preemptive section that
+  blocks urgent tasks — capping it is the schedulability half of the
+  RT-MDM planner.  Layers that are individually over the cap (after
+  :func:`~repro.dnn.models.refine_model`) relax the cap to their own
+  length: the analyses then account for the unavoidable section honestly.
+
+Among feasible segmentations we minimize the **isolated pipelined
+latency** (exact recurrence, including per-transfer setup overheads);
+near-ties (within 2%) are broken toward the smaller maximum compute
+section.
+
+Algorithms:
+
+* :func:`min_max_weight_partition` — contiguous partition into exactly
+  ``k`` parts minimizing the maximum part cost (binary search + greedy;
+  optimal for this objective).  The search feeds it *unit costs*: the max
+  of normalized staging bytes and normalized compute, so one partition
+  respects both caps.
+* :func:`coarsest_feasible_segments` — fewest segments that fit.
+* :func:`search_segmentation` — sweep segment counts from coarsest
+  feasible to layer granularity, refine each candidate with boundary
+  hill-climbing on exact latency (evaluated via prefix sums; no model
+  rematerialization), return the best.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import SegmentedModel
+from repro.dnn.models import Model
+from repro.dnn.quantization import INT8, Quantization
+from repro.hw.platform import Platform
+
+#: Normalization scale for unit costs (per-part budget maps to _SCALE).
+_SCALE = 1_000_000
+
+Boundaries = List[Tuple[int, int]]
+
+
+class SegmentationError(ValueError):
+    """Raised when no segmentation fits the SRAM budget."""
+
+
+def _greedy_parts_needed(weights: Sequence[int], cap: int) -> Optional[int]:
+    """Minimum number of contiguous parts with each part sum <= cap, or None."""
+    parts = 1
+    current = 0
+    for weight in weights:
+        if weight > cap:
+            return None
+        if current + weight > cap:
+            parts += 1
+            current = weight
+        else:
+            current += weight
+    return parts
+
+
+def min_max_weight_partition(weights: Sequence[int], k: int) -> Boundaries:
+    """Partition ``weights`` into ``k`` contiguous parts minimizing max sum.
+
+    Returns ``(start, end)`` index pairs.  Classic binary search over the
+    bottleneck value with a greedy feasibility check; the result is
+    optimal for the min-max objective.
+    """
+    n = len(weights)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    lo, hi = max(weights), sum(weights)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        needed = _greedy_parts_needed(weights, mid)
+        if needed is not None and needed <= k:
+            hi = mid
+        else:
+            lo = mid + 1
+    # Build exactly k parts under cap `lo`, splitting greedily and then
+    # padding with single-element parts if the greedy run used fewer.
+    boundaries: Boundaries = []
+    start = 0
+    current = 0
+    for i, weight in enumerate(weights):
+        if current + weight > lo and current > 0:
+            boundaries.append((start, i))
+            start, current = i, weight
+        else:
+            current += weight
+    boundaries.append((start, n))
+    while len(boundaries) < k:
+        # Split the part with the most elements (any split keeps max <= lo
+        # because part sums only shrink).
+        idx = max(range(len(boundaries)), key=lambda i: boundaries[i][1] - boundaries[i][0])
+        s, e = boundaries[idx]
+        if e - s == 1:
+            raise AssertionError("cannot split further; k <= n guarantees this never happens")
+        mid = (s + e) // 2
+        boundaries[idx: idx + 1] = [(s, mid), (mid, e)]
+        boundaries.sort()
+    return boundaries
+
+
+class _Planner:
+    """Shared state for one segmentation problem.
+
+    Pre-computes per-layer weight bytes and compute cycles so candidate
+    segmentations are evaluated with prefix sums (O(k) per candidate)
+    instead of rematerializing :class:`SegmentedModel` objects.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        platform: Platform,
+        sram_budget: int,
+        quant: Quantization,
+        buffers: int,
+        max_segment_compute: Optional[int],
+    ) -> None:
+        self.model = model
+        self.platform = platform
+        self.sram_budget = sram_budget
+        self.quant = quant
+        self.buffers = buffers
+        self.weights = [layer.param_bytes(quant) for layer in model.layers]
+        self.computes = [
+            platform.compute_cycles(layer, quant.weight_bytes) for layer in model.layers
+        ]
+        n = model.num_layers
+        self.prefix_w = [0] * (n + 1)
+        self.prefix_c = [0] * (n + 1)
+        for i in range(n):
+            self.prefix_w[i + 1] = self.prefix_w[i] + self.weights[i]
+            self.prefix_c[i + 1] = self.prefix_c[i] + self.computes[i]
+        act = model.peak_activation_bytes(quant)
+        self.activation_bytes = act
+        self.slot_cap = (sram_budget - act) // buffers
+        if self.slot_cap < max(self.weights):
+            raise SegmentationError(
+                f"model {model.name!r} cannot fit: largest layer needs "
+                f"{max(self.weights)} B per slot but only {max(self.slot_cap, 0)} B "
+                f"available (budget {sram_budget} B, activations {act} B, "
+                f"{buffers} buffers)"
+            )
+        # An individually-over-cap layer relaxes the compute cap to itself.
+        if max_segment_compute is not None:
+            self.compute_cap: Optional[int] = max(
+                max_segment_compute, max(self.computes)
+            )
+        else:
+            self.compute_cap = None
+
+    # -- candidate evaluation (prefix sums; no materialization) --------
+    def seg_weight(self, start: int, end: int) -> int:
+        return self.prefix_w[end] - self.prefix_w[start]
+
+    def seg_compute(self, start: int, end: int) -> int:
+        return self.prefix_c[end] - self.prefix_c[start]
+
+    def feasible(self, boundaries: Boundaries) -> bool:
+        max_w = max(self.seg_weight(s, e) for s, e in boundaries)
+        if self.buffers * max_w + self.activation_bytes > self.sram_budget:
+            return False
+        if self.compute_cap is not None:
+            max_c = max(self.seg_compute(s, e) for s, e in boundaries)
+            if max_c > self.compute_cap:
+                return False
+        return True
+
+    def latency(self, boundaries: Boundaries) -> int:
+        """Isolated pipelined latency of a candidate (exact recurrence)."""
+        loads = [self.platform.load_cycles(self.seg_weight(s, e)) for s, e in boundaries]
+        comps = [self.seg_compute(s, e) for s, e in boundaries]
+        b = self.buffers
+        f_load: List[int] = []
+        f_comp: List[int] = []
+        for j in range(len(boundaries)):
+            prev_load = f_load[j - 1] if j >= 1 else 0
+            freed = f_comp[j - b] if j >= b else 0
+            load_finish = max(prev_load, freed) + loads[j]
+            prev_comp = f_comp[j - 1] if j >= 1 else 0
+            f_load.append(load_finish)
+            f_comp.append(max(prev_comp, load_finish) + comps[j])
+        return f_comp[-1]
+
+    def max_compute_section(self, boundaries: Boundaries) -> int:
+        return max(self.seg_compute(s, e) for s, e in boundaries)
+
+    def unit_costs(self) -> List[int]:
+        """Per-layer costs normalized so a part budget maps to ``_SCALE``.
+
+        A part with cost sum <= _SCALE satisfies both the slot byte cap
+        and the compute cap (sum of maxes bounds max of sums).
+        """
+        costs = []
+        for w, c in zip(self.weights, self.computes):
+            cost = -(-w * _SCALE // self.slot_cap) if w else 0
+            if self.compute_cap:
+                cost = max(cost, -(-c * _SCALE // self.compute_cap))
+            costs.append(min(cost, _SCALE))
+        return costs
+
+    def materialize(self, boundaries: Sequence[Tuple[int, int]]) -> SegmentedModel:
+        return SegmentedModel(
+            model=self.model,
+            platform=self.platform,
+            quant=self.quant,
+            boundaries=tuple(boundaries),
+            buffers=self.buffers,
+        )
+
+    def hill_climb(self, boundaries: Boundaries, max_passes: int = 4) -> Boundaries:
+        """Shift boundaries +-1 layer while it reduces exact latency."""
+        best = list(boundaries)
+        best_latency = self.latency(best)
+        for _ in range(max_passes):
+            improved = False
+            for i in range(len(best) - 1):
+                for delta in (-1, 1):
+                    cut = best[i][1] + delta
+                    if not best[i][0] < cut < best[i + 1][1]:
+                        continue
+                    candidate = list(best)
+                    candidate[i] = (best[i][0], cut)
+                    candidate[i + 1] = (cut, best[i + 1][1])
+                    if not self.feasible(candidate):
+                        continue
+                    latency = self.latency(candidate)
+                    if latency < best_latency:
+                        best, best_latency = candidate, latency
+                        improved = True
+            if not improved:
+                break
+        return best
+
+
+def segment_model(
+    model: Model,
+    platform: Platform,
+    boundaries: Sequence[Tuple[int, int]],
+    quant: Quantization = INT8,
+    buffers: int = 2,
+) -> SegmentedModel:
+    """Materialize a segmentation from explicit boundaries."""
+    return SegmentedModel(
+        model=model,
+        platform=platform,
+        quant=quant,
+        boundaries=tuple(boundaries),
+        buffers=buffers,
+    )
+
+
+def _coarsest_boundaries(planner: _Planner) -> Boundaries:
+    """The fewest-segment partition that fits all caps (as boundaries)."""
+    costs = planner.unit_costs()
+    needed = _greedy_parts_needed(costs, _SCALE)
+    assert needed is not None  # individual costs are clamped to _SCALE
+    boundaries = min_max_weight_partition(costs, needed)
+    # The unit-cost partition is sufficient for both caps, but integer
+    # rounding can leave a marginal violation; fall back to finer counts.
+    k = needed
+    n = planner.model.num_layers
+    while not planner.feasible(boundaries) and k < n:
+        k += 1
+        boundaries = min_max_weight_partition(costs, k)
+    if not planner.feasible(boundaries):
+        raise SegmentationError(
+            f"no feasible segmentation for {planner.model.name!r} within "
+            f"{planner.sram_budget} B"
+        )
+    return boundaries
+
+
+def coarsest_feasible_segments(
+    model: Model,
+    platform: Platform,
+    sram_budget: int,
+    quant: Quantization = INT8,
+    buffers: int = 2,
+    max_segment_compute: Optional[int] = None,
+) -> SegmentedModel:
+    """The fewest-segment partition that fits all caps.
+
+    Raises:
+        SegmentationError: if even one-layer-per-segment does not fit the
+            SRAM budget (the compute cap alone never causes failure; see
+            module docstring).
+    """
+    planner = _Planner(model, platform, sram_budget, quant, buffers, max_segment_compute)
+    return planner.materialize(_coarsest_boundaries(planner))
+
+
+def search_segmentation(
+    model: Model,
+    platform: Platform,
+    sram_budget: int,
+    quant: Quantization = INT8,
+    buffers: int = 2,
+    max_segment_compute: Optional[int] = None,
+    max_candidates: int = 10,
+    latency_tolerance: float = 0.02,
+) -> SegmentedModel:
+    """Find a low-latency feasible segmentation (the RT-MDM planner).
+
+    Sweeps segment counts from the coarsest feasible up to layer
+    granularity (at most ``max_candidates`` values, geometrically
+    spaced), builds the min-max unit-cost partition for each, hill-climbs
+    boundaries on exact latency, and returns the candidate with the best
+    latency — near-ties within ``latency_tolerance`` resolved toward the
+    smallest maximum compute section (shorter non-preemptive blocking).
+
+    Raises:
+        SegmentationError: if no segmentation fits ``sram_budget``.
+    """
+    planner = _Planner(model, platform, sram_budget, quant, buffers, max_segment_compute)
+    coarsest = _coarsest_boundaries(planner)
+    n = model.num_layers
+    k_min = len(coarsest)
+    counts = sorted({k_min, n} | set(_geometric_counts(k_min, n, max_candidates)))
+    costs = planner.unit_costs()
+    candidates: List[Tuple[int, int, Boundaries]] = []
+    for k in counts:
+        boundaries = min_max_weight_partition(costs, k)
+        if not planner.feasible(boundaries):
+            continue
+        boundaries = planner.hill_climb(boundaries)
+        candidates.append(
+            (
+                planner.latency(boundaries),
+                planner.max_compute_section(boundaries),
+                boundaries,
+            )
+        )
+    if not candidates:
+        # The coarsest partition is feasible by construction, but keep a
+        # defensive error for future cap combinations.
+        raise SegmentationError(f"no feasible segmentation for {model.name!r}")
+    best_latency = min(latency for latency, _, _ in candidates)
+    threshold = best_latency * (1.0 + latency_tolerance)
+    eligible = [c for c in candidates if c[0] <= threshold]
+    eligible.sort(key=lambda c: (c[1], c[0]))
+    return planner.materialize(eligible[0][2])
+
+
+def _geometric_counts(k_min: int, k_max: int, max_candidates: int) -> List[int]:
+    """Roughly geometrically spaced segment counts in ``[k_min, k_max]``."""
+    if k_min >= k_max:
+        return [k_min]
+    counts = []
+    value = float(k_min)
+    ratio = (k_max / k_min) ** (1.0 / max(1, max_candidates - 1))
+    for _ in range(max_candidates):
+        counts.append(int(round(value)))
+        value *= ratio
+    counts.append(k_max)
+    return [c for c in counts if k_min <= c <= k_max]

@@ -1,0 +1,47 @@
+"""DNN substrate: layer algebra, model graphs, and a TinyML model zoo.
+
+Scheduling DNN inference does not require weights — only the *shape* of
+the computation: how many MACs each layer performs, how many parameter
+bytes it must stage, and how large its activations are.  This package
+provides exactly that:
+
+* :mod:`repro.dnn.layers` — layer types with exact MAC/parameter/activation
+  arithmetic.
+* :mod:`repro.dnn.models` — sequential-with-skips model graphs and their
+  aggregate statistics.
+* :mod:`repro.dnn.zoo` — reimplementations of the standard MLPerf-Tiny
+  class topologies used in multi-DNN MCU evaluations.
+* :mod:`repro.dnn.quantization` — element widths for int8/float32 schemes.
+"""
+
+from repro.dnn.layers import (
+    Add,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    Layer,
+    Pool,
+    Softmax,
+)
+from repro.dnn.models import Model
+from repro.dnn.quantization import FLOAT32, INT8, Quantization
+from repro.dnn.zoo import MODEL_BUILDERS, build_model, list_models
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Dense",
+    "Pool",
+    "Add",
+    "Flatten",
+    "Softmax",
+    "Model",
+    "Quantization",
+    "INT8",
+    "FLOAT32",
+    "MODEL_BUILDERS",
+    "build_model",
+    "list_models",
+]

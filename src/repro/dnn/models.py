@@ -1,0 +1,219 @@
+"""Model graphs: layer chains with optional residual skip connections.
+
+A :class:`Model` is a validated sequence of layers in execution order.
+Residual topologies (ResNet-8, MobileNet-v2 style) are expressed with
+``skips``: the output of layer *p* is kept alive and consumed as the
+second operand of an :class:`~repro.dnn.layers.Add` layer *c* later in the
+chain.  This is sufficient for every TinyML topology in the zoo and keeps
+the activation-liveness analysis exact and simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.dnn.layers import Add, Layer
+from repro.dnn.quantization import Quantization
+
+
+@dataclass(frozen=True)
+class Model:
+    """A DNN model as an ordered chain of layers.
+
+    Attributes:
+        name: Model name for reports.
+        layers: Layers in execution order; layer ``i+1`` consumes the
+            output of layer ``i``.
+        skips: ``(producer, consumer)`` index pairs: the output of
+            ``layers[producer]`` is the second operand of the ``Add``
+            layer at ``layers[consumer]``.
+    """
+
+    name: str
+    layers: Tuple[Layer, ...]
+    skips: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name!r} has no layers")
+        for i in range(1, len(self.layers)):
+            prev, cur = self.layers[i - 1], self.layers[i]
+            if cur.input_shape != prev.output_shape:
+                raise ValueError(
+                    f"model {self.name!r}: layer {i} ({cur.name}) expects input "
+                    f"{cur.input_shape} but layer {i - 1} ({prev.name}) produces "
+                    f"{prev.output_shape}"
+                )
+        for producer, consumer in self.skips:
+            if not 0 <= producer < consumer < len(self.layers):
+                raise ValueError(
+                    f"model {self.name!r}: bad skip ({producer}, {consumer})"
+                )
+            add = self.layers[consumer]
+            if not isinstance(add, Add):
+                raise ValueError(
+                    f"model {self.name!r}: skip consumer {consumer} is "
+                    f"{add.kind}, expected add"
+                )
+            if self.layers[producer].output_shape != add.input_shape:
+                raise ValueError(
+                    f"model {self.name!r}: skip ({producer}, {consumer}) shape "
+                    f"mismatch {self.layers[producer].output_shape} vs {add.input_shape}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def sequential(
+        cls,
+        name: str,
+        layers: Iterable[Layer],
+        skips: Sequence[Tuple[int, int]] = (),
+    ) -> "Model":
+        """Build a model from an iterable of layers."""
+        return cls(name=name, layers=tuple(layers), skips=tuple(skips))
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of layers in the chain."""
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulates of one inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        """Total weight values (excluding biases)."""
+        return sum(layer.param_count for layer in self.layers)
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Shape of the model input tensor."""
+        return self.layers[0].input_shape
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        """Shape of the model output tensor."""
+        return self.layers[-1].output_shape
+
+    def total_param_bytes(self, quant: Quantization) -> int:
+        """Bytes of weights + biases under ``quant``."""
+        return sum(layer.param_bytes(quant) for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    # Activation liveness
+    # ------------------------------------------------------------------
+    def _live_skip_elements(self, layer_index: int) -> int:
+        """Activation values of skip tensors live *during* ``layer_index``.
+
+        A skip tensor produced by layer ``p`` for consumer ``c`` is live
+        while executing layers ``p+1 .. c`` (at ``c`` it is an operand).
+        """
+        total = 0
+        for producer, consumer in self.skips:
+            if producer < layer_index <= consumer:
+                total += self.layers[producer].output_elements
+        return total
+
+    def layer_working_elements(self, layer_index: int) -> int:
+        """Activation values live while executing layer ``layer_index``.
+
+        Input and output buffers coexist (no safe in-place for conv),
+        plus any skip tensors held across this point.
+        """
+        layer = self.layers[layer_index]
+        return (
+            layer.input_elements
+            + layer.output_elements
+            + layer.extra_live_elements
+            + self._live_skip_elements(layer_index)
+        )
+
+    def peak_activation_elements(self) -> int:
+        """Maximum activation working set over all layers."""
+        return max(self.layer_working_elements(i) for i in range(self.num_layers))
+
+    def peak_activation_bytes(self, quant: Quantization) -> int:
+        """Peak activation working set in bytes under ``quant``."""
+        return quant.activation_nbytes(self.peak_activation_elements())
+
+    def summary_rows(self, quant: Quantization) -> List[dict]:
+        """Per-layer rows for reports: kind, shapes, MACs, bytes."""
+        rows = []
+        for i, layer in enumerate(self.layers):
+            rows.append(
+                {
+                    "index": i,
+                    "name": layer.name,
+                    "kind": layer.kind,
+                    "output_shape": layer.output_shape,
+                    "macs": layer.macs,
+                    "param_bytes": layer.param_bytes(quant),
+                    "working_act_bytes": quant.activation_nbytes(
+                        self.layer_working_elements(i)
+                    ),
+                }
+            )
+        return rows
+
+
+def refine_model(
+    model: Model,
+    quant: Quantization,
+    max_chunk_bytes: int,
+    max_chunk_macs: int = 0,
+) -> Model:
+    """Split oversized layers into filter groups.
+
+    This is the granularity-normalization pass RT-MDM runs before
+    segmentation, for two reasons:
+
+    * **staging**: no staged chunk may exceed ``max_chunk_bytes``, else a
+      single huge layer (e.g. a 640x128 dense) would dictate the staging
+      buffer size;
+    * **preemption granularity**: no slice should compute longer than the
+      ``max_chunk_macs`` cap, else a single long kernel becomes a
+      non-preemptive section that blocks urgent tasks (pass 0 to disable).
+
+    Skip-connection indices are remapped (a split producer is represented
+    by its final slice, which emits the full output tensor).  Splitting
+    is capped at the layer's filter count; an unsplittable oversize layer
+    passes through (the analyses then see the long section honestly).
+
+    Args:
+        model: The source model.
+        quant: Quantization (determines per-layer staged bytes).
+        max_chunk_bytes: Upper bound on any single slice's staged bytes.
+        max_chunk_macs: Upper bound on any single slice's MACs (0 = off).
+    """
+    from repro.dnn.layers import SPLITTABLE_KINDS, split_layer
+
+    if max_chunk_bytes <= 0:
+        raise ValueError(f"max_chunk_bytes must be positive, got {max_chunk_bytes}")
+    if max_chunk_macs < 0:
+        raise ValueError(f"max_chunk_macs must be non-negative, got {max_chunk_macs}")
+    new_layers: List[Layer] = []
+    index_map: dict = {}
+    for old_index, layer in enumerate(model.layers):
+        parts = 1
+        if layer.kind in SPLITTABLE_KINDS:
+            parts = -(-layer.param_bytes(quant) // max_chunk_bytes)  # ceil
+            if max_chunk_macs:
+                parts = max(parts, -(-layer.macs // max_chunk_macs))
+        if parts > 1:
+            slices = split_layer(layer, parts)
+        else:
+            slices = [layer]
+        new_layers.extend(slices)
+        index_map[old_index] = len(new_layers) - 1  # final slice emits output
+    new_skips = tuple(
+        (index_map[producer], index_map[consumer]) for producer, consumer in model.skips
+    )
+    return Model(name=model.name, layers=tuple(new_layers), skips=new_skips)

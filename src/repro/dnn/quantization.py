@@ -1,0 +1,50 @@
+"""Quantization schemes: element widths for weights and activations.
+
+Only byte widths matter for scheduling; scale/zero-point bookkeeping is
+irrelevant to timing and is not modelled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Quantization:
+    """Element widths of a deployment format.
+
+    Attributes:
+        name: Scheme name for reports.
+        weight_bytes: Bytes per weight value.
+        activation_bytes: Bytes per activation value.
+        bias_bytes: Bytes per bias value (int8 schemes keep int32 biases).
+    """
+
+    name: str
+    weight_bytes: float
+    activation_bytes: float
+    bias_bytes: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes <= 0 or self.activation_bytes <= 0 or self.bias_bytes <= 0:
+            raise ValueError(f"element widths must be positive in {self}")
+
+    def weight_nbytes(self, count: int) -> int:
+        """Bytes occupied by ``count`` weight values."""
+        return int(math.ceil(count * self.weight_bytes))
+
+    def activation_nbytes(self, count: int) -> int:
+        """Bytes occupied by ``count`` activation values."""
+        return int(math.ceil(count * self.activation_bytes))
+
+    def bias_nbytes(self, count: int) -> int:
+        """Bytes occupied by ``count`` bias values."""
+        return int(math.ceil(count * self.bias_bytes))
+
+
+#: Standard post-training int8 quantization (CMSIS-NN / TFLite-Micro).
+INT8 = Quantization(name="int8", weight_bytes=1.0, activation_bytes=1.0, bias_bytes=4.0)
+
+#: Full-precision float deployment (rare on MCUs, used as a reference).
+FLOAT32 = Quantization(name="float32", weight_bytes=4.0, activation_bytes=4.0, bias_bytes=4.0)

@@ -1,0 +1,452 @@
+"""Model zoo: the TinyML topologies used in multi-DNN MCU evaluations.
+
+These are faithful reimplementations of the standard benchmark topologies
+(MLPerf Tiny and close relatives) at the granularity that matters for
+scheduling: per-layer MACs, parameter bytes and activation footprints.
+
+Adaptations (documented per builder):
+
+* ``resnet8`` uses identity skips with a separate (non-residual)
+  downsampling convolution between stages, because the model graph here
+  expresses projections as chain layers.  Totals differ slightly from the
+  MLPerf reference and are reported exactly as computed.
+* ``mcunet-vww`` is an MBConv (inverted-residual) network in the MCUNet
+  style, with identity skips exactly where stride is 1 and channel counts
+  match — which is when identity residuals apply anyway.
+
+All builders take no arguments and return a validated
+:class:`~repro.dnn.models.Model`; use :func:`build_model` for lookup by
+name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.dnn.layers import (
+    Add,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    Layer,
+    Pool,
+    Softmax,
+)
+from repro.dnn.models import Model
+
+
+def _dw_separable(
+    layers: List[Layer], index: int, out_channels: int, stride: int = 1
+) -> None:
+    """Append a depthwise-separable block (dw3x3 + pw1x1) in place."""
+    prev_shape = layers[-1].output_shape
+    layers.append(
+        DepthwiseConv2D(name=f"dw{index}", input_shape=prev_shape, kernel=3, stride=stride)
+    )
+    layers.append(
+        Conv2D(
+            name=f"pw{index}",
+            input_shape=layers[-1].output_shape,
+            out_channels=out_channels,
+            kernel=1,
+        )
+    )
+
+
+def lenet5() -> Model:
+    """LeNet-5 on 28x28x1 (MNIST-class): the smallest zoo entry."""
+    layers: List[Layer] = [
+        Conv2D(name="c1", input_shape=(28, 28, 1), out_channels=6, kernel=5, padding="valid")
+    ]
+    layers.append(Pool(name="s2", input_shape=layers[-1].output_shape, pool=2))
+    layers.append(
+        Conv2D(
+            name="c3",
+            input_shape=layers[-1].output_shape,
+            out_channels=16,
+            kernel=5,
+            padding="valid",
+        )
+    )
+    layers.append(Pool(name="s4", input_shape=layers[-1].output_shape, pool=2))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="f5", input_shape=layers[-1].output_shape, out_features=120))
+    layers.append(Dense(name="f6", input_shape=layers[-1].output_shape, out_features=84))
+    layers.append(Dense(name="out", input_shape=layers[-1].output_shape, out_features=10))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("lenet5", layers)
+
+
+def tinyconv() -> Model:
+    """The TensorFlow micro-speech "tiny_conv" keyword spotter (49x10 MFCC)."""
+    layers: List[Layer] = [
+        Conv2D(
+            name="conv",
+            input_shape=(49, 10, 1),
+            out_channels=8,
+            kernel=(10, 8),
+            stride=(2, 2),
+        )
+    ]
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=4))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("tinyconv", layers)
+
+
+def ds_cnn() -> Model:
+    """MLPerf-Tiny keyword spotting DS-CNN (49x10 MFCC, 12 classes)."""
+    layers: List[Layer] = [
+        Conv2D(
+            name="conv1",
+            input_shape=(49, 10, 1),
+            out_channels=64,
+            kernel=(10, 4),
+            stride=(2, 2),
+        )
+    ]
+    for i in range(1, 5):
+        _dw_separable(layers, i, out_channels=64)
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=12))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("ds-cnn", layers)
+
+
+def resnet8() -> Model:
+    """ResNet-8-style residual network on 32x32x3 (CIFAR-class).
+
+    Identity-skip adaptation: downsampling happens in dedicated
+    transition convolutions between stages so that every residual skip is
+    an identity (see module docstring).
+    """
+    layers: List[Layer] = [
+        Conv2D(name="stem", input_shape=(32, 32, 3), out_channels=16, kernel=3)
+    ]
+    skips: List[Tuple[int, int]] = []
+
+    def residual_stage(tag: str, channels: int) -> None:
+        producer = len(layers) - 1
+        layers.append(
+            Conv2D(
+                name=f"{tag}a",
+                input_shape=layers[-1].output_shape,
+                out_channels=channels,
+                kernel=3,
+            )
+        )
+        layers.append(
+            Conv2D(
+                name=f"{tag}b",
+                input_shape=layers[-1].output_shape,
+                out_channels=channels,
+                kernel=3,
+            )
+        )
+        layers.append(Add(name=f"{tag}add", input_shape=layers[-1].output_shape))
+        skips.append((producer, len(layers) - 1))
+
+    residual_stage("res1_", 16)
+    layers.append(
+        Conv2D(
+            name="down2",
+            input_shape=layers[-1].output_shape,
+            out_channels=32,
+            kernel=3,
+            stride=2,
+        )
+    )
+    residual_stage("res2_", 32)
+    layers.append(
+        Conv2D(
+            name="down3",
+            input_shape=layers[-1].output_shape,
+            out_channels=64,
+            kernel=3,
+            stride=2,
+        )
+    )
+    residual_stage("res3_", 64)
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=10))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("resnet8", layers, skips)
+
+
+def mobilenet_v1_025() -> Model:
+    """MobileNet-v1 with width 0.25 on 96x96x3 (MLPerf-Tiny visual wake words)."""
+
+    def ch(c: int) -> int:
+        return max(8, c // 4)
+
+    layers: List[Layer] = [
+        Conv2D(name="stem", input_shape=(96, 96, 3), out_channels=ch(32), kernel=3, stride=2)
+    ]
+    plan = [
+        (ch(64), 1),
+        (ch(128), 2),
+        (ch(128), 1),
+        (ch(256), 2),
+        (ch(256), 1),
+        (ch(512), 2),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(1024), 2),
+        (ch(1024), 1),
+    ]
+    for i, (channels, stride) in enumerate(plan, start=1):
+        _dw_separable(layers, i, out_channels=channels, stride=stride)
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=2))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("mobilenet-v1-0.25", layers)
+
+
+def kws_cnn() -> Model:
+    """The classic cnn-trad-fpool3 keyword spotter (Sainath & Parada).
+
+    Two large-kernel convolutions and a small dense head on 49x10 MFCCs;
+    heavier than DS-CNN per inference but a standard KWS baseline.
+    """
+    layers: List[Layer] = [
+        Conv2D(
+            name="conv1",
+            input_shape=(49, 10, 1),
+            out_channels=64,
+            kernel=(20, 8),
+            stride=(1, 1),
+        )
+    ]
+    layers.append(Pool(name="pool1", input_shape=layers[-1].output_shape,
+                       pool=(2, 2)))
+    layers.append(
+        Conv2D(
+            name="conv2",
+            input_shape=layers[-1].output_shape,
+            out_channels=64,
+            kernel=(10, 4),
+        )
+    )
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="lin", input_shape=layers[-1].output_shape,
+                        out_features=32))
+    layers.append(Dense(name="dnn", input_shape=layers[-1].output_shape,
+                        out_features=128))
+    layers.append(Dense(name="out", input_shape=layers[-1].output_shape,
+                        out_features=12))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("kws-cnn", layers)
+
+
+def mobilenet_v1_050() -> Model:
+    """MobileNet-v1 width 0.5 on 128x128x3: the large vision option.
+
+    ~830k int8 parameters — far beyond any preset's SRAM and a heavier
+    companion to the 0.25x variant for external-memory stress tests.
+    """
+
+    def ch(c: int) -> int:
+        return max(8, c // 2)
+
+    layers: List[Layer] = [
+        Conv2D(name="stem", input_shape=(128, 128, 3), out_channels=ch(32),
+               kernel=3, stride=2)
+    ]
+    plan = [
+        (ch(64), 1),
+        (ch(128), 2),
+        (ch(128), 1),
+        (ch(256), 2),
+        (ch(256), 1),
+        (ch(512), 2),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(512), 1),
+        (ch(1024), 2),
+        (ch(1024), 1),
+    ]
+    for i, (channels, stride) in enumerate(plan, start=1):
+        _dw_separable(layers, i, out_channels=channels, stride=stride)
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape,
+                        out_features=10))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("mobilenet-v1-0.5", layers)
+
+
+def autoencoder() -> Model:
+    """MLPerf-Tiny anomaly-detection deep autoencoder (640-d input).
+
+    All-dense: weight-heavy and compute-light, the adversarial case for
+    execute-in-place and the best case for staging.
+    """
+    layers: List[Layer] = []
+    shape: Tuple[int, ...] = (640,)
+    widths = [128, 128, 128, 128, 8, 128, 128, 128, 128, 640]
+    for i, width in enumerate(widths):
+        layers.append(
+            Dense(
+                name=f"fc{i}",
+                input_shape=shape if not layers else layers[-1].output_shape,
+                out_features=width,
+            )
+        )
+    return Model.sequential("autoencoder", layers)
+
+
+def _mbconv(
+    layers: List[Layer],
+    skips: List[Tuple[int, int]],
+    tag: str,
+    out_channels: int,
+    stride: int,
+    expand: int,
+) -> None:
+    """Append an inverted-residual (MBConv) block, with identity skip
+    when stride is 1 and channel counts match."""
+    in_shape = layers[-1].output_shape
+    in_channels = in_shape[2]
+    producer = len(layers) - 1
+    hidden = in_channels * expand
+    if expand != 1:
+        layers.append(
+            Conv2D(name=f"{tag}exp", input_shape=in_shape, out_channels=hidden, kernel=1)
+        )
+    layers.append(
+        DepthwiseConv2D(
+            name=f"{tag}dw", input_shape=layers[-1].output_shape, kernel=3, stride=stride
+        )
+    )
+    layers.append(
+        Conv2D(
+            name=f"{tag}proj",
+            input_shape=layers[-1].output_shape,
+            out_channels=out_channels,
+            kernel=1,
+        )
+    )
+    if stride == 1 and in_channels == out_channels:
+        layers.append(Add(name=f"{tag}add", input_shape=layers[-1].output_shape))
+        skips.append((producer, len(layers) - 1))
+
+
+def mcunet_vww() -> Model:
+    """MCUNet-style inverted-residual network on 144x144x3.
+
+    The large model of the zoo (~600 KiB of int8 weights): cannot run from
+    on-chip memory on any preset MCU, so it exercises the external-memory
+    path end to end.
+    """
+    layers: List[Layer] = [
+        Conv2D(name="stem", input_shape=(144, 144, 3), out_channels=16, kernel=3, stride=2)
+    ]
+    skips: List[Tuple[int, int]] = []
+    _mbconv(layers, skips, "b1_", out_channels=8, stride=1, expand=1)
+    plan = [
+        # (out_channels, stride, expand, repeats)
+        (16, 2, 4, 2),
+        (24, 2, 4, 3),
+        (40, 2, 4, 3),
+        (48, 1, 4, 2),
+        (96, 2, 4, 3),
+        (160, 1, 4, 1),
+    ]
+    block = 2
+    for out_channels, stride, expand, repeats in plan:
+        for r in range(repeats):
+            _mbconv(
+                layers,
+                skips,
+                f"b{block}_",
+                out_channels=out_channels,
+                stride=stride if r == 0 else 1,
+                expand=expand,
+            )
+            block += 1
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=2))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("mcunet-vww", layers, skips)
+
+
+def mobilenet_v2_035() -> Model:
+    """MobileNet-v2 width 0.35 on 96x96x3: a mid-size residual network."""
+
+    def ch(c: int) -> int:
+        scaled = int(c * 0.35)
+        return max(8, (scaled + 4) // 8 * 8)
+
+    layers: List[Layer] = [
+        Conv2D(name="stem", input_shape=(96, 96, 3), out_channels=ch(32), kernel=3, stride=2)
+    ]
+    skips: List[Tuple[int, int]] = []
+    _mbconv(layers, skips, "b1_", out_channels=ch(16), stride=1, expand=1)
+    plan = [
+        (ch(24), 2, 6, 2),
+        (ch(32), 2, 6, 3),
+        (ch(64), 2, 6, 4),
+        (ch(96), 1, 6, 3),
+        (ch(160), 2, 6, 3),
+        (ch(320), 1, 6, 1),
+    ]
+    block = 2
+    for out_channels, stride, expand, repeats in plan:
+        for r in range(repeats):
+            _mbconv(
+                layers,
+                skips,
+                f"b{block}_",
+                out_channels=out_channels,
+                stride=stride if r == 0 else 1,
+                expand=expand,
+            )
+            block += 1
+    layers.append(
+        Conv2D(
+            name="head", input_shape=layers[-1].output_shape, out_channels=ch(1280), kernel=1
+        )
+    )
+    layers.append(Pool(name="gap", input_shape=layers[-1].output_shape, mode="global"))
+    layers.append(Flatten(name="flat", input_shape=layers[-1].output_shape))
+    layers.append(Dense(name="fc", input_shape=layers[-1].output_shape, out_features=2))
+    layers.append(Softmax(name="softmax", input_shape=layers[-1].output_shape))
+    return Model.sequential("mobilenet-v2-0.35", layers, skips)
+
+
+MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
+    "lenet5": lenet5,
+    "tinyconv": tinyconv,
+    "ds-cnn": ds_cnn,
+    "kws-cnn": kws_cnn,
+    "resnet8": resnet8,
+    "mobilenet-v1-0.25": mobilenet_v1_025,
+    "mobilenet-v1-0.5": mobilenet_v1_050,
+    "autoencoder": autoencoder,
+    "mcunet-vww": mcunet_vww,
+    "mobilenet-v2-0.35": mobilenet_v2_035,
+}
+
+
+def list_models() -> List[str]:
+    """Names of all zoo models."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> Model:
+    """Build a zoo model by name, with a helpful error on typos."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}") from None
+    return builder()

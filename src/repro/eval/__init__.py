@@ -1,0 +1,27 @@
+"""Evaluation harness: experiment drivers, metrics and text reports.
+
+Each reconstructed table/figure (see DESIGN.md section 4) has a driver
+``exp_*`` in :mod:`repro.eval.experiments` returning an
+:class:`~repro.eval.reporting.ExperimentResult`, which
+:func:`~repro.eval.reporting.render` turns into the row/series text the
+paper's table or figure would contain.
+"""
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.plots import ascii_plot
+from repro.eval.reporting import ExperimentResult, render
+from repro.eval.systems import SYSTEMS, admit, derive_taskset
+from repro.eval.validation import ValidationReport, validate
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "render",
+    "SYSTEMS",
+    "derive_taskset",
+    "admit",
+    "ascii_plot",
+    "validate",
+    "ValidationReport",
+]

@@ -1,0 +1,939 @@
+"""Experiment drivers: one per reconstructed table/figure (DESIGN.md §4).
+
+Every driver is deterministic given its ``seed`` and returns an
+:class:`~repro.eval.reporting.ExperimentResult` whose rows are the series
+the corresponding paper table/figure would plot.  ``scale`` shrinks or
+grows sample counts (benchmarks use modest scales so the suite stays
+fast; pass ``scale=4`` or more for paper-quality curves).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import METHODS, analyze
+from repro.core.framework import RtMdm
+from repro.core.pipeline import isolated_latency, sequential_latency
+from repro.core.segmentation import (
+    SegmentationError,
+    min_max_weight_partition,
+    search_segmentation,
+    segment_model,
+)
+from repro.dnn.models import refine_model
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model, list_models
+from repro.eval.metrics import (
+    miss_ratio,
+    quantiles,
+    schedulability_ratio,
+    tightness_ratios,
+)
+from repro.eval.reporting import ExperimentResult
+from repro.eval.systems import SYSTEMS, admit, derive_taskset
+from repro.hw.dma import DmaArbitration
+from repro.hw.presets import PLATFORMS, get_platform
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.workload.scenarios import get_scenario
+from repro.workload.taskset import generate_case
+
+KIB = 1024
+
+
+def _stable_seed(*parts) -> int:
+    """Deterministic seed from mixed parts (``hash()`` of strings is
+    randomized per process and must never seed an experiment)."""
+    text = "|".join(repr(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+# ----------------------------------------------------------------------
+# EXP-T1 / EXP-T2: workload and platform characterization tables
+# ----------------------------------------------------------------------
+
+
+def exp_t1_model_zoo(platform_key: str = "f746-qspi", **_) -> ExperimentResult:
+    """Model zoo characteristics and their SRAM deficit on the platform."""
+    platform = get_platform(platform_key)
+    rows = []
+    for name in list_models():
+        model = build_model(name)
+        weights = model.total_param_bytes(INT8)
+        act = model.peak_activation_bytes(INT8)
+        deficit = weights + act - platform.usable_sram_bytes
+        rows.append(
+            (
+                name,
+                model.num_layers,
+                round(model.total_macs / 1e6, 2),
+                round(weights / KIB, 1),
+                round(act / KIB, 1),
+                round(max(0, deficit) / KIB, 1),
+                weights + act > platform.usable_sram_bytes,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-T1",
+        title=f"Model zoo on {platform.name}",
+        columns=(
+            "model",
+            "layers",
+            "MMACs",
+            "weights_KiB",
+            "peak_act_KiB",
+            "sram_deficit_KiB",
+            "needs_ext_mem",
+        ),
+        rows=tuple(rows),
+        notes="deficit = weights + activations - usable SRAM; any deficit forces staging",
+    )
+
+
+def exp_t2_platforms(**_) -> ExperimentResult:
+    """Platform presets and their load/compute balance point."""
+    rows = []
+    for key, platform in sorted(PLATFORMS.items()):
+        mcu, mem = platform.mcu, platform.memory
+        load_100k = platform.load_cycles(100 * KIB)
+        rows.append(
+            (
+                key,
+                mcu.name,
+                round(mcu.clock_hz / 1e6),
+                round(mcu.usable_sram_bytes / KIB),
+                mem.name,
+                round(mem.read_bandwidth_bps / 1e6, 1),
+                round(platform.balance_bytes_per_cycle(), 3),
+                round(mcu.cycles_to_ms(load_100k), 2),
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-T2",
+        title="Platform presets",
+        columns=(
+            "key",
+            "mcu",
+            "MHz",
+            "sram_KiB",
+            "ext_mem",
+            "MB/s",
+            "bytes_per_cycle",
+            "load_100KiB_ms",
+        ),
+        rows=tuple(rows),
+        notes="bytes_per_cycle above a segment's weight-bytes/compute-cycles ratio means compute-bound",
+    )
+
+
+# ----------------------------------------------------------------------
+# EXP-F3: single-DNN isolated latency per execution strategy
+# ----------------------------------------------------------------------
+
+
+def exp_f3_single_dnn_latency(
+    platform_key: str = "f746-qspi", **_
+) -> ExperimentResult:
+    """Isolated inference latency of each strategy, per model."""
+    platform = get_platform(platform_key)
+    budget = platform.usable_sram_bytes
+    rows = []
+    for name in list_models():
+        model = refine_model(build_model(name), INT8, max(2048, budget // 8))
+        try:
+            seg = search_segmentation(model, platform, budget, quant=INT8, buffers=2)
+        except SegmentationError:
+            continue
+        segments = seg.segments()
+        pipelined = isolated_latency(segments, buffers=2)
+        single_buf = isolated_latency(segments, buffers=1)
+        sequential = sequential_latency(segments)
+        xip = sum(platform.xip_cycles(layer, 1.0) for layer in model.layers)
+        ms = platform.mcu.cycles_to_ms
+        rows.append(
+            (
+                name,
+                round(ms(pipelined), 2),
+                round(ms(single_buf), 2),
+                round(ms(sequential), 2),
+                round(ms(xip), 2),
+                round(sequential / pipelined, 2),
+                round(xip / pipelined, 2),
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F3",
+        title=f"Single-DNN isolated latency on {get_platform(platform_key).name} (ms)",
+        columns=(
+            "model",
+            "rtmdm_ms",
+            "single_buf_ms",
+            "sequential_ms",
+            "xip_ms",
+            "seq/rtmdm",
+            "xip/rtmdm",
+        ),
+        rows=tuple(rows),
+        notes="rtmdm = double-buffered pipeline; speedup columns are vs RT-MDM",
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedulability sweeps (EXP-F4/F5/F6)
+# ----------------------------------------------------------------------
+
+
+def _sched_sweep(
+    platforms: Sequence,
+    x_values: Sequence,
+    x_label: str,
+    total_utils: Sequence[float],
+    n_sets: int,
+    seed: int,
+    systems: Sequence[str] = SYSTEMS,
+) -> List[Tuple]:
+    """Shared machinery: schedulability ratio of each system per x value.
+
+    Draws are **paired across x values**: set index ``i`` uses the same
+    seed at every sweep point, so when only the platform varies (SRAM or
+    bandwidth sweeps) each point evaluates the *same* workloads and the
+    curves are directly comparable.
+    """
+    verdicts: Dict[object, Dict[str, List[bool]]] = {
+        x: {s: [] for s in systems} for x in x_values
+    }
+    for index in range(n_sets):
+        for x, platform, util in zip(x_values, platforms, total_utils):
+            rng = random.Random(_stable_seed(seed, x_label, index))
+            case = generate_case(platform, util, rng)
+            for system in systems:
+                verdicts[x][system].append(admit(system, case))
+    rows = []
+    for x in x_values:
+        rows.append(
+            (x, *(round(schedulability_ratio(verdicts[x][s]), 3) for s in systems))
+        )
+    return rows
+
+
+def exp_f4_sched_vs_util(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    n_sets: int = 40,
+    seed: int = 2024,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Schedulability ratio vs total CPU utilization."""
+    platform = get_platform(platform_key)
+    n = max(4, int(n_sets * scale))
+    rows = _sched_sweep(
+        platforms=[platform] * len(utils),
+        x_values=list(utils),
+        x_label="util",
+        total_utils=list(utils),
+        n_sets=n,
+        seed=seed,
+    )
+    return ExperimentResult(
+        exp_id="EXP-F4",
+        title=f"Schedulability ratio vs utilization on {platform.name} ({n} sets/point)",
+        columns=("util", *SYSTEMS),
+        rows=tuple(rows),
+        notes="admission by each system's offline analysis; DM priorities throughout",
+    )
+
+
+def exp_f5_sched_vs_sram(
+    platform_key: str = "f746-qspi",
+    sram_kib: Sequence[int] = (64, 96, 128, 192, 256, 320, 448),
+    util: float = 0.5,
+    n_sets: int = 40,
+    seed: int = 2025,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Schedulability ratio vs SRAM size at fixed utilization."""
+    base = get_platform(platform_key)
+    platforms = [base.with_sram_bytes(k * KIB) for k in sram_kib]
+    n = max(4, int(n_sets * scale))
+    rows = _sched_sweep(
+        platforms=platforms,
+        x_values=list(sram_kib),
+        x_label="sram",
+        total_utils=[util] * len(sram_kib),
+        n_sets=n,
+        seed=seed,
+    )
+    return ExperimentResult(
+        exp_id="EXP-F5",
+        title=f"Schedulability ratio vs SRAM (KiB) at U={util} ({n} sets/point)",
+        columns=("sram_kib", *SYSTEMS),
+        rows=tuple(rows),
+        notes="XIP needs no staging buffers, so it flattens at low SRAM where staging systems die",
+    )
+
+
+def exp_f6_sched_vs_bandwidth(
+    platform_key: str = "f746-qspi",
+    factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    util: float = 0.5,
+    n_sets: int = 40,
+    seed: int = 2026,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Schedulability ratio vs external-memory bandwidth scaling."""
+    base = get_platform(platform_key)
+    platforms = [base.with_bandwidth_factor(f) for f in factors]
+    n = max(4, int(n_sets * scale))
+    rows = _sched_sweep(
+        platforms=platforms,
+        x_values=list(factors),
+        x_label="bw",
+        total_utils=[util] * len(factors),
+        n_sets=n,
+        seed=seed,
+    )
+    return ExperimentResult(
+        exp_id="EXP-F6",
+        title=f"Schedulability ratio vs bandwidth factor at U={util} ({n} sets/point)",
+        columns=("bw_factor", *SYSTEMS),
+        rows=tuple(rows),
+        notes="factor 1.0 = 48 MB/s QSPI; at high bandwidth overlap matters less",
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulation experiments (EXP-F7/F8)
+# ----------------------------------------------------------------------
+
+
+#: Soft budget on simulator events per run; keeps sweeps tractable when a
+#: drawn set pairs second-long periods with millisecond ones.
+_EVENT_BUDGET = 60_000
+
+
+def _simulate_case(taskset, horizon_jobs: int, phases_rng: Optional[random.Random],
+                   arbitration: DmaArbitration = DmaArbitration.PRIORITY):
+    max_period = max(t.period for t in taskset)
+    if phases_rng is not None:
+        taskset = taskset.with_phases(
+            [phases_rng.randrange(t.period) for t in taskset]
+        )
+    # Events per cycle: ~4 per segment per job (release/load/compute/done).
+    density = sum(4 * t.num_segments / t.period for t in taskset)
+    horizon = min(horizon_jobs * max_period, int(_EVENT_BUDGET / density))
+    horizon = max(horizon, 2 * max_period)
+    config = SimConfig(
+        policy=CpuPolicy.FP_NP,
+        dma_arbitration=arbitration,
+        horizon=horizon,
+    )
+    return simulate(taskset, config)
+
+
+def exp_f7_miss_ratio(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+    n_sets: int = 10,
+    n_phasings: int = 3,
+    seed: int = 2027,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Empirical deadline-miss ratio in simulation vs utilization."""
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    rows = []
+    systems = ("rtmdm", "single-buffer", "sequential", "np-whole", "xip")
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        totals: Dict[str, List[float]] = {s: [] for s in systems}
+        admitted_missed = 0
+        for _ in range(n):
+            case = generate_case(platform, util, rng)
+            if not case.feasible:
+                continue
+            for system in systems:
+                taskset, method = derive_taskset(system, case)
+                admitted = analyze(taskset, method).schedulable
+                for p in range(n_phasings):
+                    prng = random.Random(_stable_seed(seed, util, system, p))
+                    result = _simulate_case(taskset, horizon_jobs=20, phases_rng=prng)
+                    totals[system].append(miss_ratio(result))
+                    if system == "rtmdm" and admitted and result.total_misses:
+                        admitted_missed += 1
+        row = [util]
+        for system in systems:
+            values = totals[system]
+            row.append(round(sum(values) / len(values), 4) if values else None)
+        row.append(admitted_missed)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        exp_id="EXP-F7",
+        title=f"Simulated deadline-miss ratio vs utilization ({n} sets x {n_phasings} phasings)",
+        columns=("util", *systems, "rtmdm_admitted_misses"),
+        rows=tuple(rows),
+        notes="last column must be 0: sets admitted by RT-MDM's analysis never miss in simulation",
+    )
+
+
+def exp_f8_tightness(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.3, 0.4, 0.5, 0.6),
+    n_sets: int = 15,
+    seed: int = 2028,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Analysis tightness: observed worst response / analytic bound."""
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    ratios_by_method: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        for _ in range(n):
+            case = generate_case(platform, util, rng)
+            if not case.feasible:
+                continue
+            for method in METHODS:
+                result = analyze(case.taskset, method)
+                if not result.schedulable:
+                    continue
+                sim = _simulate_case(
+                    case.taskset, horizon_jobs=30,
+                    phases_rng=random.Random(_stable_seed(seed, util, method)),
+                )
+                ratios_by_method[method].extend(
+                    tightness_ratios(sim, result.wcrt)
+                )
+    rows = []
+    for method in METHODS:
+        values = ratios_by_method[method]
+        q = quantiles(values, (0.5, 0.9, 1.0))
+        rows.append(
+            (
+                method,
+                len(values),
+                round(q[0], 3) if q[0] is not None else None,
+                round(q[1], 3) if q[1] is not None else None,
+                round(q[2], 3) if q[2] is not None else None,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F8",
+        title="Analysis tightness: simulated max response / analytic bound",
+        columns=("analysis", "samples", "p50", "p90", "max"),
+        rows=tuple(rows),
+        notes="max must stay <= 1.0 (safety); higher p50 = tighter analysis",
+    )
+
+
+# ----------------------------------------------------------------------
+# EXP-T3: case study
+# ----------------------------------------------------------------------
+
+
+def exp_t3_case_study(scenario: str = "doorbell", **_) -> ExperimentResult:
+    """The multi-DNN case study: plan, bounds, and simulated maxima."""
+    scn = get_scenario(scenario)
+    platform = get_platform(scn.platform_key)
+    rt = RtMdm(platform)
+    for spec in scn.specs():
+        rt.add_task(spec.name, spec.model, spec.period_s, spec.deadline_s)
+    config = rt.configure()
+    if not config.feasible:
+        raise RuntimeError(f"case study infeasible: {config.infeasible_reason}")
+    sim = config.simulate()
+    ms = platform.mcu.cycles_to_ms
+    rows = []
+    for row in config.report_rows():
+        observed = sim.max_response(row["task"])
+        rows.append(
+            (
+                row["task"],
+                row["model"],
+                row["priority"],
+                round(row["period_ms"], 1),
+                row["segments"],
+                round(row["sram_kib"], 1),
+                round(row["latency_ms"], 2),
+                round(row["wcrt_ms"], 2) if row["wcrt_ms"] is not None else None,
+                round(ms(observed), 2) if observed is not None else None,
+                row["admitted"] and sim.stats[row["task"]].misses == 0,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-T3",
+        title=f"Case study '{scenario}' on {platform.name}",
+        columns=(
+            "task",
+            "model",
+            "prio",
+            "period_ms",
+            "segs",
+            "sram_KiB",
+            "latency_ms",
+            "wcrt_ms",
+            "sim_max_ms",
+            "deadline_met",
+        ),
+        rows=tuple(rows),
+        notes=f"{scn.description}; all deadlines met and bounds respected",
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (EXP-F9/F10/F11)
+# ----------------------------------------------------------------------
+
+
+def exp_f9_granularity(
+    platform_key: str = "f746-qspi",
+    model_name: str = "mobilenet-v1-0.25",
+    **_,
+) -> ExperimentResult:
+    """Segment-count sweep: latency and buffer cost vs granularity."""
+    platform = get_platform(platform_key)
+    model = refine_model(
+        build_model(model_name), INT8, max(2048, platform.usable_sram_bytes // 8)
+    )
+    weights = [layer.param_bytes(INT8) for layer in model.layers]
+    act = model.peak_activation_bytes(INT8)
+    ms = platform.mcu.cycles_to_ms
+    rows = []
+    n = model.num_layers
+    counts = sorted({1, 2, 3, 4, 6, 8, 12, 16, 24, n} & set(range(1, n + 1)))
+    for k in counts:
+        boundaries = min_max_weight_partition(weights, k)
+        seg = segment_model(model, platform, boundaries, INT8, buffers=2)
+        segments = seg.segments()
+        rows.append(
+            (
+                k,
+                round((2 * seg.max_segment_weight_bytes + act) / KIB, 1),
+                round(ms(isolated_latency(segments, 2)), 2),
+                round(ms(sequential_latency(segments)), 2),
+                round(ms(sum(s.load_cycles for s in segments)), 2),
+                round(ms(max(s.compute_cycles for s in segments)), 2),
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F9",
+        title=f"Granularity sweep for {model_name} on {platform.name}",
+        columns=(
+            "segments",
+            "sram_need_KiB",
+            "pipelined_ms",
+            "sequential_ms",
+            "total_load_ms",
+            "max_np_section_ms",
+        ),
+        rows=tuple(rows),
+        notes="finer segments shrink buffers and NP blocking but add per-transfer setup",
+    )
+
+
+def exp_f10_dma_policy(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.4, 0.6, 0.8),
+    n_sets: int = 8,
+    seed: int = 2030,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """DMA arbitration ablation: priority queue vs FIFO queue."""
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    rows = []
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        deltas = []
+        prio_miss, fifo_miss = [], []
+        for _ in range(n):
+            case = generate_case(platform, util, rng)
+            if not case.feasible:
+                continue
+            for arb, sink in (
+                (DmaArbitration.PRIORITY, prio_miss),
+                (DmaArbitration.FIFO, fifo_miss),
+            ):
+                result = _simulate_case(
+                    case.taskset, horizon_jobs=20, phases_rng=None, arbitration=arb
+                )
+                sink.append(miss_ratio(result))
+            # Response-time impact on the highest-priority task.
+            top = case.taskset.sorted_by_priority()[0].name
+            rp = _simulate_case(case.taskset, 20, None, DmaArbitration.PRIORITY)
+            rf = _simulate_case(case.taskset, 20, None, DmaArbitration.FIFO)
+            if rp.max_response(top) and rf.max_response(top):
+                deltas.append(rf.max_response(top) / rp.max_response(top))
+        rows.append(
+            (
+                util,
+                round(sum(prio_miss) / len(prio_miss), 4) if prio_miss else None,
+                round(sum(fifo_miss) / len(fifo_miss), 4) if fifo_miss else None,
+                round(sum(deltas) / len(deltas), 3) if deltas else None,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F10",
+        title="DMA arbitration: FIFO vs priority queue",
+        columns=("util", "miss_ratio_priority", "miss_ratio_fifo", "top_task_R_fifo/prio"),
+        rows=tuple(rows),
+        notes="FIFO lets low-priority transfers delay urgent loads; analysis assumes priority",
+    )
+
+
+def exp_f11_buffering(
+    platform_key: str = "f746-qspi",
+    util: float = 0.5,
+    n_sets: int = 30,
+    seed: int = 2031,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Buffer-depth ablation: latency and schedulability for b = 1, 2, 3."""
+    platform = get_platform(platform_key)
+    ms = platform.mcu.cycles_to_ms
+    rows = []
+    # Part 1: per-model isolated latency by buffer depth.
+    for name in ("ds-cnn", "autoencoder", "mobilenet-v1-0.25", "resnet8"):
+        model = refine_model(
+            build_model(name), INT8, max(2048, platform.usable_sram_bytes // 12)
+        )
+        lat = {}
+        sram = {}
+        for b in (1, 2, 3):
+            try:
+                seg = search_segmentation(
+                    model, platform, platform.usable_sram_bytes, quant=INT8, buffers=b
+                )
+            except SegmentationError:
+                lat[b], sram[b] = None, None
+                continue
+            lat[b] = round(ms(seg.isolated_latency()), 2)
+            sram[b] = round(seg.sram_need_bytes() / KIB, 1)
+        rows.append((name, lat[1], lat[2], lat[3], sram[1], sram[2], sram[3]))
+    # Part 2: schedulability at the target utilization by buffer depth.
+    # The same drawn workloads are planned at each depth (the draw
+    # consumes the rng before `buffers` is used, so seeding per set index
+    # gives identical models/utilizations across depths).
+    n = max(4, int(n_sets * scale))
+    verdicts: Dict[int, List[bool]] = {1: [], 2: [], 3: []}
+    for index in range(n):
+        for b in (1, 2, 3):
+            rng = random.Random(seed * 1000 + index)
+            case = generate_case(platform, util, rng, buffers=b)
+            verdicts[b].append(
+                case.feasible and analyze(case.taskset, "rtmdm").schedulable
+            )
+    sched = {b: round(schedulability_ratio(verdicts[b]), 3) for b in (1, 2, 3)}
+    rows.append(
+        (f"sched@U={util}", sched[1], sched[2], sched[3], None, None, None)
+    )
+    return ExperimentResult(
+        exp_id="EXP-F11",
+        title="Buffer-depth ablation (latency ms / SRAM KiB / schedulability)",
+        columns=("model", "b=1", "b=2", "b=3", "sram_b1", "sram_b2", "sram_b3"),
+        rows=tuple(rows),
+        notes="b=1 disables overlap; b=3 rarely helps but costs a third slot",
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "EXP-T1": exp_t1_model_zoo,
+    "EXP-T2": exp_t2_platforms,
+    "EXP-F3": exp_f3_single_dnn_latency,
+    "EXP-F4": exp_f4_sched_vs_util,
+    "EXP-F5": exp_f5_sched_vs_sram,
+    "EXP-F6": exp_f6_sched_vs_bandwidth,
+    "EXP-F7": exp_f7_miss_ratio,
+    "EXP-F8": exp_f8_tightness,
+    "EXP-T3": exp_t3_case_study,
+    "EXP-F9": exp_f9_granularity,
+    "EXP-F10": exp_f10_dma_policy,
+    "EXP-F11": exp_f11_buffering,
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id, with a helpful error on typos."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Extension experiments (EXP-F12/F13/F14)
+# ----------------------------------------------------------------------
+
+
+def exp_f12_fp_vs_edf(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+    n_sets: int = 20,
+    seed: int = 2032,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Fixed-priority vs EDF at segment granularity.
+
+    Offline: RT-MDM's FP analysis vs the conservative EDF demand test.
+    Online: empirical miss ratios of both policies on the same draws.
+    """
+    from repro.core.edf import edf_schedulable
+
+    platform = get_platform(platform_key)
+    n = max(4, int(n_sets * scale))
+    rows = []
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        fp_admit, edf_admit = [], []
+        fp_miss, edf_miss = [], []
+        for _ in range(n):
+            case = generate_case(platform, util, rng)
+            if not case.feasible:
+                fp_admit.append(False)
+                edf_admit.append(False)
+                continue
+            fp_admit.append(analyze(case.taskset, "rtmdm").schedulable)
+            edf_admit.append(edf_schedulable(case.taskset))
+            for policy, sink in (
+                (CpuPolicy.FP_NP, fp_miss),
+                (CpuPolicy.EDF_NP, edf_miss),
+            ):
+                density = sum(4 * t.num_segments / t.period for t in case.taskset)
+                horizon = max(
+                    2 * max(t.period for t in case.taskset),
+                    min(
+                        15 * max(t.period for t in case.taskset),
+                        int(_EVENT_BUDGET / density),
+                    ),
+                )
+                result = simulate(
+                    case.taskset,
+                    SimConfig(policy=policy, horizon=horizon),
+                )
+                sink.append(miss_ratio(result))
+        rows.append(
+            (
+                util,
+                round(schedulability_ratio(fp_admit), 3),
+                round(schedulability_ratio(edf_admit), 3),
+                round(sum(fp_miss) / len(fp_miss), 4) if fp_miss else None,
+                round(sum(edf_miss) / len(edf_miss), 4) if edf_miss else None,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F12",
+        title="FP vs EDF at segment granularity (admission and simulated misses)",
+        columns=("util", "fp_admit", "edf_admit", "fp_sim_miss", "edf_sim_miss"),
+        rows=tuple(rows),
+        notes="EDF admission uses the conservative folded-blocking demand test",
+    )
+
+
+def exp_f13_flash_placement(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.3, 0.5, 0.7),
+    n_sets: int = 15,
+    seed: int = 2033,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Internal-flash weight placement on vs off.
+
+    Placing small/hot models in internal flash removes their staging
+    traffic and SRAM slots, improving everyone's admission.
+    """
+    from repro.dnn.zoo import build_model as _build
+
+    platform = get_platform(platform_key)
+    pool = ("tinyconv", "lenet5", "ds-cnn", "autoencoder", "resnet8",
+            "mobilenet-v1-0.25")
+    n = max(4, int(n_sets * scale))
+    rows = []
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        admitted = {False: 0, True: 0}
+        flash_used_kib = []
+        for _ in range(n):
+            k = rng.randint(3, 5)
+            names = [rng.choice(pool) for _ in range(k)]
+            models = [_build(name) for name in names]
+            shares = [rng.uniform(0.5, 1.5) for _ in range(k)]
+            total_share = sum(shares)
+            specs = []
+            for i, model in enumerate(models):
+                compute = sum(
+                    platform.compute_cycles(layer, 1.0) for layer in model.layers
+                )
+                u_i = util * shares[i] / total_share
+                period_s = platform.mcu.cycles_to_seconds(round(compute / u_i))
+                specs.append((f"t{i}", model, max(1e-3, period_s)))
+            for use_flash in (False, True):
+                rt = RtMdm(platform, use_internal_flash=use_flash)
+                for name, model, period_s in specs:
+                    rt.add_task(name, model, period_s)
+                config = rt.configure()
+                admitted[use_flash] += config.admitted
+                if use_flash and config.placement is not None:
+                    flash_used_kib.append(config.placement.flash_used / KIB)
+        rows.append(
+            (
+                util,
+                round(admitted[False] / n, 3),
+                round(admitted[True] / n, 3),
+                round(sum(flash_used_kib) / len(flash_used_kib), 1)
+                if flash_used_kib
+                else None,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F13",
+        title="Schedulability with internal-flash weight placement",
+        columns=("util", "external_only", "with_flash_placement", "avg_flash_KiB"),
+        rows=tuple(rows),
+        notes="flash budget = internal flash minus a 256 KiB code reserve",
+    )
+
+
+def exp_f14_energy(
+    platform_key: str = "f746-qspi", **_
+) -> ExperimentResult:
+    """Energy per inference by execution strategy (extension).
+
+    Staging pays the external bus once per inference and lets the CPU
+    race to idle; XIP re-fetches every weight through the slow bus while
+    the CPU burns active power waiting.
+    """
+    from repro.baselines import sequentialize, xip_task
+    from repro.core.segmentation import search_segmentation as _search
+    from repro.hw.energy import energy_per_inference_mj
+
+    platform = get_platform(platform_key)
+    rows = []
+    for name in ("tinyconv", "lenet5", "ds-cnn", "autoencoder",
+                 "mobilenet-v1-0.25", "resnet8"):
+        model = refine_model(
+            build_model(name), INT8, max(2048, platform.usable_sram_bytes // 8)
+        )
+        try:
+            seg = _search(model, platform, platform.usable_sram_bytes, INT8, 2)
+        except SegmentationError:
+            continue
+        period = 4 * isolated_latency(seg.segments(), 2)
+        variants = {
+            "rtmdm": seg.to_task(period=period, name=name),
+            "sequential": sequentialize(seg.to_task(period=period, name=name)),
+            "xip": xip_task(name, model, platform, period=4 * sum(
+                platform.xip_cycles(layer, 1.0) for layer in model.layers
+            )),
+        }
+        energies = {}
+        for label, task in variants.items():
+            from repro.sched.task import TaskSet as _TaskSet
+
+            taskset = _TaskSet.of([task])
+            result = simulate(
+                taskset, SimConfig(policy=CpuPolicy.FP_NP, horizon=20 * task.period)
+            )
+            energies[label] = energy_per_inference_mj(result, taskset, platform)
+        rows.append(
+            (
+                name,
+                round(energies["rtmdm"], 3),
+                round(energies["sequential"], 3),
+                round(energies["xip"], 3),
+                round(energies["xip"] / energies["rtmdm"], 2),
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F14",
+        title=f"Energy per inference on {get_platform(platform_key).name} (mJ)",
+        columns=("model", "rtmdm_mJ", "sequential_mJ", "xip_mJ", "xip/rtmdm"),
+        rows=tuple(rows),
+        notes="marginal (above-idle) energy; coefficients in repro.hw.energy",
+    )
+
+
+EXPERIMENTS["EXP-F12"] = exp_f12_fp_vs_edf
+EXPERIMENTS["EXP-F13"] = exp_f13_flash_placement
+EXPERIMENTS["EXP-F14"] = exp_f14_energy
+
+
+def exp_f15_dma_channels(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.4, 0.6, 0.8),
+    n_sets: int = 8,
+    seed: int = 2034,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Single vs dual DMA channel ablation (extension).
+
+    A second channel lets two tasks' transfers proceed in parallel; the
+    single-channel analysis stays a valid (conservative) bound.  Gains
+    concentrate on load-heavy workloads over slow memories.
+    """
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    rows = []
+    for util in utils:
+        rng = random.Random(seed * 1000 + int(util * 100))
+        ratios = []
+        miss1, miss2 = [], []
+        for _ in range(n):
+            case = generate_case(platform, util, rng)
+            if not case.feasible:
+                continue
+            taskset = case.taskset
+            density = sum(4 * t.num_segments / t.period for t in taskset)
+            horizon = max(
+                2 * max(t.period for t in taskset),
+                min(15 * max(t.period for t in taskset),
+                    int(_EVENT_BUDGET / density)),
+            )
+            results = {}
+            for channels in (1, 2):
+                results[channels] = simulate(
+                    taskset,
+                    SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon,
+                              dma_channels=channels),
+                )
+            miss1.append(miss_ratio(results[1]))
+            miss2.append(miss_ratio(results[2]))
+            for task in taskset:
+                r1 = results[1].max_response(task.name)
+                r2 = results[2].max_response(task.name)
+                if r1 and r2:
+                    ratios.append(r2 / r1)
+        rows.append(
+            (
+                util,
+                round(sum(miss1) / len(miss1), 4) if miss1 else None,
+                round(sum(miss2) / len(miss2), 4) if miss2 else None,
+                round(sum(ratios) / len(ratios), 3) if ratios else None,
+            )
+        )
+    return ExperimentResult(
+        exp_id="EXP-F15",
+        title="DMA channel count: 1 vs 2 (simulated)",
+        columns=("util", "miss_1ch", "miss_2ch", "avg_R_2ch/1ch"),
+        rows=tuple(rows),
+        notes="response ratios below 1.0 = the second channel helps",
+    )
+
+
+EXPERIMENTS["EXP-F15"] = exp_f15_dma_channels

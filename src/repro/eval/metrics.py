@@ -1,0 +1,60 @@
+"""Evaluation metrics: schedulability ratios, miss ratios, tightness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sched.simulator import SimResult
+
+
+def schedulability_ratio(verdicts: Sequence[bool]) -> float:
+    """Fraction of task sets admitted."""
+    if not verdicts:
+        raise ValueError("verdicts must be non-empty")
+    return sum(verdicts) / len(verdicts)
+
+
+def miss_ratio(result: SimResult) -> float:
+    """Fraction of released jobs that missed (or never finished)."""
+    released = sum(s.jobs for s in result.stats.values())
+    if released == 0:
+        return 0.0
+    return result.total_misses / released
+
+
+def tightness_ratios(
+    result: SimResult, bounds: Dict[str, Optional[int]]
+) -> List[float]:
+    """Per-task ``observed_max / analytic_bound`` ratios.
+
+    Only tasks with a bound and at least one finished job contribute.
+    Values must be <= 1.0 for a safe analysis (property-tested).
+    """
+    ratios = []
+    for name, stats in result.stats.items():
+        bound = bounds.get(name)
+        observed = stats.max_response
+        if bound and observed is not None:
+            ratios.append(observed / bound)
+    return ratios
+
+
+def quantiles(values: Sequence[float], points: Sequence[float]) -> List[Optional[float]]:
+    """Simple inclusive quantiles (no interpolation beyond nearest rank)."""
+    if not values:
+        return [None for _ in points]
+    ordered = sorted(values)
+    result = []
+    for p in points:
+        if not 0 <= p <= 1:
+            raise ValueError(f"quantile points must be in [0, 1], got {p}")
+        rank = min(len(ordered) - 1, max(0, round(p * (len(ordered) - 1))))
+        result.append(ordered[rank])
+    return result
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline-over-improved ratio (>1 means ``improved`` is faster)."""
+    if improved <= 0:
+        raise ValueError(f"improved must be positive, got {improved}")
+    return baseline / improved

@@ -1,0 +1,95 @@
+"""ASCII line plots for sweep experiments.
+
+Turns an :class:`~repro.eval.reporting.ExperimentResult` whose first
+column is the x-axis into a terminal chart, so `rtmdm exp EXP-F4` shows
+the *figure*, not just the rows.  Dependency-free by design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.eval.reporting import ExperimentResult
+
+#: Series glyphs, assigned in column order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    result: ExperimentResult,
+    series: Optional[Sequence[str]] = None,
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Render selected numeric columns of a sweep as an ASCII chart.
+
+    Args:
+        result: A sweep result (first column = x values).
+        series: Column names to plot (default: every numeric column).
+        height: Chart rows.
+        width: Chart columns.
+    """
+    x_label = result.columns[0]
+    xs = result.column(x_label)
+    if series is None:
+        series = [
+            name
+            for name in result.columns[1:]
+            if any(isinstance(v, (int, float)) for v in result.column(name))
+        ]
+    values: dict = {}
+    for name in series:
+        values[name] = [
+            v if isinstance(v, (int, float)) else None for v in result.column(name)
+        ]
+    flat = [v for vs in values.values() for v in vs if v is not None]
+    if not flat or len(xs) < 2:
+        return "(nothing to plot)"
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def col_of(index: int) -> int:
+        return round(index * (width - 1) / (len(xs) - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si, name in enumerate(series):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        points = [
+            (col_of(i), row_of(v))
+            for i, v in enumerate(values[name])
+            if v is not None
+        ]
+        # Connect consecutive points with linear interpolation.
+        for (c0, r0), (c1, r1) in zip(points, points[1:]):
+            steps = max(1, c1 - c0)
+            for step in range(steps + 1):
+                c = c0 + step
+                r = round(r0 + (r1 - r0) * step / steps)
+                if grid[r][c] == " " or step in (0, steps):
+                    grid[r][c] = glyph
+        for c, r in points:
+            grid[r][c] = glyph
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.3f} |"
+        elif i == height - 1:
+            label = f"{lo:8.3f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {xs[0]!s:<{max(1, width // 2)}}{xs[-1]!s:>{width // 2}}"
+    )
+    lines.append(f"          x: {x_label}")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"          {legend}")
+    return "\n".join(lines)

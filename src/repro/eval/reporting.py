@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment driver.
+
+    Attributes:
+        exp_id: Experiment key (e.g. ``"EXP-F4"``).
+        title: Human-readable title.
+        columns: Column headers.
+        rows: Data rows (mixed str/int/float; None renders as ``-``).
+        notes: Methodology note printed under the table.
+    """
+
+    exp_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]
+    notes: str = ""
+
+    def column(self, name: str) -> List:
+        """Extract one column by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 100000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render a result as an aligned plain-text table."""
+    table: List[List[str]] = [list(result.columns)]
+    for row in result.rows:
+        table.append([_fmt(v) for v in row])
+    widths = [max(len(line[i]) for line in table) for i in range(len(result.columns))]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(table[0]))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table[1:]:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

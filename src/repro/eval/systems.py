@@ -1,0 +1,88 @@
+"""Compared systems: derive each baseline's task set from a generated case.
+
+Every system sees the *same* drawn workload (models, periods, deadlines,
+DM priorities); only the execution strategy differs.  ``derive_taskset``
+returns the system's simulatable task set plus the analysis method used
+for its admission decision.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.baselines import sequentialize, single_buffered, whole_job, xip_task
+from repro.core.analysis import analyze
+from repro.sched.task import TaskSet
+from repro.workload.taskset import GeneratedCase
+
+#: System keys, in the order figures report them.
+SYSTEMS = (
+    "rtmdm",
+    "rtmdm-oblivious",
+    "single-buffer",
+    "sequential",
+    "np-whole",
+    "xip",
+)
+
+#: Short labels for figure legends.
+LABELS = {
+    "rtmdm": "RT-MDM",
+    "rtmdm-oblivious": "RT-MDM (susp.-oblivious)",
+    "single-buffer": "Single buffer (no prefetch)",
+    "sequential": "Sequential (busy-wait)",
+    "np-whole": "Non-preemptive whole-DNN",
+    "xip": "Execute-in-place",
+}
+
+
+def derive_taskset(system: str, case: GeneratedCase) -> Tuple[TaskSet, str]:
+    """The system's task set and its admission analysis method.
+
+    Raises:
+        ValueError: for unknown system keys.
+        RuntimeError: if the case is infeasible (check ``case.feasible``).
+    """
+    if case.taskset is None:
+        raise RuntimeError("case is infeasible; no task set to derive")
+    base = case.taskset
+    if system == "rtmdm":
+        return base, "rtmdm"
+    if system == "rtmdm-oblivious":
+        return base, "oblivious"
+    if system == "single-buffer":
+        return TaskSet.of(single_buffered(t) for t in base), "rtmdm"
+    if system == "sequential":
+        return TaskSet.of(sequentialize(t) for t in base), "rtmdm"
+    if system == "np-whole":
+        return TaskSet.of(whole_job(t) for t in base), "rtmdm"
+    if system == "xip":
+        tasks = []
+        for task in base:
+            model = case.refined[task.name]
+            tasks.append(
+                xip_task(
+                    name=task.name,
+                    model=model,
+                    platform=case.platform,
+                    period=task.period,
+                    deadline=task.deadline,
+                    priority=task.priority,
+                    quant=case.quant,
+                )
+            )
+        return TaskSet.of(tasks), "rtmdm"
+    raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+
+
+def admit(system: str, case: GeneratedCase) -> bool:
+    """Offline admission verdict of ``system`` for ``case``.
+
+    Infeasible cases (SRAM cannot hold the workload) are rejected by
+    every staging system; XIP needs no staging buffers and is judged on
+    timing alone.
+    """
+    if not case.feasible:
+        return False
+    taskset, method = derive_taskset(system, case)
+    return analyze(taskset, method).schedulable

@@ -1,0 +1,163 @@
+"""Self-validation: analysis-vs-simulation consistency sweep.
+
+`validate()` draws random workloads, runs every admission analysis, and
+simulates several release phasings of each admitted set, checking the
+two safety invariants the whole framework rests on:
+
+1. an admitted set never misses a deadline in simulation;
+2. no task's observed response exceeds its analytic bound.
+
+This is the same machinery as the adversarial test suite, packaged as a
+user-facing API (and the ``rtmdm validate`` CLI command) so downstream
+changes — new platforms, new timing coefficients, a modified analysis —
+can be sanity-checked in seconds without running pytest.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import METHODS, analyze
+from repro.hw.platform import Platform
+from repro.hw.presets import get_platform
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import TaskSet
+from repro.workload.taskset import generate_case
+
+
+@dataclass
+class Violation:
+    """One observed safety violation (should never happen)."""
+
+    method: str
+    seed: int
+    task: str
+    observed: int
+    bound: Optional[int]
+    phases: Sequence[int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.method}] seed={self.seed} task={self.task} "
+            f"observed={self.observed} bound={self.bound} phases={list(self.phases)}"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation sweep."""
+
+    cases: int = 0
+    admitted_checks: int = 0
+    simulations: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff no violation was observed."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status}: {self.cases} workloads, {self.admitted_checks} admitted "
+            f"(method, set) pairs, {self.simulations} simulations, "
+            f"{len(self.violations)} violations"
+        )
+
+
+def _check_set(
+    taskset: TaskSet,
+    methods: Sequence[str],
+    seed: int,
+    phasings: int,
+    report: ValidationReport,
+) -> None:
+    results = {m: analyze(taskset, m) for m in methods}
+    if not any(r.schedulable for r in results.values()):
+        return
+    rng = random.Random(seed ^ 0x5EED)
+    horizon = 20 * max(t.period for t in taskset)
+    sims = []
+    for trial in range(phasings):
+        phases = (
+            [0] * len(taskset)
+            if trial == 0
+            else [rng.randrange(t.period) for t in taskset]
+        )
+        sims.append(
+            (
+                phases,
+                simulate(
+                    taskset.with_phases(phases),
+                    SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon),
+                ),
+            )
+        )
+        report.simulations += 1
+    for method, result in results.items():
+        if not result.schedulable:
+            continue
+        report.admitted_checks += 1
+        for phases, sim in sims:
+            for task in taskset:
+                observed = sim.max_response(task.name)
+                bound = result.wcrt[task.name]
+                bad_miss = not sim.no_misses
+                bad_bound = (
+                    observed is not None and bound is not None and observed > bound
+                )
+                if bad_miss or bad_bound:
+                    report.violations.append(
+                        Violation(
+                            method=method,
+                            seed=seed,
+                            task=task.name,
+                            observed=observed or -1,
+                            bound=bound,
+                            phases=phases,
+                        )
+                    )
+
+
+def validate(
+    platform: Optional[Platform] = None,
+    n_cases: int = 30,
+    utils: Sequence[float] = (0.3, 0.5, 0.7),
+    phasings: int = 3,
+    seed: int = 1,
+    methods: Sequence[str] = METHODS,
+) -> ValidationReport:
+    """Run an analysis-vs-simulation consistency sweep.
+
+    Args:
+        platform: Target platform (default preset when omitted).
+        n_cases: Workloads drawn per utilization point.
+        utils: Target utilizations to draw at.
+        phasings: Release phasings simulated per admitted set
+            (the first is always the synchronous release).
+        seed: Master seed (sweeps are exactly reproducible).
+        methods: Analysis methods to check.
+    """
+    platform = platform or get_platform()
+    report = ValidationReport()
+    for util in utils:
+        rng = random.Random(zlib.crc32(f"{seed}|{util}".encode()))
+        for index in range(n_cases):
+            case = generate_case(platform, util, rng)
+            report.cases += 1
+            if not case.feasible:
+                continue
+            _check_set(
+                case.taskset,
+                methods,
+                seed=seed * 10_000 + index,
+                phasings=phasings,
+                report=report,
+            )
+    return report

@@ -1,0 +1,59 @@
+"""Hardware substrate: MCU, external memory, DMA, and layer timing models.
+
+This package models the *timing-relevant* behaviour of a microcontroller
+platform used for multi-DNN inference:
+
+* :class:`~repro.hw.mcu.McuSpec` — CPU clock, on-chip SRAM/flash budget.
+* :class:`~repro.hw.memory.ExternalMemory` — bandwidth/latency of the
+  external weight store (QSPI flash, SPI/Octal PSRAM, ...).
+* :class:`~repro.hw.dma.DmaEngine` — the transfer engine that moves weights
+  from external memory into SRAM concurrently with compute.
+* :class:`~repro.hw.timing.TimingModel` — CMSIS-NN-style cycle estimation
+  for DNN layers (cycles/MAC with a memory-bound floor).
+* :mod:`repro.hw.presets` — ready-made platform definitions.
+
+All times inside the library are expressed in integer **CPU cycles** so the
+discrete-event simulator and the analyses are exactly reproducible.
+"""
+
+from repro.hw.dma import DmaArbitration, DmaEngine
+from repro.hw.energy import (
+    EnergyBreakdown,
+    PowerModel,
+    energy_of_run,
+    energy_per_inference_mj,
+    power_model_for,
+)
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+from repro.hw.platform import Platform
+from repro.hw.presets import (
+    EXTERNAL_MEMORIES,
+    MCUS,
+    PLATFORMS,
+    get_external_memory,
+    get_mcu,
+    get_platform,
+)
+from repro.hw.timing import LayerCost, TimingModel
+
+__all__ = [
+    "DmaArbitration",
+    "DmaEngine",
+    "McuSpec",
+    "ExternalMemory",
+    "Platform",
+    "TimingModel",
+    "LayerCost",
+    "MCUS",
+    "EXTERNAL_MEMORIES",
+    "PLATFORMS",
+    "get_mcu",
+    "get_external_memory",
+    "get_platform",
+    "PowerModel",
+    "EnergyBreakdown",
+    "energy_of_run",
+    "energy_per_inference_mj",
+    "power_model_for",
+]

@@ -1,0 +1,155 @@
+"""Energy model: per-deployment energy accounting.
+
+DAC-style evaluations report energy per inference alongside latency.
+The model is the standard three-component MCU budget:
+
+* **CPU active** — core current while kernels run;
+* **external memory transfer** — controller + device current while the
+  DMA moves weights (charged per transferred byte plus the rail's active
+  time);
+* **idle/sleep** — residual current while waiting (WFI with peripherals
+  clocked).
+
+Staging beats XIP on energy whenever the external device's per-byte read
+energy exceeds the SRAM's, because XIP re-reads weights from the device
+on *every* inference, while staging pays bus energy once per job but
+enables the CPU to race-to-idle.
+
+All coefficients are datasheet-representative constants; as with timing,
+the reproduction targets relative orderings, not microjoule-exact
+absolutes (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.mcu import McuSpec
+from repro.hw.platform import Platform
+from repro.sched.simulator import SimResult
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Current/energy coefficients of a platform.
+
+    Attributes:
+        cpu_active_mw: Core + SRAM power while executing kernels, in mW.
+        idle_mw: Power while waiting (sleep with wakeup sources), in mW.
+        dma_active_mw: Controller-side power during a transfer, in mW
+            (added on top of idle/CPU power for the transfer duration).
+        ext_read_nj_per_byte: Device-side energy per byte read from the
+            external memory, in nJ/byte.
+    """
+
+    cpu_active_mw: float = 90.0
+    idle_mw: float = 4.0
+    dma_active_mw: float = 12.0
+    ext_read_nj_per_byte: float = 1.8
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cpu_active_mw, self.idle_mw, self.dma_active_mw,
+            self.ext_read_nj_per_byte,
+        ) < 0:
+            raise ValueError(f"power coefficients must be non-negative: {self}")
+
+
+#: Representative coefficients per MCU family (datasheet run-mode figures
+#: at full clock, typical supply).
+POWER_MODELS: Dict[str, PowerModel] = {
+    "STM32F446": PowerModel(cpu_active_mw=65.0, idle_mw=3.0),
+    "STM32F746": PowerModel(cpu_active_mw=100.0, idle_mw=5.0),
+    "STM32H743": PowerModel(cpu_active_mw=230.0, idle_mw=9.0),
+    "STM32L4R5": PowerModel(cpu_active_mw=22.0, idle_mw=1.2),
+    "Apollo4": PowerModel(cpu_active_mw=12.0, idle_mw=0.6),
+}
+
+
+def power_model_for(mcu: McuSpec) -> PowerModel:
+    """The power model of an MCU (family default when unknown)."""
+    return POWER_MODELS.get(mcu.name, PowerModel())
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy consumed over one simulated interval, in millijoules.
+
+    Attributes:
+        cpu_mj: CPU active energy.
+        dma_mj: Transfer-controller energy.
+        ext_mj: External-device read energy (per transferred byte).
+        idle_mj: Idle/sleep energy over the remaining time.
+        duration_s: Interval length in seconds.
+    """
+
+    cpu_mj: float
+    dma_mj: float
+    ext_mj: float
+    idle_mj: float
+    duration_s: float
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy of the interval."""
+        return self.cpu_mj + self.dma_mj + self.ext_mj + self.idle_mj
+
+    @property
+    def average_mw(self) -> float:
+        """Average power over the interval."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_mj / self.duration_s
+
+
+def energy_of_run(
+    result: SimResult,
+    taskset,
+    platform: Platform,
+    model: PowerModel = None,
+) -> EnergyBreakdown:
+    """Energy of a simulation run under a platform's power model.
+
+    External-device read bytes are counted exactly: each completed job of
+    a task reads its segments' ``load_bytes`` (staged) plus ``xip_bytes``
+    (execute-in-place fetches folded into compute).
+    """
+    pm = model or power_model_for(platform.mcu)
+    mcu = platform.mcu
+    duration_s = mcu.cycles_to_seconds(result.end_time)
+    cpu_s = mcu.cycles_to_seconds(result.cpu_busy)
+    dma_s = mcu.cycles_to_seconds(result.dma_busy)
+    transferred_bytes = 0
+    for task in taskset:
+        per_job = sum(s.load_bytes + s.xip_bytes for s in task.segments)
+        transferred_bytes += per_job * len(result.stats[task.name].responses)
+    cpu_mj = pm.cpu_active_mw * cpu_s
+    dma_mj = pm.dma_active_mw * dma_s
+    ext_mj = pm.ext_read_nj_per_byte * transferred_bytes * 1e-6
+    idle_s = max(0.0, duration_s - cpu_s)
+    idle_mj = pm.idle_mw * idle_s
+    return EnergyBreakdown(
+        cpu_mj=cpu_mj,
+        dma_mj=dma_mj,
+        ext_mj=ext_mj,
+        idle_mj=idle_mj,
+        duration_s=duration_s,
+    )
+
+
+def energy_per_inference_mj(
+    result: SimResult, taskset, platform: Platform, model: PowerModel = None
+) -> float:
+    """Marginal (above-idle) energy per completed job, averaged.
+
+    The idle floor is excluded so the figure reflects what one inference
+    *adds* to the system's energy bill — the quantity that differs across
+    execution strategies.
+    """
+    breakdown = energy_of_run(result, taskset, platform, model)
+    jobs = sum(len(s.responses) for s in result.stats.values())
+    if jobs == 0:
+        raise ValueError("no completed jobs in this run")
+    marginal = breakdown.cpu_mj + breakdown.dma_mj + breakdown.ext_mj
+    return marginal / jobs

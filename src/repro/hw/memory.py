@@ -1,0 +1,117 @@
+"""External memory model: the off-chip store for DNN weights.
+
+Weights that do not fit in on-chip memory live in an external device
+(QSPI/OSPI NOR flash, SPI or Octal PSRAM, ...).  Two access modes matter
+for scheduling:
+
+* **Staged (DMA) access** — bulk sequential reads into SRAM.  Cost is a
+  per-transaction setup latency plus size divided by sustained bandwidth.
+* **Execute-in-place (XIP)** — the CPU fetches weights word-by-word over
+  the external bus while computing.  Cost is modelled as an effective
+  bytes/cycle rate that throttles memory-bound layers
+  (see :meth:`ExternalMemory.xip_bytes_per_cycle`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.mcu import McuSpec
+
+
+@dataclass(frozen=True)
+class ExternalMemory:
+    """An external memory device attached to the MCU.
+
+    Attributes:
+        name: Human-readable device name (e.g. ``"QSPI-NOR-133"``).
+        read_bandwidth_bps: Sustained sequential read bandwidth in
+            bytes/second (after protocol overhead).
+        write_bandwidth_bps: Sustained write bandwidth in bytes/second
+            (relevant only if activations are spilled; 0 = read-only part).
+        setup_latency_s: Per-transaction setup latency in seconds (command
+            phase, address phase, dummy cycles, DMA programming).
+        xip_efficiency: Fraction of ``read_bandwidth_bps`` achievable under
+            XIP's short, scattered accesses (word fetches defeat burst
+            mode), in ``(0, 1]``.
+        size_bytes: Device capacity; ``0`` means "unbounded for modelling".
+    """
+
+    name: str
+    read_bandwidth_bps: float
+    write_bandwidth_bps: float = 0.0
+    setup_latency_s: float = 2.0e-6
+    xip_efficiency: float = 0.4
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth_bps <= 0:
+            raise ValueError(
+                f"read_bandwidth_bps must be positive, got {self.read_bandwidth_bps}"
+            )
+        if self.write_bandwidth_bps < 0:
+            raise ValueError(
+                f"write_bandwidth_bps must be non-negative, got {self.write_bandwidth_bps}"
+            )
+        if self.setup_latency_s < 0:
+            raise ValueError(f"setup_latency_s must be non-negative, got {self.setup_latency_s}")
+        if not 0 < self.xip_efficiency <= 1:
+            raise ValueError(f"xip_efficiency must be in (0, 1], got {self.xip_efficiency}")
+
+    @property
+    def writable(self) -> bool:
+        """Whether the device supports runtime writes (PSRAM yes, NOR no)."""
+        return self.write_bandwidth_bps > 0
+
+    def setup_cycles(self, mcu: McuSpec) -> int:
+        """Per-transaction setup cost expressed in CPU cycles."""
+        return mcu.seconds_to_cycles(self.setup_latency_s)
+
+    def read_cycles(self, nbytes: int, mcu: McuSpec) -> int:
+        """Cycles to read ``nbytes`` sequentially, including setup.
+
+        Zero-byte transfers are free: no transaction is issued.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0
+        data_cycles = int(math.ceil(nbytes * mcu.clock_hz / self.read_bandwidth_bps))
+        return self.setup_cycles(mcu) + data_cycles
+
+    def write_cycles(self, nbytes: int, mcu: McuSpec) -> int:
+        """Cycles to write ``nbytes`` sequentially, including setup."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0
+        if not self.writable:
+            raise ValueError(f"{self.name} is not writable at runtime")
+        data_cycles = int(math.ceil(nbytes * mcu.clock_hz / self.write_bandwidth_bps))
+        return self.setup_cycles(mcu) + data_cycles
+
+    def xip_bytes_per_cycle(self, mcu: McuSpec) -> float:
+        """Effective XIP fetch rate in bytes per CPU cycle.
+
+        Under XIP, weight fetches are short and scattered, so only a
+        fraction (``xip_efficiency``) of the sequential bandwidth is
+        realized.
+        """
+        return self.read_bandwidth_bps * self.xip_efficiency / mcu.clock_hz
+
+    def scaled(self, bandwidth_factor: float) -> "ExternalMemory":
+        """A copy with read/write bandwidth scaled by ``bandwidth_factor``.
+
+        Used by the bandwidth-sweep experiment (EXP-F6).
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError(f"bandwidth_factor must be positive, got {bandwidth_factor}")
+        return ExternalMemory(
+            name=f"{self.name}x{bandwidth_factor:g}",
+            read_bandwidth_bps=self.read_bandwidth_bps * bandwidth_factor,
+            write_bandwidth_bps=self.write_bandwidth_bps * bandwidth_factor,
+            setup_latency_s=self.setup_latency_s,
+            xip_efficiency=self.xip_efficiency,
+            size_bytes=self.size_bytes,
+        )

@@ -1,0 +1,90 @@
+"""Platform: the bundle of MCU + external memory + DMA + timing model.
+
+A :class:`Platform` is the single hardware handle the rest of the library
+works against.  It provides the derived quantities the scheduler and the
+analyses need: transfer times for weight blocks, layer compute times, and
+the load/compute *balance bandwidth* used in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hw.dma import DmaArbitration, DmaEngine
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+from repro.hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A complete hardware platform for multi-DNN inference.
+
+    Attributes:
+        name: Platform name for reports (e.g. ``"STM32F746+QSPI"``).
+        mcu: The MCU core/memory spec.
+        memory: The external weight store.
+        dma: The transfer engine between ``memory`` and SRAM.
+        timing: The layer timing model.
+    """
+
+    name: str
+    mcu: McuSpec
+    memory: ExternalMemory
+    dma: DmaEngine = field(default_factory=DmaEngine)
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    # ------------------------------------------------------------------
+    # Derived timing quantities
+    # ------------------------------------------------------------------
+    def load_cycles(self, nbytes: int) -> int:
+        """DMA-busy cycles to stage ``nbytes`` of weights into SRAM."""
+        return self.dma.transfer_cycles(nbytes, self.mcu, self.memory)
+
+    def compute_cycles(self, layer, bytes_per_value: float = 1.0) -> int:
+        """CPU cycles for one layer with staged weights."""
+        return self.timing.compute_cycles(layer, self.mcu, bytes_per_value)
+
+    def xip_cycles(self, layer, bytes_per_value: float = 1.0) -> int:
+        """CPU cycles for one layer executed in place from external memory."""
+        cost = self.timing.layer_cost(
+            layer, self.mcu, self.memory, bytes_per_value, xip=True
+        )
+        return cost.xip_cycles
+
+    # ------------------------------------------------------------------
+    # Report helpers
+    # ------------------------------------------------------------------
+    @property
+    def usable_sram_bytes(self) -> int:
+        """SRAM bytes available to the buffer planner."""
+        return self.mcu.usable_sram_bytes
+
+    def balance_bytes_per_cycle(self) -> float:
+        """External-memory bytes deliverable per CPU cycle.
+
+        A segment whose compute density (cycles per weight byte) exceeds
+        the inverse of this rate is compute-bound under double buffering;
+        below it, staging is the bottleneck.  Reported in EXP-T2.
+        """
+        return self.memory.read_bandwidth_bps / self.mcu.clock_hz
+
+    # ------------------------------------------------------------------
+    # Variants (for sweeps/ablations)
+    # ------------------------------------------------------------------
+    def with_memory(self, memory: ExternalMemory) -> "Platform":
+        """A copy of this platform with a different external memory."""
+        return replace(self, memory=memory, name=f"{self.mcu.name}+{memory.name}")
+
+    def with_bandwidth_factor(self, factor: float) -> "Platform":
+        """A copy with external bandwidth scaled by ``factor`` (EXP-F6)."""
+        return self.with_memory(self.memory.scaled(factor))
+
+    def with_sram_bytes(self, sram_bytes: int) -> "Platform":
+        """A copy with a different SRAM size (EXP-F5)."""
+        mcu = replace(self.mcu, sram_bytes=sram_bytes)
+        return replace(self, mcu=mcu)
+
+    def with_dma_arbitration(self, arbitration: DmaArbitration) -> "Platform":
+        """A copy using a different DMA queue policy (EXP-F10)."""
+        return replace(self, dma=self.dma.with_arbitration(arbitration))

@@ -1,0 +1,143 @@
+"""Platform presets: representative MCUs and external memories.
+
+The parts below are the classes of hardware a DAC'24 multi-DNN-on-MCU
+evaluation would target.  Clock/memory figures follow the public
+datasheets; external-memory bandwidths are sustained figures after
+protocol overhead.
+
+Use :func:`get_platform` with one of the keys in :data:`PLATFORMS`, or
+compose your own :class:`~repro.hw.platform.Platform` from
+:data:`MCUS`/:data:`EXTERNAL_MEMORIES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.dma import DmaEngine
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+from repro.hw.platform import Platform
+
+KIB = 1024
+MIB = 1024 * 1024
+
+MCUS: Dict[str, McuSpec] = {
+    "stm32f446": McuSpec(
+        name="STM32F446",
+        clock_hz=180_000_000,
+        sram_bytes=128 * KIB,
+        flash_bytes=512 * KIB,
+    ),
+    "stm32f746": McuSpec(
+        name="STM32F746",
+        clock_hz=216_000_000,
+        sram_bytes=320 * KIB,
+        flash_bytes=1 * MIB,
+    ),
+    "stm32h743": McuSpec(
+        name="STM32H743",
+        clock_hz=480_000_000,
+        sram_bytes=1 * MIB,  # 1 MiB total SRAM (AXI + D1/D2/D3 domains)
+        flash_bytes=2 * MIB,
+    ),
+    "stm32l4r5": McuSpec(
+        name="STM32L4R5",
+        clock_hz=120_000_000,
+        sram_bytes=640 * KIB,
+        flash_bytes=2 * MIB,
+    ),
+    "apollo4": McuSpec(
+        name="Apollo4",
+        clock_hz=192_000_000,
+        sram_bytes=384 * KIB,
+        flash_bytes=2 * MIB,
+        dsp_extensions=True,
+    ),
+}
+
+EXTERNAL_MEMORIES: Dict[str, ExternalMemory] = {
+    # Quad-SPI NOR flash at 133 MHz, 4 data lines: ~66 MB/s raw, ~48 MB/s
+    # sustained after command overhead.  Read-only at runtime.
+    "qspi-nor": ExternalMemory(
+        name="QSPI-NOR",
+        read_bandwidth_bps=48e6,
+        write_bandwidth_bps=0.0,
+        setup_latency_s=2.5e-6,
+        xip_efficiency=0.35,
+        size_bytes=16 * MIB,
+    ),
+    # Plain SPI PSRAM at 80 MHz single line: slow, cheap.
+    "spi-psram": ExternalMemory(
+        name="SPI-PSRAM",
+        read_bandwidth_bps=9e6,
+        write_bandwidth_bps=9e6,
+        setup_latency_s=1.5e-6,
+        xip_efficiency=0.30,
+        size_bytes=8 * MIB,
+    ),
+    # Octal PSRAM at 133 MHz DDR: the fast option.
+    "octal-psram": ExternalMemory(
+        name="Octal-PSRAM",
+        read_bandwidth_bps=250e6,
+        write_bandwidth_bps=250e6,
+        setup_latency_s=1.0e-6,
+        xip_efficiency=0.50,
+        size_bytes=32 * MIB,
+    ),
+    # SDRAM over FMC (F7/H7 parts): wide and fast but power hungry.
+    "sdram-fmc": ExternalMemory(
+        name="SDRAM-FMC",
+        read_bandwidth_bps=320e6,
+        write_bandwidth_bps=320e6,
+        setup_latency_s=0.5e-6,
+        xip_efficiency=0.60,
+        size_bytes=32 * MIB,
+    ),
+}
+
+PLATFORMS: Dict[str, Platform] = {
+    "f446-qspi": Platform("STM32F446+QSPI-NOR", MCUS["stm32f446"], EXTERNAL_MEMORIES["qspi-nor"]),
+    "f746-qspi": Platform("STM32F746+QSPI-NOR", MCUS["stm32f746"], EXTERNAL_MEMORIES["qspi-nor"]),
+    "f746-octal": Platform(
+        "STM32F746+Octal-PSRAM", MCUS["stm32f746"], EXTERNAL_MEMORIES["octal-psram"]
+    ),
+    "h743-octal": Platform(
+        "STM32H743+Octal-PSRAM", MCUS["stm32h743"], EXTERNAL_MEMORIES["octal-psram"]
+    ),
+    "h743-sdram": Platform(
+        "STM32H743+SDRAM", MCUS["stm32h743"], EXTERNAL_MEMORIES["sdram-fmc"]
+    ),
+    "l4r5-spi": Platform(
+        "STM32L4R5+SPI-PSRAM", MCUS["stm32l4r5"], EXTERNAL_MEMORIES["spi-psram"]
+    ),
+}
+
+#: The platform used by the case study (EXP-T3) and most figures.
+DEFAULT_PLATFORM_KEY = "f746-qspi"
+
+
+def get_mcu(key: str) -> McuSpec:
+    """Look up an MCU preset by key, with a helpful error."""
+    try:
+        return MCUS[key]
+    except KeyError:
+        raise KeyError(f"unknown MCU {key!r}; available: {sorted(MCUS)}") from None
+
+
+def get_external_memory(key: str) -> ExternalMemory:
+    """Look up an external-memory preset by key, with a helpful error."""
+    try:
+        return EXTERNAL_MEMORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown external memory {key!r}; available: {sorted(EXTERNAL_MEMORIES)}"
+        ) from None
+
+
+def get_platform(key: str = DEFAULT_PLATFORM_KEY) -> Platform:
+    """Look up a platform preset by key, with a helpful error."""
+    try:
+        return PLATFORMS[key]
+    except KeyError:
+        raise KeyError(f"unknown platform {key!r}; available: {sorted(PLATFORMS)}") from None

@@ -1,0 +1,147 @@
+"""Layer timing model: CMSIS-NN-style cycle estimation.
+
+Real TinyML runtimes execute each layer with a hand-optimized kernel whose
+cost is dominated by multiply-accumulate throughput, with a memory-bound
+floor for layers that touch many bytes per MAC.  This module captures that
+with a small analytical model:
+
+``compute = per_layer_overhead + macs * cycles_per_mac(kind) * quant_factor``
+
+``floor   = bytes_touched * sram_cycles_per_byte``
+
+``cycles  = max(compute, floor)``
+
+For **XIP** execution (weights fetched from external memory while
+computing, no staging) the weight-fetch cost over the slow external bus is
+added on top, which is what makes XIP unattractive for weight-heavy layers.
+
+The default coefficients are representative of CMSIS-NN int8 kernels on a
+Cortex-M7; they are deliberately round numbers, since the reproduction
+targets the *shape* of results, not absolute nanoseconds (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+
+#: Cycles per MAC for int8 kernels with DSP extensions, by layer kind.
+#: Depthwise convolutions have poor register reuse, hence the higher cost.
+DEFAULT_CYCLES_PER_MAC: Mapping[str, float] = {
+    "conv2d": 2.2,
+    "dwconv2d": 4.5,
+    "dense": 1.8,
+}
+
+#: Cycles per output element for element-dominated layers.
+DEFAULT_CYCLES_PER_ELEMENT: Mapping[str, float] = {
+    "pool": 1.5,
+    "add": 0.8,
+    "softmax": 20.0,
+    "flatten": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost breakdown of one layer execution.
+
+    Attributes:
+        compute_cycles: CPU cycles for the kernel itself (weights resident
+            in SRAM).
+        xip_extra_cycles: Additional cycles when weights are fetched over
+            the external bus (XIP mode); 0 when weights are staged.
+    """
+
+    compute_cycles: int
+    xip_extra_cycles: int = 0
+
+    @property
+    def xip_cycles(self) -> int:
+        """Total cycles in XIP mode."""
+        return self.compute_cycles + self.xip_extra_cycles
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Analytical layer timing model for one MCU class.
+
+    Attributes:
+        cycles_per_mac: Per-kind MAC cost (int8, DSP extensions).
+        cycles_per_element: Per-kind element cost for non-MAC layers.
+        per_layer_overhead_cycles: Fixed kernel invocation overhead
+            (argument marshalling, im2col setup, ...).
+        sram_cycles_per_byte: Memory-bound floor coefficient: minimum
+            cycles per byte moved through SRAM by the kernel.
+        no_dsp_factor: Multiplier applied when the MCU lacks DSP
+            extensions.
+        float32_factor: Multiplier for float32 (vs int8) execution.
+    """
+
+    cycles_per_mac: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CYCLES_PER_MAC)
+    )
+    cycles_per_element: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CYCLES_PER_ELEMENT)
+    )
+    per_layer_overhead_cycles: int = 2000
+    sram_cycles_per_byte: float = 0.30
+    no_dsp_factor: float = 4.0
+    float32_factor: float = 3.0
+
+    def _kind_cycles(self, layer, bytes_per_value: float) -> float:
+        """Raw arithmetic cycles for a layer, before overhead and floors."""
+        kind = layer.kind
+        if kind in self.cycles_per_mac:
+            quant_factor = self.float32_factor if bytes_per_value >= 4 else 1.0
+            return layer.macs * self.cycles_per_mac[kind] * quant_factor
+        if kind in self.cycles_per_element:
+            return layer.output_elements * self.cycles_per_element[kind]
+        raise KeyError(f"no timing coefficient for layer kind {kind!r}")
+
+    def compute_cycles(self, layer, mcu: McuSpec, bytes_per_value: float = 1.0) -> int:
+        """CPU cycles to execute ``layer`` with all operands in SRAM.
+
+        Args:
+            layer: Any object exposing ``kind``, ``macs``,
+                ``output_elements``, ``param_count`` and activation byte
+                counts (see :class:`repro.dnn.layers.Layer`).
+            mcu: Target MCU (DSP availability affects int8 kernels).
+            bytes_per_value: Weight/activation element width from the
+                quantization scheme (1 for int8, 4 for float32).
+        """
+        arith = self._kind_cycles(layer, bytes_per_value)
+        if not mcu.dsp_extensions and layer.kind in self.cycles_per_mac:
+            arith *= self.no_dsp_factor
+        bytes_touched = (
+            layer.param_count * bytes_per_value
+            + (layer.input_elements + layer.output_elements) * bytes_per_value
+        )
+        floor = bytes_touched * self.sram_cycles_per_byte
+        return self.per_layer_overhead_cycles + int(math.ceil(max(arith, floor)))
+
+    def layer_cost(
+        self,
+        layer,
+        mcu: McuSpec,
+        memory: ExternalMemory,
+        bytes_per_value: float = 1.0,
+        xip: bool = False,
+    ) -> LayerCost:
+        """Full cost of one layer, optionally in XIP mode.
+
+        In XIP mode every weight byte is fetched over the external bus at
+        the (scatter-degraded) XIP rate; this cost is serial with compute
+        because Cortex-M parts in this class have no weight cache.
+        """
+        compute = self.compute_cycles(layer, mcu, bytes_per_value)
+        xip_extra = 0
+        if xip and layer.param_count > 0:
+            param_bytes = int(math.ceil(layer.param_count * bytes_per_value))
+            rate = memory.xip_bytes_per_cycle(mcu)
+            xip_extra = int(math.ceil(param_bytes / rate))
+        return LayerCost(compute_cycles=compute, xip_extra_cycles=xip_extra)

@@ -1,0 +1,40 @@
+"""CPU scheduling policies.
+
+RT-MDM schedules at **segment granularity**: a segment's compute burst is
+never preempted (CMSIS-NN kernels are not preemption-safe and preempting
+would thrash staging buffers), but between segments the scheduler may
+switch to a higher-priority job.  The fully-preemptive variants are
+provided for baseline comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CpuPolicy(enum.Enum):
+    """How the CPU picks the next segment to run.
+
+    * ``FP_NP`` — fixed priority, non-preemptive per segment (RT-MDM
+      default; this is what the analyses in :mod:`repro.core.analysis`
+      bound).
+    * ``FP_P`` — fixed priority, preemptive at any instant.
+    * ``EDF_NP`` — earliest absolute job deadline first, non-preemptive
+      per segment.
+    * ``EDF_P`` — earliest deadline first, preemptive.
+    """
+
+    FP_NP = "fp-np"
+    FP_P = "fp-p"
+    EDF_NP = "edf-np"
+    EDF_P = "edf-p"
+
+    @property
+    def preemptive(self) -> bool:
+        """Whether a running segment can be preempted mid-burst."""
+        return self in (CpuPolicy.FP_P, CpuPolicy.EDF_P)
+
+    @property
+    def deadline_driven(self) -> bool:
+        """Whether priority is the job's absolute deadline (EDF)."""
+        return self in (CpuPolicy.EDF_NP, CpuPolicy.EDF_P)

@@ -1,0 +1,464 @@
+"""Deterministic discrete-event simulator for segmented tasks on CPU + DMA.
+
+The platform has two serialized resources:
+
+* the **CPU**, which executes segment compute bursts under a
+  :class:`~repro.sched.policies.CpuPolicy`;
+* the **DMA engine**, which stages segment weights; transfers are
+  non-preemptive and arbitrated FIFO or by task priority
+  (:class:`~repro.hw.dma.DmaArbitration`).
+
+Per task, jobs are processed FIFO (only the oldest incomplete job makes
+progress).  Within a job, segment *j*'s compute requires its load to have
+completed, and segment *j*'s load may only start once segment
+``j - buffers``'s compute has finished (staging buffer reuse).
+
+All state is integer cycles; ties are broken deterministically, so a
+simulation is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.dma import DmaArbitration
+from repro.sched.policies import CpuPolicy
+from repro.sched.task import PeriodicTask, TaskSet
+from repro.sched.trace import Trace, TraceEvent
+
+_RELEASE = 0
+_DMA_DONE = 1
+_CPU_DONE = 2
+
+
+@dataclass
+class _Job:
+    """Runtime state of one released job."""
+
+    task: PeriodicTask
+    task_pos: int
+    index: int
+    release: int
+    abs_deadline: int
+    loads_issued: int = 0
+    loads_done: int = 0
+    computes_done: int = 0
+    compute_remaining: Optional[int] = None
+    load_eligible_since: Optional[int] = None
+    finish: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.computes_done == self.task.num_segments
+
+    def load_eligible(self) -> bool:
+        """Whether the next load may be issued (buffer available)."""
+        j = self.loads_issued
+        return j < self.task.num_segments and j - self.computes_done < self.task.buffers
+
+    def compute_ready(self) -> bool:
+        """Whether the next compute segment has its weights staged."""
+        return self.computes_done < self.loads_done
+
+
+@dataclass
+class TaskStats:
+    """Per-task simulation outcome."""
+
+    name: str
+    responses: List[int] = field(default_factory=list)
+    misses: int = 0
+    unfinished: int = 0
+
+    @property
+    def jobs(self) -> int:
+        """Jobs released (finished + unfinished)."""
+        return len(self.responses) + self.unfinished
+
+    @property
+    def max_response(self) -> Optional[int]:
+        """Worst observed response time, or None if no job finished."""
+        return max(self.responses) if self.responses else None
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    stats: Dict[str, TaskStats]
+    trace: Optional[Trace]
+    cpu_busy: int
+    dma_busy: int
+    end_time: int
+    aborted_on_miss: bool = False
+    truncated: bool = False
+
+    @property
+    def total_misses(self) -> int:
+        """Deadline misses plus jobs that never finished."""
+        return sum(s.misses + s.unfinished for s in self.stats.values())
+
+    @property
+    def no_misses(self) -> bool:
+        """True iff every released job met its deadline."""
+        return self.total_misses == 0 and not self.aborted_on_miss
+
+    def max_response(self, task_name: str) -> Optional[int]:
+        """Worst observed response time of ``task_name``."""
+        return self.stats[task_name].max_response
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation parameters.
+
+    Attributes:
+        policy: CPU scheduling policy.
+        dma_arbitration: DMA queue ordering.
+        horizon: Jobs are released while ``release < horizon``; released
+            jobs then run to completion (subject to ``hard_cap_factor``).
+        record_trace: Keep a full :class:`~repro.sched.trace.Trace`
+            (memory-heavy for long runs).
+        abort_on_miss: Stop at the first deadline miss (fast empirical
+            schedulability checks).
+        hard_cap_factor: Terminate anyway at ``horizon * factor`` and
+            count incomplete jobs as unfinished (guards overload runs).
+        dma_channels: Number of independent DMA channels (transfers on
+            different channels proceed in parallel; the analyses model
+            one channel, which is conservative for more).
+        sporadic_slack: When positive, releases are *sporadic*: after
+            each job, the next arrives ``period + U(0, slack * period)``
+            cycles later (seeded by ``seed``; exactly reproducible).
+            The periodic analyses remain valid — ``period`` stays the
+            minimum inter-arrival time.
+        seed: Random seed for sporadic release draws.
+    """
+
+    policy: CpuPolicy = CpuPolicy.FP_NP
+    dma_arbitration: DmaArbitration = DmaArbitration.PRIORITY
+    horizon: int = 0
+    record_trace: bool = False
+    abort_on_miss: bool = False
+    hard_cap_factor: float = 4.0
+    sporadic_slack: float = 0.0
+    seed: int = 0
+    dma_channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sporadic_slack < 0:
+            raise ValueError(
+                f"sporadic_slack must be >= 0, got {self.sporadic_slack}"
+            )
+        if self.dma_channels < 1:
+            raise ValueError(
+                f"dma_channels must be >= 1, got {self.dma_channels}"
+            )
+
+
+class Simulator:
+    """Event-driven executor for a :class:`~repro.sched.task.TaskSet`."""
+
+    def __init__(self, taskset: TaskSet, config: SimConfig) -> None:
+        if config.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {config.horizon}")
+        self.taskset = taskset
+        self.config = config
+        self.trace = Trace() if config.record_trace else None
+        self._heap: List[Tuple[int, int, int, object]] = []
+        self._seq = itertools.count()
+        self._queues: Dict[str, List[_Job]] = {t.name: [] for t in taskset}
+        self._stats = {t.name: TaskStats(name=t.name) for t in taskset}
+        self._cpu_job: Optional[_Job] = None
+        self._cpu_start = 0
+        self._cpu_token = 0
+        self._dma_channels: Dict[int, _Job] = {}
+        self._cpu_busy = 0
+        self._dma_busy = 0
+        self._aborted = False
+        self._truncated = False
+        self._hard_cap = int(config.horizon * config.hard_cap_factor) + max(
+            t.period for t in taskset
+        )
+        self._arrival_rng = random.Random(config.seed)
+
+    # ------------------------------------------------------------------
+    # Priorities (lower tuple = served first)
+    # ------------------------------------------------------------------
+    def _cpu_key(self, job: _Job) -> Tuple:
+        if self.config.policy.deadline_driven:
+            return (job.abs_deadline, job.task.priority, job.release, job.task_pos)
+        return (job.task.priority, job.release, job.task_pos)
+
+    def _dma_key(self, job: _Job) -> Tuple:
+        if self.config.dma_arbitration is DmaArbitration.FIFO:
+            since = job.load_eligible_since if job.load_eligible_since is not None else 0
+            return (since, job.release, job.task_pos)
+        return self._cpu_key(job)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: int, kind: int, payload: object) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _trace(self, **kwargs) -> None:
+        if self.trace is not None:
+            self.trace.add(TraceEvent(**kwargs))
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def _head(self, task_name: str) -> Optional[_Job]:
+        queue = self._queues[task_name]
+        return queue[0] if queue else None
+
+    def _release(self, time: int, task: PeriodicTask, task_pos: int, index: int) -> None:
+        job = _Job(
+            task=task,
+            task_pos=task_pos,
+            index=index,
+            release=time,
+            abs_deadline=time + task.deadline,
+        )
+        self._queues[task.name].append(job)
+        self._trace(
+            time=time, duration=0, resource="", kind="release", task=task.name, job=index
+        )
+        next_time = time + task.period
+        if self.config.sporadic_slack > 0:
+            slack = int(task.period * self.config.sporadic_slack)
+            if slack > 0:
+                next_time += self._arrival_rng.randrange(slack + 1)
+        if next_time < self.config.horizon:
+            self._push(next_time, _RELEASE, (task_pos, index + 1))
+
+    def _complete_job(self, time: int, job: _Job) -> None:
+        job.finish = time
+        response = time - job.release
+        stats = self._stats[job.task.name]
+        stats.responses.append(response)
+        if time > job.abs_deadline:
+            stats.misses += 1
+            self._trace(
+                time=time,
+                duration=0,
+                resource="",
+                kind="miss",
+                task=job.task.name,
+                job=job.index,
+            )
+            if self.config.abort_on_miss:
+                self._aborted = True
+        self._trace(
+            time=time,
+            duration=0,
+            resource="",
+            kind="complete",
+            task=job.task.name,
+            job=job.index,
+        )
+        queue = self._queues[job.task.name]
+        assert queue and queue[0] is job, "completed job must be the task's head job"
+        queue.pop(0)
+
+    # ------------------------------------------------------------------
+    # DMA scheduling
+    # ------------------------------------------------------------------
+    def _advance_zero_loads(self) -> None:
+        """Complete zero-byte loads instantly; they never use the DMA."""
+        for task in self.taskset:
+            job = self._head(task.name)
+            if job is None:
+                continue
+            while (
+                job.load_eligible()
+                and job.task.segments[job.loads_issued].load_cycles == 0
+            ):
+                job.loads_issued += 1
+                job.loads_done += 1
+                job.load_eligible_since = None
+
+    def _schedule_dma(self, time: int) -> None:
+        self._advance_zero_loads()
+        while len(self._dma_channels) < self.config.dma_channels:
+            in_flight = set(id(j) for j in self._dma_channels.values())
+            candidates: List[_Job] = []
+            for task in self.taskset:
+                job = self._head(task.name)
+                if (
+                    job is None
+                    or id(job) in in_flight  # one outstanding transfer per job
+                    or not job.load_eligible()
+                ):
+                    continue
+                if job.load_eligible_since is None:
+                    job.load_eligible_since = time
+                candidates.append(job)
+            if not candidates:
+                return
+            job = min(candidates, key=self._dma_key)
+            segment = job.task.segments[job.loads_issued]
+            channel = min(
+                c for c in range(self.config.dma_channels)
+                if c not in self._dma_channels
+            )
+            self._dma_channels[channel] = job
+            job.load_eligible_since = None
+            self._dma_busy += segment.load_cycles
+            self._trace(
+                time=time,
+                duration=segment.load_cycles,
+                resource="dma" if channel == 0 else f"dma{channel + 1}",
+                kind="load",
+                task=job.task.name,
+                job=job.index,
+                segment=job.loads_issued,
+            )
+            self._push(time + segment.load_cycles, _DMA_DONE, (channel, job))
+
+    def _dma_done(self, time: int, channel: int, job: _Job) -> None:
+        assert self._dma_channels.get(channel) is job, (
+            "DMA completion for a job that is not transferring on this channel"
+        )
+        del self._dma_channels[channel]
+        job.loads_issued += 1
+        job.loads_done += 1
+
+    # ------------------------------------------------------------------
+    # CPU scheduling
+    # ------------------------------------------------------------------
+    def _cpu_candidates(self) -> List[_Job]:
+        ready = []
+        for task in self.taskset:
+            job = self._head(task.name)
+            if job is not None and not job.complete and job.compute_ready():
+                ready.append(job)
+        return ready
+
+    def _start_compute(self, time: int, job: _Job) -> None:
+        segment = job.task.segments[job.computes_done]
+        if job.compute_remaining is None:
+            job.compute_remaining = segment.compute_cycles
+        self._cpu_job = job
+        self._cpu_start = time
+        self._cpu_token += 1
+        self._push(time + job.compute_remaining, _CPU_DONE, (self._cpu_token, job))
+
+    def _stop_compute(self, time: int) -> None:
+        """Preempt the running segment, banking its progress."""
+        job = self._cpu_job
+        assert job is not None and job.compute_remaining is not None
+        elapsed = time - self._cpu_start
+        if elapsed > 0:
+            self._cpu_busy += elapsed
+            self._trace(
+                time=self._cpu_start,
+                duration=elapsed,
+                resource="cpu",
+                kind="compute",
+                task=job.task.name,
+                job=job.index,
+                segment=job.computes_done,
+            )
+        job.compute_remaining -= elapsed
+        self._trace(
+            time=time, duration=0, resource="", kind="preempt", task=job.task.name, job=job.index
+        )
+        self._cpu_job = None
+        self._cpu_token += 1  # invalidate the in-flight CPU_DONE event
+
+    def _schedule_cpu(self, time: int) -> None:
+        candidates = self._cpu_candidates()
+        if self._cpu_job is None:
+            if candidates:
+                self._start_compute(time, min(candidates, key=self._cpu_key))
+            return
+        if not self.config.policy.preemptive:
+            return
+        others = [c for c in candidates if c is not self._cpu_job]
+        if not others:
+            return
+        best = min(others, key=self._cpu_key)
+        if self._cpu_key(best) < self._cpu_key(self._cpu_job):
+            self._stop_compute(time)
+            self._start_compute(time, best)
+
+    def _cpu_done(self, time: int, token: int, job: _Job) -> None:
+        if token != self._cpu_token or self._cpu_job is not job:
+            return  # stale completion from a preempted burst
+        duration = time - self._cpu_start
+        self._cpu_busy += duration
+        self._trace(
+            time=self._cpu_start,
+            duration=duration,
+            resource="cpu",
+            kind="compute",
+            task=job.task.name,
+            job=job.index,
+            segment=job.computes_done,
+        )
+        self._cpu_job = None
+        self._cpu_token += 1
+        job.compute_remaining = None
+        job.computes_done += 1
+        if job.complete:
+            self._complete_job(time, job)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Execute the simulation and return aggregated results."""
+        for pos, task in enumerate(self.taskset):
+            if task.phase < self.config.horizon:
+                self._push(task.phase, _RELEASE, (pos, 0))
+        time = 0
+        while self._heap and not self._aborted:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time > self._hard_cap:
+                self._truncated = True
+                break
+            if kind == _RELEASE:
+                pos, index = payload  # type: ignore[misc]
+                self._release(time, self.taskset[pos], pos, index)
+            elif kind == _DMA_DONE:
+                channel, job = payload  # type: ignore[misc]
+                self._dma_done(time, channel, job)
+            else:
+                token, job = payload  # type: ignore[misc]
+                self._cpu_done(time, token, job)
+            # Drain simultaneous events before making scheduling decisions.
+            while self._heap and self._heap[0][0] == time and not self._aborted:
+                _, _, kind, payload = heapq.heappop(self._heap)
+                if kind == _RELEASE:
+                    pos, index = payload  # type: ignore[misc]
+                    self._release(time, self.taskset[pos], pos, index)
+                elif kind == _DMA_DONE:
+                    channel, job = payload  # type: ignore[misc]
+                    self._dma_done(time, channel, job)
+                else:
+                    token, job = payload  # type: ignore[misc]
+                    self._cpu_done(time, token, job)
+            if not self._aborted:
+                self._schedule_dma(time)
+                self._schedule_cpu(time)
+        for task in self.taskset:
+            self._stats[task.name].unfinished += len(self._queues[task.name])
+        return SimResult(
+            stats=self._stats,
+            trace=self.trace,
+            cpu_busy=self._cpu_busy,
+            dma_busy=self._dma_busy,
+            end_time=time,
+            aborted_on_miss=self._aborted,
+            truncated=self._truncated,
+        )
+
+
+def simulate(taskset: TaskSet, config: SimConfig) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(taskset, config).run()

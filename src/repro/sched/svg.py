@@ -1,0 +1,170 @@
+"""SVG rendering of execution traces.
+
+A dependency-free Gantt renderer: one swim-lane per (task, resource),
+compute bursts and DMA transfers as rectangles, releases as up-ticks,
+deadline misses as red markers.  Useful for inspecting schedules outside
+the terminal; the examples write these next to their text output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.mcu import McuSpec
+from repro.sched.trace import Trace
+
+#: Color-blind-safe categorical palette (Okabe-Ito).
+_PALETTE = (
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#CC79A7",
+    "#56B4E9",
+    "#D55E00",
+    "#F0E442",
+    "#999999",
+)
+
+_LANE_H = 22
+_LANE_GAP = 6
+_MARGIN_LEFT = 130
+_MARGIN_TOP = 30
+_AXIS_H = 28
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def trace_to_svg(
+    trace: Trace,
+    mcu: Optional[McuSpec] = None,
+    until: Optional[int] = None,
+    width_px: int = 960,
+    title: str = "",
+) -> str:
+    """Render a trace as an SVG document (returned as a string).
+
+    Args:
+        trace: The recorded execution trace.
+        mcu: When given, the time axis is labelled in milliseconds;
+            otherwise in raw cycles.
+        until: Clip the rendering to ``[0, until]`` cycles.
+        width_px: Drawing width of the timeline area.
+        title: Optional chart title.
+    """
+    horizon = until or max((e.end for e in trace.events), default=0)
+    if horizon <= 0:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40">'
+            "<text x='8' y='24'>(empty trace)</text></svg>"
+        )
+    tasks = sorted({e.task for e in trace.events if e.task})
+    colors = {name: _PALETTE[i % len(_PALETTE)] for i, name in enumerate(tasks)}
+    lanes: List[tuple] = []
+    for task in tasks:
+        lanes.append((task, "cpu"))
+        lanes.append((task, "dma"))
+
+    def x_of(cycles: int) -> float:
+        return _MARGIN_LEFT + width_px * min(cycles, horizon) / horizon
+
+    def y_of(lane_index: int) -> int:
+        return _MARGIN_TOP + lane_index * (_LANE_H + _LANE_GAP)
+
+    height = _MARGIN_TOP + len(lanes) * (_LANE_H + _LANE_GAP) + _AXIS_H
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{_MARGIN_LEFT + width_px + 20}" height="{height}" '
+        f'font-family="sans-serif" font-size="11">'
+    )
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT}" y="16" font-size="13" '
+            f'font-weight="bold">{_esc(title)}</text>'
+        )
+    # Lane labels and baselines.
+    for index, (task, resource) in enumerate(lanes):
+        y = y_of(index)
+        parts.append(
+            f'<text x="6" y="{y + _LANE_H - 7}" fill="#333">'
+            f"{_esc(task)}/{resource}</text>"
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y + _LANE_H}" '
+            f'x2="{_MARGIN_LEFT + width_px}" y2="{y + _LANE_H}" '
+            f'stroke="#ddd" stroke-width="1"/>'
+        )
+    # Busy intervals.
+    lane_index = {lane: i for i, lane in enumerate(lanes)}
+    for resource in ("cpu", "dma"):
+        for event in trace.intervals(resource):
+            if event.time >= horizon:
+                continue
+            index = lane_index[(event.task, resource)]
+            x0, x1 = x_of(event.time), x_of(event.end)
+            y = y_of(index)
+            fill = colors[event.task]
+            opacity = "1.0" if resource == "cpu" else "0.55"
+            parts.append(
+                f'<rect x="{x0:.2f}" y="{y}" width="{max(0.5, x1 - x0):.2f}" '
+                f'height="{_LANE_H - 4}" fill="{fill}" fill-opacity="{opacity}">'
+                f"<title>{_esc(event.task)} job {event.job} seg {event.segment} "
+                f"[{event.time}, {event.end})</title></rect>"
+            )
+    # Releases (ticks on the CPU lane) and misses (red diamonds).
+    for event in trace.points("release"):
+        if event.time >= horizon or (event.task, "cpu") not in lane_index:
+            continue
+        y = y_of(lane_index[(event.task, "cpu")])
+        x = x_of(event.time)
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{y - 3}" x2="{x:.2f}" y2="{y + _LANE_H - 4}" '
+            f'stroke="#444" stroke-width="1" stroke-dasharray="2,2"/>'
+        )
+    for event in trace.points("miss"):
+        if event.time >= horizon or (event.task, "cpu") not in lane_index:
+            continue
+        y = y_of(lane_index[(event.task, "cpu")]) + _LANE_H // 2
+        x = x_of(event.time)
+        parts.append(
+            f'<path d="M {x:.2f} {y - 6} L {x + 6:.2f} {y} L {x:.2f} {y + 6} '
+            f'L {x - 6:.2f} {y} Z" fill="#d00"><title>deadline miss: '
+            f"{_esc(event.task)} job {event.job}</title></path>"
+        )
+    # Time axis.
+    axis_y = _MARGIN_TOP + len(lanes) * (_LANE_H + _LANE_GAP) + 8
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_y}" '
+        f'x2="{_MARGIN_LEFT + width_px}" y2="{axis_y}" stroke="#333"/>'
+    )
+    for tick in range(11):
+        cycles = horizon * tick // 10
+        x = x_of(cycles)
+        if mcu is not None:
+            label = f"{mcu.cycles_to_ms(cycles):.1f}ms"
+        else:
+            label = f"{cycles}"
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{axis_y}" x2="{x:.2f}" y2="{axis_y + 4}" '
+            f'stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.2f}" y="{axis_y + 16}" text-anchor="middle" '
+            f'fill="#333">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_svg(
+    trace: Trace,
+    path: str,
+    mcu: Optional[McuSpec] = None,
+    until: Optional[int] = None,
+    title: str = "",
+) -> None:
+    """Render and write a trace SVG to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_svg(trace, mcu=mcu, until=until, title=title))

@@ -1,0 +1,262 @@
+"""Segmented periodic task model.
+
+A task is a periodic release of a *job*; each job executes a fixed chain
+of :class:`Segment` objects.  A segment stages ``load_cycles`` worth of
+weights over the DMA, then computes for ``compute_cycles`` on the CPU.
+The staging of segment *j* may overlap the compute of earlier segments,
+subject to the task's buffer depth (``buffers``): segment *j*'s load may
+start only once segment *j - buffers*'s compute has finished, because its
+staging buffer is only free then.
+
+All durations are integer CPU cycles (see :mod:`repro.hw`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One schedulable unit: a weight load followed by a compute burst.
+
+    Attributes:
+        name: Segment name (usually derived from its layer range).
+        load_cycles: DMA-busy cycles to stage this segment's weights.
+            ``0`` means nothing to stage (e.g. parameter-free layers, or
+            weights resident in internal flash).
+        compute_cycles: CPU-busy cycles of the segment's kernels.  Must be
+            positive — zero-compute layers are merged into neighbours by
+            the segmentation pass.
+        load_bytes: Bytes staged (bookkeeping for buffer planning).
+        xip_bytes: Bytes the CPU fetches from external memory *during*
+            compute (execute-in-place mode; 0 for staged execution).
+            Only energy accounting reads this — timing-wise the fetch
+            cost is already folded into ``compute_cycles``.
+    """
+
+    name: str
+    load_cycles: int
+    compute_cycles: int
+    load_bytes: int = 0
+    xip_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.load_cycles < 0:
+            raise ValueError(f"segment {self.name}: load_cycles must be >= 0")
+        if self.compute_cycles <= 0:
+            raise ValueError(f"segment {self.name}: compute_cycles must be > 0")
+        if self.load_bytes < 0:
+            raise ValueError(f"segment {self.name}: load_bytes must be >= 0")
+        if self.xip_bytes < 0:
+            raise ValueError(f"segment {self.name}: xip_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic, segmented real-time task.
+
+    Attributes:
+        name: Task name (unique within a task set).
+        segments: The job body, in execution order.
+        period: Release period in cycles.
+        deadline: Relative deadline in cycles (constrained: ``<= period``).
+        priority: Fixed priority; **lower number = higher priority**.
+        phase: Release offset of the first job in cycles.
+        buffers: Weight staging buffer depth; ``2`` is double buffering
+            (one segment's load can be in flight while the previous
+            computes), ``1`` disables overlap.
+    """
+
+    name: str
+    segments: Tuple[Segment, ...]
+    period: int
+    deadline: int
+    priority: int = 0
+    phase: int = 0
+    buffers: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError(f"task {self.name}: needs at least one segment")
+        if self.period <= 0:
+            raise ValueError(f"task {self.name}: period must be > 0")
+        if not 0 < self.deadline <= self.period:
+            raise ValueError(
+                f"task {self.name}: deadline must be in (0, period], got "
+                f"{self.deadline} with period {self.period}"
+            )
+        if self.phase < 0:
+            raise ValueError(f"task {self.name}: phase must be >= 0")
+        if self.buffers < 1:
+            raise ValueError(f"task {self.name}: buffers must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the analyses
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        """Number of segments per job."""
+        return len(self.segments)
+
+    @property
+    def total_compute(self) -> int:
+        """Total CPU demand of one job."""
+        return sum(s.compute_cycles for s in self.segments)
+
+    @property
+    def total_load(self) -> int:
+        """Total DMA demand of one job."""
+        return sum(s.load_cycles for s in self.segments)
+
+    @property
+    def max_segment_compute(self) -> int:
+        """Longest non-preemptive CPU section (blocking others)."""
+        return max(s.compute_cycles for s in self.segments)
+
+    @property
+    def max_segment_load(self) -> int:
+        """Longest non-preemptive DMA transfer (blocking others)."""
+        return max(s.load_cycles for s in self.segments)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """CPU-only utilization of the task."""
+        return self.total_compute / self.period
+
+    @property
+    def dma_utilization(self) -> float:
+        """DMA-only utilization of the task."""
+        return self.total_load / self.period
+
+    def with_priority(self, priority: int) -> "PeriodicTask":
+        """A copy of this task with a different priority."""
+        return PeriodicTask(
+            name=self.name,
+            segments=self.segments,
+            period=self.period,
+            deadline=self.deadline,
+            priority=priority,
+            phase=self.phase,
+            buffers=self.buffers,
+        )
+
+    def with_phase(self, phase: int) -> "PeriodicTask":
+        """A copy of this task with a different release offset."""
+        return PeriodicTask(
+            name=self.name,
+            segments=self.segments,
+            period=self.period,
+            deadline=self.deadline,
+            priority=self.priority,
+            phase=phase,
+            buffers=self.buffers,
+        )
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """An immutable collection of tasks with convenience aggregates."""
+
+    tasks: Tuple[PeriodicTask, ...]
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names in task set: {names}")
+
+    @classmethod
+    def of(cls, tasks: Iterable[PeriodicTask]) -> "TaskSet":
+        """Build a task set from an iterable."""
+        return cls(tuple(tasks))
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __getitem__(self, index: int) -> PeriodicTask:
+        return self.tasks[index]
+
+    def by_name(self, name: str) -> PeriodicTask:
+        """Look up a task by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"no task named {name!r}; have {[t.name for t in self.tasks]}")
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Total CPU utilization."""
+        return sum(t.cpu_utilization for t in self.tasks)
+
+    @property
+    def dma_utilization(self) -> float:
+        """Total DMA utilization."""
+        return sum(t.dma_utilization for t in self.tasks)
+
+    def hyperperiod(self) -> int:
+        """Least common multiple of all periods."""
+        return math.lcm(*(t.period for t in self.tasks))
+
+    def sorted_by_priority(self) -> List[PeriodicTask]:
+        """Tasks ordered from highest (lowest number) to lowest priority."""
+        return sorted(self.tasks, key=lambda t: (t.priority, t.name))
+
+    def with_priorities(self, priorities: Sequence[int]) -> "TaskSet":
+        """A copy with per-task priorities replaced positionally."""
+        if len(priorities) != len(self.tasks):
+            raise ValueError(
+                f"need {len(self.tasks)} priorities, got {len(priorities)}"
+            )
+        return TaskSet(
+            tuple(t.with_priority(p) for t, p in zip(self.tasks, priorities))
+        )
+
+    def with_phases(self, phases: Sequence[int]) -> "TaskSet":
+        """A copy with per-task release offsets replaced positionally."""
+        if len(phases) != len(self.tasks):
+            raise ValueError(f"need {len(self.tasks)} phases, got {len(phases)}")
+        return TaskSet(tuple(t.with_phase(p) for t, p in zip(self.tasks, phases)))
+
+
+def with_dispatch_overhead(taskset: TaskSet, overhead_cycles: int) -> TaskSet:
+    """Charge a scheduler dispatch overhead to every segment.
+
+    Real RTOS dispatchers cost a few hundred cycles per context switch
+    (ready-queue update, DMA descriptor programming, cache effects).
+    Inflating every segment's compute by ``overhead_cycles`` makes both
+    the simulator and the analyses account for it consistently — run the
+    analyses on the inflated set and the guarantees carry the overhead.
+    """
+    if overhead_cycles < 0:
+        raise ValueError(f"overhead_cycles must be >= 0, got {overhead_cycles}")
+    if overhead_cycles == 0:
+        return taskset
+    tasks = []
+    for task in taskset:
+        segments = tuple(
+            Segment(
+                name=s.name,
+                load_cycles=s.load_cycles,
+                compute_cycles=s.compute_cycles + overhead_cycles,
+                load_bytes=s.load_bytes,
+                xip_bytes=s.xip_bytes,
+            )
+            for s in task.segments
+        )
+        tasks.append(
+            PeriodicTask(
+                name=task.name,
+                segments=segments,
+                period=task.period,
+                deadline=task.deadline,
+                priority=task.priority,
+                phase=task.phase,
+                buffers=task.buffers,
+            )
+        )
+    return TaskSet.of(tasks)

@@ -1,0 +1,125 @@
+"""Execution traces: what ran where, and ASCII Gantt rendering.
+
+The simulator optionally records a :class:`Trace` of intervals (CPU
+compute bursts, DMA transfers) and point events (releases, completions,
+deadline misses).  Traces back the examples and the tightness experiment
+and make simulator bugs visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced interval or point event.
+
+    Attributes:
+        time: Start time in cycles.
+        duration: Interval length in cycles (0 for point events).
+        resource: ``"cpu"``, ``"dma"`` or ``""`` for point events.
+        kind: ``compute | load | release | complete | miss | preempt``.
+        task: Owning task name.
+        job: Job index within the task (0-based).
+        segment: Segment index within the job, or -1.
+    """
+
+    time: int
+    duration: int
+    resource: str
+    kind: str
+    task: str
+    job: int
+    segment: int = -1
+
+    @property
+    def end(self) -> int:
+        """End time of the interval (== time for point events)."""
+        return self.time + self.duration
+
+
+@dataclass
+class Trace:
+    """An append-only recording of simulator activity."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def intervals(self, resource: str) -> List[TraceEvent]:
+        """All busy intervals on ``resource``, in time order."""
+        selected = [e for e in self.events if e.resource == resource and e.duration > 0]
+        return sorted(selected, key=lambda e: e.time)
+
+    def points(self, kind: str) -> List[TraceEvent]:
+        """All point events of ``kind``, in time order."""
+        selected = [e for e in self.events if e.kind == kind]
+        return sorted(selected, key=lambda e: e.time)
+
+    def busy_cycles(self, resource: str) -> int:
+        """Total busy time on ``resource``."""
+        return sum(e.duration for e in self.intervals(resource))
+
+    def verify_no_overlap(self) -> None:
+        """Assert that no two intervals overlap on the same resource.
+
+        The simulator must serialize each resource; this is the core
+        sanity invariant used by the property tests.
+        """
+        for resource in ("cpu", "dma"):
+            last_end = 0
+            for event in self.intervals(resource):
+                if event.time < last_end:
+                    raise AssertionError(
+                        f"overlapping {resource} intervals at t={event.time} "
+                        f"(previous interval ends at {last_end}): {event}"
+                    )
+                last_end = event.end
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def gantt(
+        self,
+        until: Optional[int] = None,
+        width: int = 100,
+        task_order: Optional[List[str]] = None,
+    ) -> str:
+        """Render an ASCII Gantt chart with one CPU and one DMA row per task.
+
+        Each column is a bucket of ``until / width`` cycles; a column
+        shows the task that occupied most of the bucket (``.`` = idle).
+        """
+        horizon = until or max((e.end for e in self.events), default=0)
+        if horizon <= 0:
+            return "(empty trace)"
+        bucket = max(1, horizon // width)
+        tasks = task_order or sorted({e.task for e in self.events if e.task})
+        symbols = {name: chr(ord("A") + i % 26) for i, name in enumerate(tasks)}
+        lines = [f"cycles/column: {bucket}"]
+        for resource in ("cpu", "dma"):
+            occupancy: Dict[int, Dict[str, int]] = {}
+            for event in self.intervals(resource):
+                start, end = event.time, min(event.end, horizon)
+                col = start // bucket
+                while col * bucket < end:
+                    lo = max(start, col * bucket)
+                    hi = min(end, (col + 1) * bucket)
+                    occupancy.setdefault(col, {}).setdefault(event.task, 0)
+                    occupancy[col][event.task] += hi - lo
+                    col += 1
+            row = []
+            for col in range(width):
+                if col not in occupancy:
+                    row.append(".")
+                else:
+                    winner = max(occupancy[col].items(), key=lambda kv: kv[1])[0]
+                    row.append(symbols.get(winner, "?"))
+            lines.append(f"{resource:>4s} |{''.join(row)}|")
+        legend = "  ".join(f"{symbols[name]}={name}" for name in tasks)
+        lines.append(f"     {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Workload generation: synthetic task sets and named scenarios.
+
+* :mod:`repro.workload.taskset` — UUniFast-based synthetic multi-DNN task
+  sets at a target CPU utilization (the x-axis of the schedulability
+  sweeps).
+* :mod:`repro.workload.scenarios` — named, realistic multi-DNN scenarios
+  (the case study and friends).
+"""
+
+from repro.workload.scenarios import SCENARIOS, get_scenario
+from repro.workload.taskset import GeneratedCase, generate_case, uunifast
+
+__all__ = ["uunifast", "generate_case", "GeneratedCase", "SCENARIOS", "get_scenario"]

@@ -1,0 +1,126 @@
+"""Named multi-DNN scenarios: realistic deployments for case studies.
+
+Each scenario is a list of :class:`~repro.core.framework.TaskSpec`
+factories (models are built lazily so importing this module stays cheap).
+Periods reflect typical TinyML duty cycles: keyword spotting strides of
+a few hundred milliseconds, visual wake words around 1 Hz, anomaly
+detection a few times per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.framework import TaskSpec
+from repro.dnn.zoo import build_model
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named multi-DNN deployment scenario.
+
+    Attributes:
+        name: Scenario key.
+        description: One-line summary for reports.
+        platform_key: Suggested platform preset.
+        tasks: ``(task_name, model_name, period_s, deadline_s)`` tuples;
+            ``deadline_s`` of 0 means implicit (= period).
+    """
+
+    name: str
+    description: str
+    platform_key: str
+    tasks: Tuple[Tuple[str, str, float, float], ...]
+
+    def specs(self) -> List[TaskSpec]:
+        """Materialize the scenario's task specs (builds the models)."""
+        specs = []
+        for task_name, model_name, period_s, deadline_s in self.tasks:
+            specs.append(
+                TaskSpec(
+                    name=task_name,
+                    model=build_model(model_name),
+                    period_s=period_s,
+                    deadline_s=deadline_s if deadline_s > 0 else None,
+                )
+            )
+        return specs
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    # The paper-style case study: smart doorbell / voice assistant node.
+    "doorbell": Scenario(
+        name="doorbell",
+        description="KWS + visual wake word + mic anomaly detection",
+        platform_key="f746-qspi",
+        tasks=(
+            ("kws", "ds-cnn", 0.200, 0.0),
+            ("vww", "mobilenet-v1-0.25", 1.000, 0.0),
+            ("anomaly", "autoencoder", 0.500, 0.0),
+        ),
+    ),
+    # Industrial condition monitoring: two sensor models + periodic vision.
+    "industrial": Scenario(
+        name="industrial",
+        description="vibration anomaly + acoustic anomaly + gauge reading",
+        platform_key="f746-octal",
+        tasks=(
+            ("vibration", "autoencoder", 0.250, 0.0),
+            ("acoustic", "ds-cnn", 0.400, 0.0),
+            ("gauge", "resnet8", 1.000, 0.0),
+        ),
+    ),
+    # Camera-heavy smart retail node on a bigger part.
+    "retail": Scenario(
+        name="retail",
+        description="person detection + product recognition + KWS",
+        platform_key="h743-octal",
+        tasks=(
+            ("person", "mcunet-vww", 0.500, 0.0),
+            ("product", "mobilenet-v2-0.35", 1.000, 0.0),
+            ("kws", "ds-cnn", 0.250, 0.0),
+        ),
+    ),
+    # Delivery drone: obstacle vision + voice channel on the big part.
+    "drone": Scenario(
+        name="drone",
+        description="obstacle detection + command KWS + motor anomaly",
+        platform_key="h743-sdram",
+        tasks=(
+            ("obstacle", "mcunet-vww", 0.800, 0.0),
+            ("command", "kws-cnn", 0.500, 0.0),
+            ("motor", "autoencoder", 0.250, 0.0),
+        ),
+    ),
+    # Smart camera with the heavy mobilenet over slow SPI PSRAM.
+    "camera": Scenario(
+        name="camera",
+        description="large classifier + wake word on a low-power part",
+        platform_key="l4r5-spi",
+        tasks=(
+            ("classify", "mobilenet-v1-0.5", 3.000, 0.0),
+            ("wake", "tinyconv", 0.200, 0.0),
+        ),
+    ),
+    # Low-cost wearable: everything small, tight SRAM.
+    "wearable": Scenario(
+        name="wearable",
+        description="gesture + KWS on a 128 KiB part",
+        platform_key="f446-qspi",
+        tasks=(
+            ("gesture", "lenet5", 0.100, 0.0),
+            ("kws", "tinyconv", 0.150, 0.0),
+        ),
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

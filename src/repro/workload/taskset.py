@@ -1,0 +1,202 @@
+"""Synthetic multi-DNN task-set generation for schedulability sweeps.
+
+The generator mirrors the methodology of the real-time literature this
+paper comes from: utilizations from **UUniFast**, task bodies drawn from
+the model zoo, periods derived so each task's *CPU* utilization matches
+its UUniFast share (``T_i = C_i / u_i``), deadlines implicit or
+constrained by a sampled ratio.
+
+Segmentation and SRAM budgeting follow the same policy as the framework
+(granularity normalization, minimum-plus-proportional budgets), so every
+compared system sees the same staged workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import SegmentedModel
+from repro.core.priority import deadline_monotonic
+from repro.core.segmentation import SegmentationError, search_segmentation
+from repro.dnn.models import Model, refine_model
+from repro.dnn.quantization import INT8, Quantization
+from repro.dnn.zoo import build_model
+from repro.hw.platform import Platform
+from repro.sched.task import TaskSet
+
+#: Default model pool for synthetic sets: small/medium zoo entries that a
+#: handful of tasks can share one MCU's SRAM with.
+DEFAULT_MODEL_POOL = (
+    "tinyconv",
+    "lenet5",
+    "ds-cnn",
+    "autoencoder",
+    "resnet8",
+    "mobilenet-v1-0.25",
+)
+
+
+def uunifast(n: int, total_util: float, rng: random.Random) -> List[float]:
+    """Draw ``n`` utilizations summing to ``total_util`` (UUniFast).
+
+    The classic unbiased algorithm (Bini & Buttazzo 2005).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if total_util <= 0:
+        raise ValueError(f"total_util must be positive, got {total_util}")
+    utils = []
+    remaining = total_util
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utils.append(remaining - next_remaining)
+        remaining = next_remaining
+    utils.append(remaining)
+    return utils
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One synthetic multi-DNN case.
+
+    Attributes:
+        taskset: RT-MDM segmented tasks with DM priorities (cycles).
+        segmented: Per-task segmented models (for baseline derivation).
+        refined: Per-task granularity-normalized models.
+        platform: The platform the case was generated for.
+        quant: Quantization.
+        target_util: The requested total CPU utilization.
+        feasible: False when SRAM could not hold the drawn models at all
+            (``taskset`` is None then; all systems count it unschedulable).
+    """
+
+    taskset: Optional[TaskSet]
+    segmented: Dict[str, SegmentedModel]
+    refined: Dict[str, Model]
+    platform: Platform
+    quant: Quantization
+    target_util: float
+    feasible: bool
+
+
+def _budgets(
+    refined: Sequence[Tuple[str, Model]],
+    platform: Platform,
+    quant: Quantization,
+    buffers: int,
+) -> Optional[Dict[str, int]]:
+    """Minimum-plus-proportional SRAM split (framework policy)."""
+    capacity = platform.usable_sram_bytes
+    minima = {}
+    weights = {}
+    for name, model in refined:
+        max_layer = max(layer.param_bytes(quant) for layer in model.layers)
+        minima[name] = buffers * max_layer + model.peak_activation_bytes(quant)
+        weights[name] = max(1, model.total_param_bytes(quant))
+    total_min = sum(minima.values())
+    if total_min > capacity:
+        return None
+    leftover = capacity - total_min
+    total_weight = sum(weights.values())
+    return {
+        name: minima[name] + int(leftover * weights[name] / total_weight)
+        for name, _ in refined
+    }
+
+
+def generate_case(
+    platform: Platform,
+    total_util: float,
+    rng: random.Random,
+    n_tasks: Optional[int] = None,
+    model_pool: Sequence[str] = DEFAULT_MODEL_POOL,
+    quant: Quantization = INT8,
+    buffers: int = 2,
+    deadline_ratio: Tuple[float, float] = (1.0, 1.0),
+) -> GeneratedCase:
+    """Draw one synthetic multi-DNN task set at ``total_util``.
+
+    Args:
+        platform: Target hardware.
+        total_util: Target total CPU utilization (sum of ``C_i / T_i``).
+        rng: Seeded random source (reproducibility).
+        n_tasks: Number of tasks; default uniform in [3, 5].
+        model_pool: Zoo names to draw from (with replacement).
+        quant: Quantization scheme.
+        buffers: Staging depth for the RT-MDM tasks.
+        deadline_ratio: ``(lo, hi)`` range for ``D/T`` sampling;
+            ``(1.0, 1.0)`` gives implicit deadlines.
+    """
+    n = n_tasks if n_tasks is not None else rng.randint(3, 5)
+    names = [f"t{i}" for i in range(n)]
+    models = [build_model(rng.choice(list(model_pool))) for _ in range(n)]
+    utils = uunifast(n, total_util, rng)
+    chunk = max(2048, platform.usable_sram_bytes // (n * buffers * 2))
+    # First pass: estimate periods from total compute to derive the
+    # non-preemptive section cap (framework policy: min deadline / 8).
+    est_deadlines = []
+    for model, util, _ in zip(models, utils, names):
+        total_compute = sum(
+            platform.compute_cycles(layer, quant.weight_bytes) for layer in model.layers
+        )
+        est_deadlines.append(
+            max(1, round(total_compute / util)) * deadline_ratio[0]
+        )
+    cap = max(1000, int(min(est_deadlines)) // 8)
+    macs_cap = max(1000, (cap - 4000) // 5)
+    refined = {
+        name: refine_model(model, quant, chunk, macs_cap)
+        for name, model in zip(names, models)
+    }
+    budgets = _budgets(list(refined.items()), platform, quant, buffers)
+    if budgets is None:
+        return GeneratedCase(
+            taskset=None,
+            segmented={},
+            refined=refined,
+            platform=platform,
+            quant=quant,
+            target_util=total_util,
+            feasible=False,
+        )
+    segmented = {}
+    tasks = []
+    for name, util in zip(names, utils):
+        try:
+            seg = search_segmentation(
+                refined[name],
+                platform,
+                budgets[name],
+                quant=quant,
+                buffers=buffers,
+                max_segment_compute=cap,
+            )
+        except SegmentationError:
+            return GeneratedCase(
+                taskset=None,
+                segmented={},
+                refined=refined,
+                platform=platform,
+                quant=quant,
+                target_util=total_util,
+                feasible=False,
+            )
+        segmented[name] = seg
+        segments = seg.segments()
+        total_compute = sum(s.compute_cycles for s in segments)
+        period = max(1, round(total_compute / util))
+        ratio = rng.uniform(*deadline_ratio)
+        deadline = max(1, min(period, round(period * ratio)))
+        tasks.append(seg.to_task(period=period, deadline=deadline, name=name))
+    taskset = deadline_monotonic(TaskSet.of(tasks))
+    return GeneratedCase(
+        taskset=taskset,
+        segmented=segmented,
+        refined=refined,
+        platform=platform,
+        quant=quant,
+        target_util=total_util,
+        feasible=True,
+    )

@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hw.presets import get_platform
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+@pytest.fixture
+def platform():
+    """The default evaluation platform (STM32F746 + QSPI NOR)."""
+    return get_platform("f746-qspi")
+
+
+@pytest.fixture
+def fast_platform():
+    """A high-bandwidth platform (H743 + octal PSRAM)."""
+    return get_platform("h743-octal")
+
+
+def make_task(
+    name: str,
+    segs,
+    period: int,
+    deadline: int = 0,
+    priority: int = 0,
+    buffers: int = 2,
+    phase: int = 0,
+) -> PeriodicTask:
+    """Build a task from ``(load, compute)`` cycle pairs."""
+    segments = tuple(
+        Segment(name=f"{name}.s{i}", load_cycles=load, compute_cycles=comp)
+        for i, (load, comp) in enumerate(segs)
+    )
+    return PeriodicTask(
+        name=name,
+        segments=segments,
+        period=period,
+        deadline=deadline or period,
+        priority=priority,
+        buffers=buffers,
+        phase=phase,
+    )
+
+
+def random_taskset(
+    rng: random.Random,
+    n_tasks: int = 3,
+    max_segments: int = 5,
+    util_target: float = 0.5,
+) -> TaskSet:
+    """A random small segmented task set around a CPU utilization target."""
+    tasks = []
+    shares = [rng.uniform(0.5, 1.5) for _ in range(n_tasks)]
+    total = sum(shares)
+    for i in range(n_tasks):
+        n_seg = rng.randint(1, max_segments)
+        segs = [
+            (rng.choice([0, rng.randint(10, 300)]), rng.randint(50, 800))
+            for _ in range(n_seg)
+        ]
+        compute = sum(c for _, c in segs)
+        util = util_target * shares[i] / total
+        period = max(compute + 1, round(compute / util))
+        deadline = rng.randint((period + 1) // 2 + 1, period)
+        tasks.append(
+            make_task(
+                f"t{i}",
+                segs,
+                period=period,
+                deadline=deadline,
+                priority=i,
+                buffers=rng.randint(1, 3),
+            )
+        )
+    return TaskSet.of(tasks)

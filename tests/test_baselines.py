@@ -1,0 +1,107 @@
+"""Unit tests for the baseline execution strategies."""
+
+import pytest
+
+from conftest import make_task
+from repro.baselines import sequentialize, single_buffered, whole_job, xip_task
+from repro.core.pipeline import isolated_latency
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model
+from repro.hw.presets import get_platform
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import TaskSet
+
+PLATFORM = get_platform("f746-qspi")
+
+
+def _task():
+    return make_task(
+        "t", [(50, 100), (80, 120), (0, 60)], period=2000, deadline=1500,
+        priority=3, buffers=2,
+    )
+
+
+class TestSequentialize:
+    def test_folds_loads_into_compute(self):
+        seq = sequentialize(_task())
+        assert seq.total_load == 0
+        assert seq.total_compute == _task().total_compute + _task().total_load
+        assert seq.num_segments == _task().num_segments
+
+    def test_preserves_timing_parameters(self):
+        seq = sequentialize(_task())
+        original = _task()
+        assert (seq.period, seq.deadline, seq.priority, seq.phase) == (
+            original.period, original.deadline, original.priority, original.phase,
+        )
+
+    def test_latency_equals_sum(self):
+        seq = sequentialize(_task())
+        assert isolated_latency(seq.segments, seq.buffers) == (
+            _task().total_compute + _task().total_load
+        )
+
+
+class TestSingleBuffered:
+    def test_only_buffers_change(self):
+        sb = single_buffered(_task())
+        assert sb.buffers == 1
+        assert sb.segments == _task().segments
+
+    def test_latency_no_better_than_double_buffered(self):
+        task = _task()
+        sb = single_buffered(task)
+        assert isolated_latency(sb.segments, 1) >= isolated_latency(
+            task.segments, task.buffers
+        )
+
+
+class TestWholeJob:
+    def test_single_section_of_isolated_latency(self):
+        wj = whole_job(_task())
+        assert wj.num_segments == 1
+        assert wj.total_load == 0
+        assert wj.total_compute == isolated_latency(
+            _task().segments, _task().buffers
+        )
+
+    def test_blocks_other_tasks_longer(self):
+        # A whole-job lower task blocks a released-later high task for its
+        # entire latency instead of one segment.
+        hi = make_task("hi", [(0, 50)], period=5000, priority=0, phase=10)
+        lo = _task().with_priority(1)
+        seg_result = simulate(
+            TaskSet.of([hi, lo]), SimConfig(horizon=10_000)
+        )
+        wj_result = simulate(
+            TaskSet.of([hi, whole_job(lo)]), SimConfig(horizon=10_000)
+        )
+        assert wj_result.max_response("hi") > seg_result.max_response("hi")
+
+
+class TestXip:
+    def test_no_loads_and_layer_granularity(self):
+        model = build_model("ds-cnn")
+        task = xip_task("kws", model, PLATFORM, period=50_000_000)
+        assert task.total_load == 0
+        assert task.num_segments == model.num_layers
+
+    def test_slower_than_staged_compute_for_weighted_models(self):
+        model = build_model("autoencoder")
+        task = xip_task("ae", model, PLATFORM, period=10**9)
+        staged_compute = sum(
+            PLATFORM.compute_cycles(layer, INT8.weight_bytes) for layer in model.layers
+        )
+        assert task.total_compute > staged_compute
+
+    def test_deadline_defaults_to_period(self):
+        task = xip_task("ae", build_model("tinyconv"), PLATFORM, period=10**6)
+        assert task.deadline == task.period
+
+    def test_explicit_parameters(self):
+        task = xip_task(
+            "ae", build_model("tinyconv"), PLATFORM, period=10**6,
+            deadline=500_000, priority=7,
+        )
+        assert task.deadline == 500_000
+        assert task.priority == 7

@@ -1,0 +1,55 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ds-cnn" in out and "mobilenet-v1-0.25" in out
+
+    def test_platforms_lists_presets(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "f746-qspi" in out
+
+    def test_plan_doorbell(self, capsys):
+        assert main(["plan", "doorbell"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted: True" in out
+        assert "kws" in out and "SRAM" in out
+
+    def test_plan_with_platform_override(self, capsys):
+        assert main(["plan", "doorbell", "--platform", "h743-octal"]) == 0
+        out = capsys.readouterr().out
+        assert "STM32H743" in out
+
+    def test_simulate_doorbell(self, capsys):
+        assert main(["simulate", "doorbell", "--duration", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "misses: 0" in out
+        assert "cpu" in out and "dma" in out  # gantt rows
+
+    def test_exp_t2(self, capsys):
+        assert main(["exp", "EXP-T2"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T2" in out and "bytes_per_cycle" in out
+
+    def test_exp_lowercase_id(self, capsys):
+        assert main(["exp", "exp-t1"]) == 0
+        assert "EXP-T1" in capsys.readouterr().out
+
+    def test_exp_unknown_id(self):
+        with pytest.raises(KeyError, match="available"):
+            main(["exp", "EXP-Z9"])
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "nonexistent"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

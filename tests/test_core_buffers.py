@@ -1,0 +1,76 @@
+"""Unit tests for the SRAM buffer planner."""
+
+import pytest
+
+from repro.core.buffers import BUFFER_ALIGN, plan_sram
+from repro.core.segmentation import search_segmentation
+from repro.dnn.models import refine_model
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model
+from repro.hw.presets import get_platform
+
+PLATFORM = get_platform("f746-qspi")
+
+
+def _segmented(name, budget):
+    model = refine_model(build_model(name), INT8, max(4096, budget // 6))
+    return search_segmentation(model, PLATFORM, budget, INT8, buffers=2)
+
+
+class TestPlanSram:
+    def test_plan_fits_and_is_disjoint(self):
+        plan = plan_sram(
+            [
+                ("kws", _segmented("ds-cnn", 64 * 1024)),
+                ("anomaly", _segmented("autoencoder", 96 * 1024)),
+            ],
+            PLATFORM,
+        )
+        assert plan.fits
+        plan.verify_disjoint()
+        assert plan.free_bytes == plan.capacity - plan.used
+
+    def test_regions_are_aligned(self):
+        plan = plan_sram([("kws", _segmented("ds-cnn", 64 * 1024))], PLATFORM)
+        for bp in plan.plans:
+            for region in bp.regions:
+                assert region.offset % BUFFER_ALIGN == 0
+                assert region.size % BUFFER_ALIGN == 0
+
+    def test_slot_count_matches_buffers(self):
+        seg = _segmented("ds-cnn", 64 * 1024)
+        plan = plan_sram([("kws", seg)], PLATFORM)
+        bp = plan.plan_for("kws")
+        assert len(bp.slots) == seg.buffers
+        assert all(s.size == bp.slot_bytes for s in bp.slots)
+        assert bp.slot_bytes >= seg.max_segment_weight_bytes
+
+    def test_total_bytes_accounting(self):
+        plan = plan_sram([("kws", _segmented("ds-cnn", 64 * 1024))], PLATFORM)
+        bp = plan.plan_for("kws")
+        assert bp.total_bytes == sum(r.size for r in bp.regions)
+        assert plan.used == bp.total_bytes
+
+    def test_overflow_detected(self):
+        small = PLATFORM.with_sram_bytes(48 * 1024)
+        seg = _segmented("autoencoder", 200 * 1024)
+        plan = plan_sram([("big", seg)], small)
+        assert not plan.fits
+        assert plan.free_bytes < 0
+
+    def test_plan_for_unknown_task(self):
+        plan = plan_sram([("kws", _segmented("ds-cnn", 64 * 1024))], PLATFORM)
+        with pytest.raises(KeyError):
+            plan.plan_for("nope")
+
+    def test_multiple_tasks_packed_back_to_back(self):
+        plan = plan_sram(
+            [
+                ("a", _segmented("tinyconv", 32 * 1024)),
+                ("b", _segmented("lenet5", 64 * 1024)),
+            ],
+            PLATFORM,
+        )
+        ends = [max(r.end for r in bp.regions) for bp in plan.plans]
+        starts = [min(r.offset for r in bp.regions) for bp in plan.plans]
+        assert starts[1] == ends[0]  # no gap between task allocations

@@ -1,0 +1,121 @@
+"""Unit and integration tests for the RtMdm framework."""
+
+import pytest
+
+from repro.core.framework import RtMdm, TaskSpec
+from repro.dnn.zoo import build_model
+from repro.hw.presets import get_platform
+
+
+def _doorbell(platform_key="f746-qspi", **kwargs):
+    rt = RtMdm(get_platform(platform_key), **kwargs)
+    rt.add_task("kws", build_model("ds-cnn"), period_s=0.200)
+    rt.add_task("vww", build_model("mobilenet-v1-0.25"), period_s=1.000)
+    rt.add_task("anomaly", build_model("autoencoder"), period_s=0.500)
+    return rt
+
+
+class TestTaskSpec:
+    def test_validation(self):
+        model = build_model("tinyconv")
+        with pytest.raises(ValueError):
+            TaskSpec("t", model, period_s=0.0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", model, period_s=0.1, deadline_s=0.2)
+        TaskSpec("t", model, period_s=0.1, deadline_s=0.1)
+
+
+class TestConfigure:
+    def test_case_study_is_admitted(self):
+        config = _doorbell().configure()
+        assert config.feasible
+        assert config.admitted
+        assert config.sram_plan.fits
+        config.sram_plan.verify_disjoint()
+
+    def test_report_rows_complete(self):
+        config = _doorbell().configure()
+        rows = config.report_rows()
+        assert {r["task"] for r in rows} == {"kws", "vww", "anomaly"}
+        for row in rows:
+            assert row["admitted"]
+            assert row["wcrt_ms"] <= row["deadline_ms"]
+            assert row["latency_ms"] > 0
+            assert row["segments"] >= 1
+
+    def test_simulation_validates_admission(self):
+        config = _doorbell().configure()
+        result = config.simulate()
+        assert result.no_misses
+        for task in config.taskset:
+            assert result.max_response(task.name) <= config.analysis.wcrt[task.name]
+
+    def test_infeasible_on_tiny_sram(self):
+        rt = _doorbell()
+        rt.platform = rt.platform.with_sram_bytes(24 * 1024)
+        config = rt.configure()
+        assert not config.feasible
+        assert not config.admitted
+        assert config.infeasible_reason
+        with pytest.raises(RuntimeError, match="infeasible"):
+            config.simulate()
+
+    def test_duplicate_task_rejected(self):
+        rt = _doorbell()
+        with pytest.raises(ValueError, match="duplicate"):
+            rt.add_task("kws", build_model("tinyconv"), period_s=0.1)
+
+    def test_configure_without_tasks(self):
+        rt = RtMdm(get_platform("f746-qspi"))
+        with pytest.raises(RuntimeError, match="add at least one task"):
+            rt.configure()
+
+    def test_overloaded_periods_not_admitted(self):
+        rt = RtMdm(get_platform("f746-qspi"))
+        # DS-CNN takes ~30 ms on this platform; a 10 ms period overloads.
+        rt.add_task("kws", build_model("ds-cnn"), period_s=0.010)
+        config = rt.configure()
+        assert config.feasible
+        assert not config.admitted
+
+    def test_buffers_knob(self):
+        config1 = _doorbell(buffers=1).configure()
+        config2 = _doorbell(buffers=2).configure()
+        for name in ("kws", "vww", "anomaly"):
+            lat1 = config1.segmented[name].isolated_latency()
+            lat2 = config2.segmented[name].isolated_latency()
+            assert lat2 <= lat1
+
+    def test_analysis_method_knob(self):
+        config = _doorbell(analysis_method="oblivious").configure()
+        assert config.analysis.method == "oblivious"
+
+    def test_faster_platform_admits_more(self):
+        slow = _doorbell("f746-qspi").configure()
+        fast = _doorbell("h743-octal").configure()
+        assert fast.admitted
+        for name in ("kws", "vww", "anomaly"):
+            # Compare wall-clock (cycle counts are not comparable across
+            # platforms with different clock rates).
+            fast_s = fast.platform.mcu.cycles_to_seconds(
+                fast.segmented[name].isolated_latency()
+            )
+            slow_s = slow.platform.mcu.cycles_to_seconds(
+                slow.segmented[name].isolated_latency()
+            )
+            assert fast_s < slow_s
+
+    def test_explicit_deadline_used(self):
+        rt = RtMdm(get_platform("f746-qspi"))
+        rt.add_task("kws", build_model("ds-cnn"), period_s=0.200, deadline_s=0.100)
+        config = rt.configure()
+        task = config.taskset.by_name("kws")
+        assert task.deadline < task.period
+
+    def test_simulate_with_phases_and_trace(self):
+        config = _doorbell().configure()
+        result = config.simulate(
+            duration_s=2.0, phases=[100, 200, 300], record_trace=True
+        )
+        assert result.trace is not None
+        result.trace.verify_no_overlap()

@@ -1,0 +1,147 @@
+"""Unit tests for the segmentation planner."""
+
+import itertools
+
+import pytest
+
+from repro.core.segmentation import (
+    SegmentationError,
+    coarsest_feasible_segments,
+    min_max_weight_partition,
+    search_segmentation,
+    segment_model,
+)
+from repro.dnn.models import refine_model
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model
+from repro.hw.presets import get_platform
+
+PLATFORM = get_platform("f746-qspi")
+
+
+def _brute_force_min_max(weights, k):
+    """Exhaustive optimum of the min-max contiguous partition."""
+    n = len(weights)
+    best = None
+    for cuts in itertools.combinations(range(1, n), k - 1):
+        edges = [0, *cuts, n]
+        worst = max(
+            sum(weights[edges[i]:edges[i + 1]]) for i in range(k)
+        )
+        best = worst if best is None else min(best, worst)
+    return best
+
+
+class TestMinMaxPartition:
+    @pytest.mark.parametrize("weights,k", [
+        ([5, 1, 4, 2, 8], 2),
+        ([5, 1, 4, 2, 8], 3),
+        ([1, 1, 1, 1], 4),
+        ([9, 1, 1, 1, 9], 3),
+        ([3, 7, 2, 5, 4, 6], 4),
+    ])
+    def test_optimal_vs_brute_force(self, weights, k):
+        boundaries = min_max_weight_partition(weights, k)
+        achieved = max(sum(weights[s:e]) for s, e in boundaries)
+        assert achieved == _brute_force_min_max(weights, k)
+
+    def test_returns_exactly_k_contiguous_parts(self):
+        weights = [2, 2, 2, 2, 2, 2]
+        for k in range(1, 7):
+            boundaries = min_max_weight_partition(weights, k)
+            assert len(boundaries) == k
+            assert boundaries[0][0] == 0 and boundaries[-1][1] == 6
+            for (s1, e1), (s2, e2) in zip(boundaries, boundaries[1:]):
+                assert e1 == s2
+
+    def test_handles_zero_weights(self):
+        boundaries = min_max_weight_partition([0, 5, 0, 5], 2)
+        assert max(sum([0, 5, 0, 5][s:e]) for s, e in boundaries) == 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            min_max_weight_partition([1, 2], 0)
+        with pytest.raises(ValueError):
+            min_max_weight_partition([1, 2], 3)
+
+
+class TestCoarsestFeasible:
+    def test_large_budget_gives_one_segment(self):
+        model = build_model("ds-cnn")
+        seg = coarsest_feasible_segments(model, PLATFORM, 10**9, INT8, buffers=2)
+        assert seg.num_segments == 1
+
+    def test_budget_constrains_segment_count(self):
+        model = build_model("ds-cnn")
+        act = model.peak_activation_bytes(INT8)
+        weights = model.total_param_bytes(INT8)
+        tight = coarsest_feasible_segments(
+            model, PLATFORM, act + weights // 2, INT8, buffers=2
+        )
+        assert tight.num_segments > 1
+        assert tight.sram_need_bytes() <= act + weights // 2
+
+    def test_impossible_budget_raises(self):
+        model = build_model("ds-cnn")
+        with pytest.raises(SegmentationError, match="cannot fit"):
+            coarsest_feasible_segments(model, PLATFORM, 4096, INT8, buffers=2)
+
+    def test_compute_cap_increases_granularity(self):
+        model = build_model("resnet8")
+        free = coarsest_feasible_segments(model, PLATFORM, 10**9, INT8, 2)
+        capped = coarsest_feasible_segments(
+            model, PLATFORM, 10**9, INT8, 2, max_segment_compute=2_000_000
+        )
+        assert capped.num_segments > free.num_segments
+        worst = max(s.compute_cycles for s in capped.segments())
+        floor = max(
+            PLATFORM.compute_cycles(l, 1.0) for l in model.layers
+        )
+        assert worst <= max(2_000_000, floor)
+
+
+class TestSearchSegmentation:
+    def test_feasible_and_no_worse_than_coarsest(self):
+        model = refine_model(build_model("mobilenet-v1-0.25"), INT8, 24 * 1024)
+        budget = 160 * 1024
+        found = search_segmentation(model, PLATFORM, budget, INT8, buffers=2)
+        coarse = coarsest_feasible_segments(model, PLATFORM, budget, INT8, 2)
+        assert found.sram_need_bytes() <= budget
+        assert found.isolated_latency() <= coarse.isolated_latency() * 1.02 + 1
+
+    def test_respects_compute_cap(self):
+        model = refine_model(build_model("resnet8"), INT8, 32 * 1024, 500_000)
+        cap = 2_000_000
+        found = search_segmentation(
+            model, PLATFORM, 200 * 1024, INT8, 2, max_segment_compute=cap
+        )
+        floor = max(PLATFORM.compute_cycles(l, 1.0) for l in model.layers)
+        assert max(s.compute_cycles for s in found.segments()) <= max(cap, floor)
+
+    def test_single_layer_model(self):
+        from repro.dnn.layers import Dense
+        from repro.dnn.models import Model
+
+        model = Model.sequential(
+            "one", [Dense(name="d", input_shape=(64,), out_features=32)]
+        )
+        seg = search_segmentation(model, PLATFORM, 10**6, INT8, 2)
+        assert seg.num_segments == 1
+
+    def test_impossible_budget_raises(self):
+        model = build_model("autoencoder")
+        with pytest.raises(SegmentationError):
+            search_segmentation(model, PLATFORM, 1024, INT8, 2)
+
+    def test_deterministic(self):
+        model = build_model("ds-cnn")
+        a = search_segmentation(model, PLATFORM, 64 * 1024, INT8, 2)
+        b = search_segmentation(model, PLATFORM, 64 * 1024, INT8, 2)
+        assert a.boundaries == b.boundaries
+
+
+class TestSegmentModelHelper:
+    def test_explicit_boundaries(self):
+        model = build_model("tinyconv")
+        seg = segment_model(model, PLATFORM, [(0, 2), (2, 4)], INT8, 2)
+        assert seg.num_segments == 2

@@ -1,0 +1,134 @@
+"""Unit tests for layer arithmetic."""
+
+import pytest
+
+from repro.dnn.layers import (
+    Add,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    Pool,
+    Softmax,
+)
+from repro.dnn.quantization import FLOAT32, INT8
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        conv = Conv2D(name="c", input_shape=(32, 32, 3), out_channels=16, kernel=3)
+        assert conv.output_shape == (32, 32, 16)
+
+    def test_stride_halves_same_padding(self):
+        conv = Conv2D(name="c", input_shape=(32, 32, 3), out_channels=16, kernel=3, stride=2)
+        assert conv.output_shape == (16, 16, 16)
+
+    def test_valid_padding_shape(self):
+        conv = Conv2D(
+            name="c", input_shape=(28, 28, 1), out_channels=6, kernel=5, padding="valid"
+        )
+        assert conv.output_shape == (24, 24, 6)
+
+    def test_macs_formula(self):
+        conv = Conv2D(name="c", input_shape=(8, 8, 4), out_channels=8, kernel=3)
+        assert conv.macs == 8 * 8 * 8 * 3 * 3 * 4
+
+    def test_params_and_bias(self):
+        conv = Conv2D(name="c", input_shape=(8, 8, 4), out_channels=8, kernel=3)
+        assert conv.param_count == 3 * 3 * 4 * 8
+        assert conv.bias_count == 8
+
+    def test_rectangular_kernel(self):
+        conv = Conv2D(
+            name="c",
+            input_shape=(49, 10, 1),
+            out_channels=64,
+            kernel=(10, 4),
+            stride=(2, 2),
+        )
+        assert conv.output_shape == (25, 5, 64)
+        assert conv.param_count == 10 * 4 * 1 * 64
+
+    def test_param_bytes_follow_quantization(self):
+        conv = Conv2D(name="c", input_shape=(8, 8, 4), out_channels=8, kernel=3)
+        int8 = conv.param_bytes(INT8)
+        f32 = conv.param_bytes(FLOAT32)
+        assert int8 == conv.param_count + 4 * conv.bias_count
+        assert f32 == 4 * conv.param_count + 4 * conv.bias_count
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(out_channels=0),
+        dict(kernel=0),
+        dict(stride=-1),
+        dict(padding="reflect"),
+        dict(input_shape=(8, 8)),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        base = dict(name="c", input_shape=(8, 8, 4), out_channels=8, kernel=3)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Conv2D(**base)
+
+    def test_valid_padding_kernel_too_big(self):
+        with pytest.raises(ValueError, match="larger than input"):
+            Conv2D(name="c", input_shape=(4, 4, 1), out_channels=2, kernel=5,
+                   padding="valid")
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self):
+        dw = DepthwiseConv2D(name="d", input_shape=(16, 16, 24), kernel=3)
+        assert dw.output_shape == (16, 16, 24)
+
+    def test_macs_independent_of_output_channels(self):
+        dw = DepthwiseConv2D(name="d", input_shape=(16, 16, 24), kernel=3)
+        assert dw.macs == 16 * 16 * 24 * 9
+        assert dw.param_count == 9 * 24
+
+
+class TestDense:
+    def test_flattens_input(self):
+        dense = Dense(name="d", input_shape=(4, 4, 2), out_features=10)
+        assert dense.output_shape == (10,)
+        assert dense.macs == 32 * 10
+        assert dense.param_count == 32 * 10
+        assert dense.bias_count == 10
+
+
+class TestPool:
+    def test_default_stride_equals_pool(self):
+        pool = Pool(name="p", input_shape=(8, 8, 4), pool=2)
+        assert pool.output_shape == (4, 4, 4)
+
+    def test_global_mode(self):
+        pool = Pool(name="p", input_shape=(7, 5, 64), mode="global")
+        assert pool.output_shape == (1, 1, 64)
+
+    def test_parameter_free(self):
+        pool = Pool(name="p", input_shape=(8, 8, 4), pool=2)
+        assert pool.param_count == 0 and pool.macs == 0
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="avg|max|global"):
+            Pool(name="p", input_shape=(8, 8, 4), mode="median")
+
+
+class TestShapeOnlyLayers:
+    def test_add_preserves_shape(self):
+        add = Add(name="a", input_shape=(8, 8, 16))
+        assert add.output_shape == (8, 8, 16)
+        assert add.param_count == 0
+
+    def test_flatten(self):
+        flat = Flatten(name="f", input_shape=(4, 4, 16))
+        assert flat.output_shape == (256,)
+
+    def test_softmax_needs_flat_input(self):
+        Softmax(name="s", input_shape=(10,))
+        with pytest.raises(ValueError, match="flat"):
+            Softmax(name="s", input_shape=(4, 4))
+
+    def test_elements(self):
+        flat = Flatten(name="f", input_shape=(4, 4, 16))
+        assert flat.input_elements == 256
+        assert flat.output_elements == 256

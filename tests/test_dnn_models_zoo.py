@@ -1,0 +1,128 @@
+"""Unit tests for model graphs and the zoo."""
+
+import pytest
+
+from repro.dnn.layers import Add, Conv2D, Dense, Flatten
+from repro.dnn.models import Model
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model, list_models
+
+
+def _chain():
+    c1 = Conv2D(name="c1", input_shape=(8, 8, 3), out_channels=4, kernel=3)
+    c2 = Conv2D(name="c2", input_shape=c1.output_shape, out_channels=4, kernel=3)
+    add = Add(name="add", input_shape=c2.output_shape)
+    flat = Flatten(name="f", input_shape=add.output_shape)
+    fc = Dense(name="fc", input_shape=flat.output_shape, out_features=10)
+    return [c1, c2, add, flat, fc]
+
+
+class TestModel:
+    def test_valid_chain(self):
+        model = Model.sequential("m", _chain(), skips=[(0, 2)])
+        assert model.num_layers == 5
+        assert model.output_shape == (10,)
+
+    def test_shape_mismatch_rejected(self):
+        layers = _chain()
+        bad = Dense(name="bad", input_shape=(7,), out_features=3)
+        with pytest.raises(ValueError, match="expects input"):
+            Model.sequential("m", layers[:2] + [bad])
+
+    def test_skip_must_target_add(self):
+        with pytest.raises(ValueError, match="expected add"):
+            Model.sequential("m", _chain(), skips=[(0, 1)])
+
+    def test_skip_shape_mismatch_rejected(self):
+        c1 = Conv2D(name="c1", input_shape=(8, 8, 3), out_channels=4, kernel=3)
+        c2 = Conv2D(name="c2", input_shape=c1.output_shape, out_channels=4,
+                    kernel=3, stride=2)
+        add = Add(name="add", input_shape=c2.output_shape)
+        with pytest.raises(ValueError, match="shape"):
+            # c1 produces 8x8x4 but the add consumes 4x4x4.
+            Model.sequential("m", [c1, c2, add], skips=[(0, 2)])
+
+    def test_skip_ordering_enforced(self):
+        with pytest.raises(ValueError, match="bad skip"):
+            Model.sequential("m", _chain(), skips=[(2, 2)])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="no layers"):
+            Model.sequential("m", [])
+
+    def test_totals(self):
+        model = Model.sequential("m", _chain())
+        assert model.total_macs == sum(l.macs for l in _chain())
+        assert model.total_params == sum(l.param_count for l in _chain())
+
+    def test_skip_extends_liveness(self):
+        plain = Model.sequential("m", _chain())
+        skipped = Model.sequential("m", _chain(), skips=[(0, 2)])
+        # The skip tensor (8*8*4 elements) is live during layers 1..2.
+        assert (
+            skipped.layer_working_elements(1)
+            == plain.layer_working_elements(1) + 8 * 8 * 4
+        )
+
+    def test_peak_activation_positive(self):
+        model = Model.sequential("m", _chain())
+        assert model.peak_activation_bytes(INT8) > 0
+
+    def test_summary_rows(self):
+        model = Model.sequential("m", _chain())
+        rows = model.summary_rows(INT8)
+        assert len(rows) == model.num_layers
+        assert rows[0]["kind"] == "conv2d"
+        assert all(row["working_act_bytes"] > 0 for row in rows)
+
+
+class TestZoo:
+    def test_all_models_build(self):
+        for name in list_models():
+            model = build_model(name)
+            assert model.num_layers > 0
+            assert model.total_macs > 0
+
+    def test_unknown_model_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("gpt4")
+
+    # Reference statistics (MLPerf-Tiny class; exact values computed from
+    # the reimplemented topologies and pinned here as regressions).
+    def test_ds_cnn_matches_reference_class(self):
+        model = build_model("ds-cnn")
+        assert 20_000 <= model.total_params <= 30_000
+        assert 2.0e6 <= model.total_macs <= 3.5e6
+
+    def test_autoencoder_matches_reference_class(self):
+        model = build_model("autoencoder")
+        assert 260_000 <= model.total_params <= 280_000
+        assert all(l.kind == "dense" for l in model.layers)
+
+    def test_mobilenet_v1_025_matches_reference_class(self):
+        model = build_model("mobilenet-v1-0.25")
+        assert 200_000 <= model.total_params <= 230_000
+        assert model.input_shape == (96, 96, 3)
+        assert model.output_shape == (2,)
+
+    def test_resnet8_has_three_residual_stages(self):
+        model = build_model("resnet8")
+        assert len(model.skips) == 3
+
+    def test_mobilenet_half_is_the_big_one(self):
+        sizes = {
+            name: build_model(name).total_param_bytes(INT8) for name in list_models()
+        }
+        assert max(sizes, key=sizes.get) == "mobilenet-v1-0.5"
+        assert sizes["mobilenet-v1-0.5"] > 700 * 1024
+
+    def test_kws_cnn_reference_class(self):
+        model = build_model("kws-cnn")
+        assert 380_000 <= model.total_params <= 480_000
+        assert model.input_shape == (49, 10, 1)
+
+    def test_residual_models_validate_skips(self):
+        for name in ("resnet8", "mcunet-vww", "mobilenet-v2-0.35"):
+            model = build_model(name)
+            for producer, consumer in model.skips:
+                assert model.layers[consumer].kind == "add"

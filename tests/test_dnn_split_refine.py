@@ -1,0 +1,119 @@
+"""Unit tests for filter-group splitting and model refinement."""
+
+import pytest
+
+from repro.dnn.layers import (
+    MAX_SPLIT_PARTS,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    PartialLayer,
+    Pool,
+    split_layer,
+)
+from repro.dnn.models import Model, refine_model
+from repro.dnn.quantization import INT8
+from repro.dnn.zoo import build_model
+
+
+class TestSplitLayer:
+    def test_conserves_macs_params_bias(self):
+        dense = Dense(name="d", input_shape=(640,), out_features=128)
+        for parts in (2, 3, 7):
+            slices = split_layer(dense, parts)
+            assert sum(s.macs for s in slices) == dense.macs
+            assert sum(s.param_count for s in slices) == dense.param_count
+            assert sum(s.bias_count for s in slices) == dense.bias_count
+
+    def test_chain_shapes_are_valid(self):
+        conv = Conv2D(name="c", input_shape=(8, 8, 16), out_channels=32, kernel=3)
+        slices = split_layer(conv, 4)
+        assert slices[0].input_shape == conv.input_shape
+        for prev, cur in zip(slices, slices[1:]):
+            assert cur.input_shape == prev.output_shape
+        assert slices[-1].output_shape == conv.output_shape
+
+    def test_nonfinal_slices_track_accumulator(self):
+        conv = Conv2D(name="c", input_shape=(8, 8, 16), out_channels=32, kernel=3)
+        slices = split_layer(conv, 4)
+        for s in slices[:-1]:
+            assert s.extra_live_elements == conv.output_elements
+        assert slices[-1].extra_live_elements == 0
+
+    def test_kind_is_inherited(self):
+        dw = DepthwiseConv2D(name="d", input_shape=(16, 16, 32), kernel=3)
+        slices = split_layer(dw, 2)
+        assert all(s.kind == "dwconv2d" for s in slices)
+        assert all(isinstance(s, PartialLayer) for s in slices)
+
+    def test_parts_capped_at_filter_count(self):
+        dense = Dense(name="d", input_shape=(10,), out_features=3)
+        assert len(split_layer(dense, 100)) == 3
+
+    def test_parts_capped_at_max_split_parts(self):
+        dense = Dense(name="d", input_shape=(10,), out_features=10_000)
+        assert len(split_layer(dense, 10_000)) == MAX_SPLIT_PARTS
+
+    def test_single_part_returns_original(self):
+        dense = Dense(name="d", input_shape=(10,), out_features=4)
+        assert split_layer(dense, 1) == [dense]
+
+    def test_unsplittable_kind_rejected(self):
+        pool = Pool(name="p", input_shape=(8, 8, 4), pool=2)
+        with pytest.raises(ValueError, match="cannot split"):
+            split_layer(pool, 2)
+
+
+class TestRefineModel:
+    @pytest.mark.parametrize("name", ["autoencoder", "mobilenet-v1-0.25", "resnet8"])
+    def test_conserves_totals(self, name):
+        model = build_model(name)
+        refined = refine_model(model, INT8, 8 * 1024)
+        assert refined.total_macs == model.total_macs
+        assert refined.total_params == model.total_params
+        assert refined.input_shape == model.input_shape
+        assert refined.output_shape == model.output_shape
+
+    def test_respects_byte_cap_for_splittable_layers(self):
+        model = build_model("autoencoder")
+        cap = 8 * 1024
+        refined = refine_model(model, INT8, cap)
+        for layer in refined.layers:
+            assert layer.param_bytes(INT8) <= cap
+
+    def test_macs_cap_splits_compute_heavy_layers(self):
+        model = build_model("resnet8")
+        refined = refine_model(model, INT8, 10**9, max_chunk_macs=200_000)
+        worst = max(l.macs for l in refined.layers if l.kind in ("conv2d", "dwconv2d"))
+        # Wide layers obey the cap; narrow layers are bounded by their
+        # filter count, so allow the unavoidable residue.
+        assert worst <= max(200_000, max(l.macs // MAX_SPLIT_PARTS for l in model.layers) * 2)
+
+    def test_skips_remapped_to_final_slice(self):
+        model = build_model("resnet8")
+        refined = refine_model(model, INT8, 4 * 1024)
+        # Every skip must still target an Add layer with matching shape.
+        for producer, consumer in refined.skips:
+            assert refined.layers[consumer].kind == "add"
+            assert (
+                refined.layers[producer].output_shape
+                == refined.layers[consumer].input_shape
+            )
+        assert len(refined.skips) == len(model.skips)
+
+    def test_noop_below_cap(self):
+        model = build_model("tinyconv")
+        refined = refine_model(model, INT8, 10**9)
+        assert refined.num_layers == model.num_layers
+
+    def test_invalid_caps_rejected(self):
+        model = build_model("tinyconv")
+        with pytest.raises(ValueError):
+            refine_model(model, INT8, 0)
+        with pytest.raises(ValueError):
+            refine_model(model, INT8, 1024, max_chunk_macs=-1)
+
+    def test_peak_activation_grows_at_most_by_accumulator(self):
+        model = build_model("autoencoder")
+        refined = refine_model(model, INT8, 8 * 1024)
+        assert refined.peak_activation_bytes(INT8) >= model.peak_activation_bytes(INT8)

@@ -1,0 +1,89 @@
+"""Smoke tests for every experiment driver (tiny scales).
+
+The benchmarks run the drivers at evaluation scale; these tests ensure
+each driver stays runnable and structurally correct on every change.
+"""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.reporting import render
+
+FAST = ("EXP-T1", "EXP-T2", "EXP-F3", "EXP-T3", "EXP-F9")
+SWEEPS = ("EXP-F4", "EXP-F5", "EXP-F6")
+
+
+@pytest.mark.parametrize("exp_id", FAST)
+def test_fast_drivers(exp_id):
+    result = run_experiment(exp_id)
+    assert result.exp_id == exp_id
+    assert result.rows
+    assert all(len(row) == len(result.columns) for row in result.rows)
+    assert render(result)
+
+
+@pytest.mark.parametrize("exp_id", SWEEPS)
+def test_sweep_drivers_tiny(exp_id):
+    kwargs = {"n_sets": 4, "scale": 1.0}
+    if exp_id == "EXP-F4":
+        kwargs["utils"] = (0.3, 0.6)
+    elif exp_id == "EXP-F5":
+        kwargs["sram_kib"] = (128, 320)
+    else:
+        kwargs["factors"] = (0.5, 4.0)
+    result = run_experiment(exp_id, **kwargs)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        for cell in row[1:]:
+            assert 0.0 <= cell <= 1.0
+
+
+def test_f7_tiny_and_safety_column():
+    result = run_experiment("EXP-F7", utils=(0.4,), n_sets=2, n_phasings=1)
+    assert result.rows[0][-1] == 0  # admitted sets never miss
+
+
+def test_f8_tiny_and_safety():
+    result = run_experiment("EXP-F8", utils=(0.4,), n_sets=3)
+    for row in result.rows:
+        worst = row[-1]
+        if worst is not None:
+            assert worst <= 1.0
+
+
+def test_f10_tiny():
+    result = run_experiment("EXP-F10", utils=(0.5,), n_sets=2)
+    assert len(result.rows) == 1
+
+
+def test_f11_tiny():
+    result = run_experiment("EXP-F11", n_sets=4)
+    assert any(str(row[0]).startswith("sched") for row in result.rows)
+
+
+def test_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "EXP-T1", "EXP-T2", "EXP-F3", "EXP-F4", "EXP-F5", "EXP-F6",
+        "EXP-F7", "EXP-F8", "EXP-T3", "EXP-F9", "EXP-F10", "EXP-F11",
+        "EXP-F12", "EXP-F13", "EXP-F14", "EXP-F15",
+    }
+
+
+def test_f13_tiny():
+    result = run_experiment("EXP-F13", utils=(0.4,), n_sets=4)
+    util, external_only, with_flash, _ = result.rows[0]
+    assert with_flash >= external_only
+
+
+def test_f14_energy_orderings():
+    result = run_experiment("EXP-F14")
+    for row in result.rows:
+        model, rtmdm, sequential, xip, ratio = row
+        assert rtmdm <= sequential + 1e-9
+        assert rtmdm <= xip + 1e-9
+        assert ratio >= 1.0
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError, match="available"):
+        run_experiment("EXP-NOPE")

@@ -1,0 +1,97 @@
+"""Unit tests for external memory and DMA models."""
+
+import pytest
+
+from repro.hw.dma import DmaArbitration, DmaEngine
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+
+MCU = McuSpec(name="m", clock_hz=100_000_000, sram_bytes=256 * 1024, flash_bytes=0)
+
+
+def _mem(**kwargs):
+    defaults = dict(
+        name="mem",
+        read_bandwidth_bps=50e6,
+        write_bandwidth_bps=50e6,
+        setup_latency_s=1e-6,
+        xip_efficiency=0.5,
+    )
+    defaults.update(kwargs)
+    return ExternalMemory(**defaults)
+
+
+class TestExternalMemory:
+    def test_read_cycles_includes_setup(self):
+        mem = _mem()
+        # 50 MB/s at 100 MHz -> 2 cycles per byte; setup 1 us -> 100 cycles.
+        assert mem.read_cycles(1000, MCU) == 100 + 2000
+
+    def test_zero_bytes_is_free(self):
+        assert _mem().read_cycles(0, MCU) == 0
+        assert _mem().write_cycles(0, MCU) == 0
+
+    def test_read_cycles_rounds_up(self):
+        mem = _mem(read_bandwidth_bps=3e8)  # 3 bytes/cycle
+        assert mem.read_cycles(10, MCU) == mem.setup_cycles(MCU) + 4  # ceil(10/3)
+
+    def test_write_requires_writable(self):
+        rom = _mem(write_bandwidth_bps=0.0)
+        assert not rom.writable
+        with pytest.raises(ValueError, match="not writable"):
+            rom.write_cycles(100, MCU)
+
+    def test_xip_rate_scales_with_efficiency(self):
+        fast = _mem(xip_efficiency=1.0)
+        slow = _mem(xip_efficiency=0.25)
+        assert fast.xip_bytes_per_cycle(MCU) == pytest.approx(
+            4 * slow.xip_bytes_per_cycle(MCU)
+        )
+
+    def test_scaled_changes_bandwidth_only(self):
+        mem = _mem()
+        double = mem.scaled(2.0)
+        assert double.read_bandwidth_bps == pytest.approx(2 * mem.read_bandwidth_bps)
+        assert double.setup_latency_s == mem.setup_latency_s
+        assert "x2" in double.name
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _mem().scaled(0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            _mem().read_cycles(-1, MCU)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(read_bandwidth_bps=0),
+        dict(write_bandwidth_bps=-1),
+        dict(setup_latency_s=-1e-9),
+        dict(xip_efficiency=0.0),
+        dict(xip_efficiency=1.5),
+    ])
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            _mem(**kwargs)
+
+
+class TestDmaEngine:
+    def test_transfer_adds_program_overhead(self):
+        mem = _mem()
+        dma = DmaEngine(program_overhead_s=1e-6)
+        expected = 100 + mem.read_cycles(1000, MCU)
+        assert dma.transfer_cycles(1000, MCU, mem) == expected
+
+    def test_zero_transfer_free(self):
+        assert DmaEngine().transfer_cycles(0, MCU, _mem()) == 0
+
+    def test_with_arbitration(self):
+        dma = DmaEngine(arbitration=DmaArbitration.PRIORITY)
+        fifo = dma.with_arbitration(DmaArbitration.FIFO)
+        assert fifo.arbitration is DmaArbitration.FIFO
+        assert dma.arbitration is DmaArbitration.PRIORITY  # original untouched
+        assert fifo.program_overhead_s == dma.program_overhead_s
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            DmaEngine(program_overhead_s=-1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for platform presets."""
+
+import pytest
+
+from repro.hw.presets import (
+    EXTERNAL_MEMORIES,
+    MCUS,
+    PLATFORMS,
+    get_external_memory,
+    get_mcu,
+    get_platform,
+)
+
+
+class TestPresets:
+    def test_all_platforms_are_consistent(self):
+        for key, platform in PLATFORMS.items():
+            assert platform.mcu.clock_hz > 0
+            assert platform.usable_sram_bytes > 0
+            assert platform.memory.read_bandwidth_bps > 0
+            # Loading 1 KiB must cost something but less than 10 ms.
+            cycles = platform.load_cycles(1024)
+            assert 0 < platform.mcu.cycles_to_ms(cycles) < 10
+
+    def test_default_platform_exists(self):
+        assert get_platform().name == PLATFORMS["f746-qspi"].name
+
+    def test_lookup_helpers(self):
+        assert get_mcu("stm32f746").name == "STM32F746"
+        assert get_external_memory("qspi-nor").name == "QSPI-NOR"
+        assert get_platform("h743-octal").mcu.name == "STM32H743"
+
+    @pytest.mark.parametrize("fn,key", [
+        (get_mcu, "z80"),
+        (get_external_memory, "floppy"),
+        (get_platform, "pdp11"),
+    ])
+    def test_unknown_keys_list_options(self, fn, key):
+        with pytest.raises(KeyError, match="available"):
+            fn(key)
+
+    def test_qspi_is_read_only(self):
+        assert not EXTERNAL_MEMORIES["qspi-nor"].writable
+
+    def test_psram_is_writable(self):
+        assert EXTERNAL_MEMORIES["octal-psram"].writable
+
+    def test_mcu_catalog_covers_sram_range(self):
+        srams = sorted(m.sram_bytes for m in MCUS.values())
+        assert srams[0] <= 128 * 1024
+        assert srams[-1] >= 512 * 1024
+
+    def test_bandwidth_ordering(self):
+        # The presets must span slow SPI to fast SDRAM for EXP-F6.
+        bws = [m.read_bandwidth_bps for m in EXTERNAL_MEMORIES.values()]
+        assert max(bws) / min(bws) > 10

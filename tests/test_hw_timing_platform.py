@@ -1,0 +1,126 @@
+"""Unit tests for the layer timing model and platform bundle."""
+
+import pytest
+
+from repro.dnn.layers import Conv2D, Dense, DepthwiseConv2D, Flatten, Pool
+from repro.hw.dma import DmaArbitration
+from repro.hw.mcu import McuSpec
+from repro.hw.memory import ExternalMemory
+from repro.hw.platform import Platform
+from repro.hw.timing import TimingModel
+
+MCU = McuSpec(name="m", clock_hz=100_000_000, sram_bytes=256 * 1024, flash_bytes=0)
+MEM = ExternalMemory(name="x", read_bandwidth_bps=50e6, xip_efficiency=0.5)
+TIMING = TimingModel()
+
+
+def _conv():
+    return Conv2D(name="c", input_shape=(16, 16, 8), out_channels=16, kernel=3)
+
+
+class TestTimingModel:
+    def test_mac_layers_scale_with_macs(self):
+        small = Conv2D(name="s", input_shape=(8, 8, 8), out_channels=8, kernel=3)
+        big = Conv2D(name="b", input_shape=(16, 16, 8), out_channels=8, kernel=3)
+        cs = TIMING.compute_cycles(small, MCU)
+        cb = TIMING.compute_cycles(big, MCU)
+        assert cb > cs
+        # 4x the output area -> roughly 4x the arithmetic (minus overhead).
+        ratio = (cb - TIMING.per_layer_overhead_cycles) / (
+            cs - TIMING.per_layer_overhead_cycles
+        )
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_dwconv_costs_more_per_mac_than_conv(self):
+        conv = _conv()
+        dw = DepthwiseConv2D(name="d", input_shape=(16, 16, 8), kernel=3)
+        conv_per_mac = (TIMING.compute_cycles(conv, MCU) - 2000) / conv.macs
+        dw_per_mac = (TIMING.compute_cycles(dw, MCU) - 2000) / dw.macs
+        assert dw_per_mac > conv_per_mac
+
+    def test_memory_bound_floor_applies(self):
+        # A huge dense layer with tiny compute coefficient would be
+        # memory-bound; verify the floor kicks in via a wide dense layer.
+        dense = Dense(name="d", input_shape=(4096,), out_features=1)
+        cycles = TIMING.compute_cycles(dense, MCU)
+        bytes_touched = dense.param_count + dense.input_elements + dense.output_elements
+        floor = bytes_touched * TIMING.sram_cycles_per_byte
+        assert cycles >= floor
+
+    def test_no_dsp_inflates_mac_layers(self):
+        no_dsp = McuSpec(
+            name="nd", clock_hz=100_000_000, sram_bytes=256 * 1024,
+            flash_bytes=0, dsp_extensions=False,
+        )
+        assert TIMING.compute_cycles(_conv(), no_dsp) > TIMING.compute_cycles(_conv(), MCU)
+
+    def test_float32_slower_than_int8(self):
+        assert TIMING.compute_cycles(_conv(), MCU, 4.0) > TIMING.compute_cycles(
+            _conv(), MCU, 1.0
+        )
+
+    def test_element_layers_use_element_cost(self):
+        pool = Pool(name="p", input_shape=(16, 16, 8), pool=2)
+        cycles = TIMING.compute_cycles(pool, MCU)
+        assert cycles >= TIMING.per_layer_overhead_cycles
+
+    def test_unknown_kind_raises(self):
+        class Weird:
+            kind = "fft"
+            macs = 10
+            output_elements = 10
+            input_elements = 10
+            param_count = 0
+
+        with pytest.raises(KeyError, match="fft"):
+            TIMING.compute_cycles(Weird(), MCU)
+
+    def test_xip_adds_weight_fetch_cost(self):
+        cost = TIMING.layer_cost(_conv(), MCU, MEM, xip=True)
+        assert cost.xip_extra_cycles > 0
+        assert cost.xip_cycles == cost.compute_cycles + cost.xip_extra_cycles
+
+    def test_xip_free_for_parameterless_layers(self):
+        flat = Flatten(name="f", input_shape=(4, 4, 4))
+        cost = TIMING.layer_cost(flat, MCU, MEM, xip=True)
+        assert cost.xip_extra_cycles == 0
+
+    def test_staged_mode_has_no_xip_cost(self):
+        cost = TIMING.layer_cost(_conv(), MCU, MEM, xip=False)
+        assert cost.xip_extra_cycles == 0
+
+
+class TestPlatform:
+    def _platform(self):
+        return Platform(name="p", mcu=MCU, memory=MEM)
+
+    def test_load_cycles_delegates_to_dma(self):
+        p = self._platform()
+        assert p.load_cycles(1000) == p.dma.transfer_cycles(1000, MCU, MEM)
+
+    def test_xip_cycles_exceed_staged_for_weighted_layer(self):
+        p = self._platform()
+        conv = _conv()
+        assert p.xip_cycles(conv) > p.compute_cycles(conv)
+
+    def test_with_bandwidth_factor(self):
+        p = self._platform()
+        fast = p.with_bandwidth_factor(2.0)
+        assert fast.load_cycles(100_000) < p.load_cycles(100_000)
+        assert fast.mcu is p.mcu
+
+    def test_with_sram_bytes(self):
+        p = self._platform().with_sram_bytes(64 * 1024)
+        assert p.mcu.sram_bytes == 64 * 1024
+        assert p.mcu.clock_hz == MCU.clock_hz
+
+    def test_with_dma_arbitration(self):
+        p = self._platform().with_dma_arbitration(DmaArbitration.FIFO)
+        assert p.dma.arbitration is DmaArbitration.FIFO
+
+    def test_balance_bytes_per_cycle(self):
+        p = self._platform()
+        assert p.balance_bytes_per_cycle() == pytest.approx(0.5)  # 50e6 / 100e6
+
+    def test_usable_sram(self):
+        assert self._platform().usable_sram_bytes == MCU.usable_sram_bytes

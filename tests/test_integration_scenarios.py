@@ -1,0 +1,81 @@
+"""Integration tests: every named scenario end to end.
+
+Each scenario is planned with the framework, simulated on its platform,
+and the offline guarantee is checked against the observed schedule.
+These are the repository's "does the whole stack hang together" tests.
+"""
+
+import pytest
+
+from repro.core.framework import RtMdm
+from repro.hw.presets import get_platform
+from repro.workload.scenarios import SCENARIOS, get_scenario
+
+
+def _configure(scenario_name):
+    scenario = get_scenario(scenario_name)
+    platform = get_platform(scenario.platform_key)
+    rt = RtMdm(platform)
+    for spec in scenario.specs():
+        rt.add_task(spec.name, spec.model, spec.period_s, spec.deadline_s)
+    return rt.configure()
+
+
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+def test_scenario_plans_and_fits(scenario_name):
+    config = _configure(scenario_name)
+    assert config.feasible, config.infeasible_reason
+    assert config.sram_plan.fits
+    config.sram_plan.verify_disjoint()
+
+
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+def test_admitted_scenarios_never_miss_in_simulation(scenario_name):
+    config = _configure(scenario_name)
+    if not config.admitted:
+        pytest.skip(f"{scenario_name} not admitted on its default platform")
+    result = config.simulate()
+    assert result.no_misses
+    for task in config.taskset:
+        observed = result.max_response(task.name)
+        bound = config.analysis.wcrt[task.name]
+        assert observed is not None and observed <= bound
+
+
+def test_doorbell_is_admitted():
+    """The flagship case study must be admitted outright."""
+    config = _configure("doorbell")
+    assert config.admitted
+
+
+def test_doorbell_beats_sequential_latency():
+    """RT-MDM's pipelined latency dominates the sequential baseline's,
+    and load-heavy tasks see materially tighter response bounds.
+
+    (Per-task bound dominance is NOT asserted: folding loads into compute
+    removes the DMA-blocking term, which can make the sequential bound
+    marginally tighter for load-light tasks — the win shows on latency
+    and on the load-heavy tasks.)
+    """
+    from repro.baselines import sequentialize
+    from repro.core.analysis import analyze
+    from repro.core.pipeline import isolated_latency
+    from repro.sched.task import TaskSet
+
+    config = _configure("doorbell")
+    sequential = TaskSet.of(sequentialize(t) for t in config.taskset)
+    seq = analyze(sequential, "rtmdm")
+    for task in config.taskset:
+        seq_task = sequential.by_name(task.name)
+        assert isolated_latency(task.segments, task.buffers) <= isolated_latency(
+            seq_task.segments, seq_task.buffers
+        )
+    # The autoencoder is the load-heavy task: bounds must improve there.
+    assert config.analysis.wcrt["anomaly"] < seq.wcrt["anomaly"]
+
+
+def test_gantt_renders_for_case_study():
+    config = _configure("doorbell")
+    result = config.simulate(duration_s=1.0, record_trace=True)
+    chart = result.trace.gantt(width=60)
+    assert "cpu" in chart and "dma" in chart

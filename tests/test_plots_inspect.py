@@ -1,0 +1,75 @@
+"""Tests for ASCII sweep plots and the inspect CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.plots import ascii_plot
+from repro.eval.reporting import ExperimentResult
+
+
+def _sweep():
+    return ExperimentResult(
+        exp_id="EXP-X",
+        title="demo sweep",
+        columns=("util", "a", "b"),
+        rows=((0.2, 0.9, 0.1), (0.4, 0.6, 0.3), (0.6, 0.3, 0.6), (0.8, 0.0, 1.0)),
+    )
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_axes(self):
+        chart = ascii_plot(_sweep())
+        assert "EXP-X" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "x: util" in chart
+        assert "0.2" in chart and "0.8" in chart
+
+    def test_extremes_labelled(self):
+        chart = ascii_plot(_sweep())
+        assert "1.000" in chart  # max
+        assert "0" in chart  # min
+
+    def test_series_subset(self):
+        chart = ascii_plot(_sweep(), series=["b"])
+        assert "o=b" in chart and "=a" not in chart
+
+    def test_handles_none_cells(self):
+        result = ExperimentResult(
+            "E", "t", ("x", "y"), ((1, 0.5), (2, None), (3, 0.9))
+        )
+        chart = ascii_plot(result)
+        assert "o=y" in chart
+
+    def test_degenerate_inputs(self):
+        single = ExperimentResult("E", "t", ("x", "y"), ((1, 0.5),))
+        assert ascii_plot(single) == "(nothing to plot)"
+        empty = ExperimentResult("E", "t", ("x", "y"), ((1, None), (2, None)))
+        assert ascii_plot(empty) == "(nothing to plot)"
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        flat = ExperimentResult(
+            "E", "t", ("x", "y"), ((1, 0.5), (2, 0.5), (3, 0.5))
+        )
+        assert "o=y" in ascii_plot(flat)
+
+
+class TestInspectCommand:
+    def test_inspect_model(self, capsys):
+        assert main(["inspect", "ds-cnn"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "MMACs" in out
+        assert "segmentation within" in out
+
+    def test_inspect_with_budget(self, capsys):
+        assert main(["inspect", "autoencoder", "--budget", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "within 64 KiB" in out
+
+    def test_inspect_infeasible_budget(self, capsys):
+        assert main(["inspect", "mobilenet-v1-0.5", "--budget", "8"]) == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_exp_plot_flag(self, capsys):
+        assert main(["exp", "EXP-F9", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "x: segments" in out

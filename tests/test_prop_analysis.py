@@ -1,0 +1,65 @@
+"""Property-based tests for analysis monotonicity invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_taskset
+from repro.core.analysis import METHODS, analyze
+from repro.sched.task import TaskSet
+
+seeds = st.integers(0, 10_000)
+
+
+@given(seeds, st.sampled_from(METHODS))
+@settings(max_examples=60, deadline=None)
+def test_removing_lowest_priority_task_never_worsens_others(seed, method):
+    """Less blocking and no interference change: bounds can only improve."""
+    rng = random.Random(seed)
+    ts = random_taskset(rng, n_tasks=3, util_target=0.4)
+    full = analyze(ts, method)
+    lowest = ts.sorted_by_priority()[-1].name
+    reduced_set = TaskSet.of(t for t in ts if t.name != lowest)
+    reduced = analyze(reduced_set, method)
+    for task in reduced_set:
+        full_bound = full.wcrt[task.name]
+        red_bound = reduced.wcrt[task.name]
+        if full_bound is not None:
+            assert red_bound is not None
+            assert red_bound <= full_bound
+
+
+@given(seeds, st.sampled_from(METHODS))
+@settings(max_examples=60, deadline=None)
+def test_bounds_at_least_own_demand(seed, method):
+    """No bound can fall below the task's own isolated latency."""
+    from repro.core.pipeline import isolated_latency
+
+    rng = random.Random(seed)
+    ts = random_taskset(rng, n_tasks=3, util_target=0.4)
+    result = analyze(ts, method)
+    for task in ts:
+        bound = result.wcrt[task.name]
+        if bound is not None:
+            assert bound >= isolated_latency(task.segments, task.buffers)
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_analysis_is_deterministic(seed):
+    rng1, rng2 = random.Random(seed), random.Random(seed)
+    ts1 = random_taskset(rng1, n_tasks=3)
+    ts2 = random_taskset(rng2, n_tasks=3)
+    assert analyze(ts1, "rtmdm").wcrt == analyze(ts2, "rtmdm").wcrt
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_priority_shift_preserves_relative_order_semantics(seed):
+    """Adding a constant to every priority changes nothing."""
+    rng = random.Random(seed)
+    ts = random_taskset(rng, n_tasks=3, util_target=0.4)
+    shifted = TaskSet.of(t.with_priority(t.priority + 100) for t in ts)
+    assert analyze(ts, "rtmdm").wcrt == analyze(shifted, "rtmdm").wcrt

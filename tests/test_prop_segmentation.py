@@ -1,0 +1,62 @@
+"""Property-based tests (hypothesis) for segmentation and buffers."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segmentation import _greedy_parts_needed, min_max_weight_partition
+
+weights_strategy = st.lists(st.integers(0, 1000), min_size=1, max_size=14).filter(
+    lambda w: max(w) > 0
+)
+
+
+@given(weights_strategy, st.data())
+def test_partition_covers_and_is_contiguous(weights, data):
+    k = data.draw(st.integers(1, len(weights)))
+    boundaries = min_max_weight_partition(weights, k)
+    assert len(boundaries) == k
+    assert boundaries[0][0] == 0
+    assert boundaries[-1][1] == len(weights)
+    for (s1, e1), (s2, e2) in zip(boundaries, boundaries[1:]):
+        assert e1 == s2
+        assert e2 > s2
+
+
+@given(weights_strategy, st.data())
+@settings(max_examples=60)
+def test_partition_is_minmax_optimal(weights, data):
+    """Cross-check against brute force for small inputs."""
+    if len(weights) > 9:
+        weights = weights[:9]
+    k = data.draw(st.integers(1, len(weights)))
+    boundaries = min_max_weight_partition(weights, k)
+    achieved = max(sum(weights[s:e]) for s, e in boundaries)
+    best = min(
+        max(
+            sum(weights[edges[i]:edges[i + 1]]) for i in range(k)
+        )
+        for cuts in itertools.combinations(range(1, len(weights)), k - 1)
+        for edges in [[0, *cuts, len(weights)]]
+    )
+    assert achieved == best
+
+
+@given(weights_strategy.filter(lambda w: len(w) >= 2), st.data())
+def test_more_parts_never_increase_bottleneck(weights, data):
+    k = data.draw(st.integers(1, len(weights) - 1))
+    coarse = min_max_weight_partition(weights, k)
+    fine = min_max_weight_partition(weights, k + 1)
+    worst = lambda b: max(sum(weights[s:e]) for s, e in b)  # noqa: E731
+    assert worst(fine) <= worst(coarse)
+
+
+@given(weights_strategy, st.integers(1, 4000))
+def test_greedy_parts_consistent_with_partition(weights, cap):
+    needed = _greedy_parts_needed(weights, cap)
+    if needed is None:
+        assert max(weights) > cap
+        return
+    boundaries = min_max_weight_partition(weights, min(needed, len(weights)))
+    assert max(sum(weights[s:e]) for s, e in boundaries) <= cap

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the discrete-event simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import isolated_latency
+from repro.hw.dma import DmaArbitration
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+def _task(name, pairs, period, deadline, priority, buffers, phase=0):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline,
+        priority=priority,
+        buffers=buffers,
+        phase=phase,
+    )
+
+
+@st.composite
+def tasksets(draw, max_tasks=3):
+    n = draw(st.integers(1, max_tasks))
+    tasks = []
+    for i in range(n):
+        m = draw(st.integers(1, 4))
+        pairs = [
+            (draw(st.integers(0, 80)), draw(st.integers(1, 120))) for _ in range(m)
+        ]
+        demand = sum(l + c for l, c in pairs)
+        period = draw(st.integers(demand, demand * 8))
+        deadline = draw(st.integers(max(1, period // 2), period))
+        buffers = draw(st.integers(1, 3))
+        phase = draw(st.integers(0, period))
+        tasks.append(_task(f"t{i}", pairs, period, deadline, i, buffers, phase))
+    return TaskSet.of(tasks)
+
+
+policies = st.sampled_from(list(CpuPolicy))
+arbitrations = st.sampled_from(list(DmaArbitration))
+
+
+@given(tasksets(), policies, arbitrations)
+@settings(max_examples=120, deadline=None)
+def test_resources_never_overlap_and_accounting_consistent(ts, policy, arb):
+    horizon = 6 * max(t.period for t in ts)
+    result = simulate(
+        ts,
+        SimConfig(policy=policy, dma_arbitration=arb, horizon=horizon,
+                  record_trace=True),
+    )
+    result.trace.verify_no_overlap()
+    assert result.cpu_busy == result.trace.busy_cycles("cpu")
+    assert result.dma_busy == result.trace.busy_cycles("dma")
+
+
+@given(tasksets(max_tasks=1), policies)
+@settings(max_examples=80, deadline=None)
+def test_single_task_response_equals_pipeline_latency(ts, policy):
+    """Alone on the platform, every job finishes in the isolated latency
+    (period >= demand >= latency, so jobs never queue)."""
+    result = simulate(
+        ts, SimConfig(policy=policy, horizon=5 * ts[0].period)
+    )
+    expected = isolated_latency(ts[0].segments, ts[0].buffers)
+    stats = result.stats[ts[0].name]
+    assert all(r == expected for r in stats.responses)
+
+
+@given(tasksets(), policies, arbitrations)
+@settings(max_examples=80, deadline=None)
+def test_every_finished_job_executed_all_work(ts, policy, arb):
+    """Busy time equals the per-resource work of completed + queued jobs."""
+    horizon = 5 * max(t.period for t in ts)
+    result = simulate(
+        ts, SimConfig(policy=policy, dma_arbitration=arb, horizon=horizon)
+    )
+    if result.truncated:
+        return
+    for task in ts:
+        stats = result.stats[task.name]
+        # Completed jobs did all their compute; unfinished ones did some.
+        assert stats.jobs >= len(stats.responses)
+    total_compute_done = result.cpu_busy
+    min_expected = sum(
+        len(result.stats[t.name].responses) * t.total_compute for t in ts
+    )
+    assert total_compute_done >= min_expected
+
+
+@given(tasksets())
+@settings(max_examples=60, deadline=None)
+def test_determinism(ts):
+    horizon = 4 * max(t.period for t in ts)
+    a = simulate(ts, SimConfig(horizon=horizon))
+    b = simulate(ts, SimConfig(horizon=horizon))
+    for task in ts:
+        assert a.stats[task.name].responses == b.stats[task.name].responses
+
+
+@given(tasksets(max_tasks=2))
+@settings(max_examples=60, deadline=None)
+def test_preemptive_never_hurts_highest_priority(ts):
+    """The highest-priority task's worst response under preemptive FP is
+    no worse than under non-preemptive FP."""
+    horizon = 6 * max(t.period for t in ts)
+    np_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon))
+    p_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_P, horizon=horizon))
+    top = ts.sorted_by_priority()[0].name
+    np_max = np_result.max_response(top)
+    p_max = p_result.max_response(top)
+    if np_max is not None and p_max is not None:
+        assert p_max <= np_max

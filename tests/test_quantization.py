@@ -1,0 +1,30 @@
+"""Unit tests for quantization schemes."""
+
+import pytest
+
+from repro.dnn.quantization import FLOAT32, INT8, Quantization
+
+
+class TestQuantization:
+    def test_int8_widths(self):
+        assert INT8.weight_nbytes(100) == 100
+        assert INT8.activation_nbytes(100) == 100
+        assert INT8.bias_nbytes(10) == 40  # int32 biases
+
+    def test_float32_widths(self):
+        assert FLOAT32.weight_nbytes(100) == 400
+        assert FLOAT32.activation_nbytes(3) == 12
+
+    def test_fractional_widths_round_up(self):
+        int4 = Quantization(name="int4", weight_bytes=0.5, activation_bytes=1.0)
+        assert int4.weight_nbytes(7) == 4  # ceil(3.5)
+
+    def test_zero_counts(self):
+        assert INT8.weight_nbytes(0) == 0
+        assert INT8.bias_nbytes(0) == 0
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            Quantization(name="bad", weight_bytes=0.0, activation_bytes=1.0)
+        with pytest.raises(ValueError):
+            Quantization(name="bad", weight_bytes=1.0, activation_bytes=-1.0)

@@ -1,0 +1,86 @@
+"""Miscellaneous coverage: SimResult/TaskStats helpers, gantt options,
+and small behaviours not pinned elsewhere."""
+
+import pytest
+
+from conftest import make_task
+from repro.sched.simulator import SimConfig, TaskStats, simulate
+from repro.sched.task import TaskSet
+
+
+class TestTaskStats:
+    def test_empty_stats(self):
+        stats = TaskStats(name="t")
+        assert stats.jobs == 0
+        assert stats.max_response is None
+
+    def test_jobs_counts_unfinished(self):
+        stats = TaskStats(name="t", responses=[5, 7], unfinished=2)
+        assert stats.jobs == 4
+        assert stats.max_response == 7
+
+
+class TestSimResultHelpers:
+    def _result(self):
+        return simulate(
+            TaskSet.of([
+                make_task("a", [(10, 50)], period=200, priority=0),
+                make_task("b", [(0, 30)], period=300, priority=1),
+            ]),
+            SimConfig(horizon=2000, record_trace=True),
+        )
+
+    def test_no_misses_flag(self):
+        result = self._result()
+        assert result.no_misses
+        assert result.total_misses == 0
+
+    def test_busy_counters_positive(self):
+        result = self._result()
+        assert result.cpu_busy > 0
+        assert result.dma_busy > 0
+        assert result.end_time > 0
+
+    def test_max_response_unknown_task(self):
+        result = self._result()
+        with pytest.raises(KeyError):
+            result.max_response("zz")
+
+
+class TestGanttOptions:
+    def test_task_order_controls_symbols(self):
+        result = simulate(
+            TaskSet.of([
+                make_task("zeta", [(0, 50)], period=200, priority=0),
+                make_task("alpha", [(0, 50)], period=200, priority=1),
+            ]),
+            SimConfig(horizon=1000, record_trace=True),
+        )
+        default = result.trace.gantt(width=40)
+        ordered = result.trace.gantt(width=40, task_order=["zeta", "alpha"])
+        assert "A=alpha" in default  # alphabetical by default
+        assert "A=zeta" in ordered
+
+    def test_width_respected(self):
+        result = simulate(
+            TaskSet.of([make_task("a", [(0, 50)], period=200)]),
+            SimConfig(horizon=1000, record_trace=True),
+        )
+        chart = result.trace.gantt(width=25)
+        cpu_row = [l for l in chart.splitlines() if l.startswith(" cpu")][0]
+        assert len(cpu_row.split("|")[1]) == 25
+
+
+class TestSegmentXipBytesField:
+    def test_xip_bytes_default_zero(self):
+        task = make_task("t", [(10, 20)], period=100)
+        assert all(s.xip_bytes == 0 for s in task.segments)
+
+    def test_dispatch_overhead_preserves_xip_bytes(self):
+        from repro.sched.task import PeriodicTask, Segment, with_dispatch_overhead
+
+        task = PeriodicTask(
+            "t", (Segment("s", 0, 100, xip_bytes=512),), 1000, 1000
+        )
+        inflated = with_dispatch_overhead(TaskSet.of([task]), 10)
+        assert inflated.by_name("t").segments[0].xip_bytes == 512

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from conftest import make_task
+from repro.core.pipeline import isolated_latency
+from repro.hw.dma import DmaArbitration
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import TaskSet
+
+
+def _run(tasks, horizon, policy=CpuPolicy.FP_NP, arb=DmaArbitration.PRIORITY, **kw):
+    return simulate(
+        TaskSet.of(tasks),
+        SimConfig(policy=policy, dma_arbitration=arb, horizon=horizon, **kw),
+    )
+
+
+class TestSingleTask:
+    def test_isolated_response_matches_pipeline_recurrence(self):
+        task = make_task("t", [(50, 100), (80, 120), (30, 60)], period=10_000)
+        result = _run([task], horizon=50_000)
+        expected = isolated_latency(task.segments, task.buffers)
+        assert result.max_response("t") == expected
+        assert result.no_misses
+
+    def test_single_buffer_serializes(self):
+        segs = [(50, 100), (80, 120)]
+        fast = make_task("t", segs, period=10_000, buffers=2)
+        slow = make_task("t", segs, period=10_000, buffers=1)
+        r_fast = _run([fast], horizon=20_000).max_response("t")
+        r_slow = _run([slow], horizon=20_000).max_response("t")
+        assert r_slow == sum(l + c for l, c in segs)
+        assert r_fast < r_slow
+
+    def test_zero_load_segments_skip_dma(self):
+        task = make_task("t", [(0, 100), (0, 50)], period=1000)
+        result = _run([task], horizon=3000, record_trace=True)
+        assert result.dma_busy == 0
+        assert result.max_response("t") == 150
+
+    def test_job_count_matches_horizon(self):
+        task = make_task("t", [(0, 10)], period=100)
+        result = _run([task], horizon=1000)
+        assert result.stats["t"].jobs == 10
+
+    def test_phase_delays_first_release(self):
+        task = make_task("t", [(0, 10)], period=100, phase=950)
+        result = _run([task], horizon=1000)
+        assert result.stats["t"].jobs == 1
+
+    def test_phase_beyond_horizon_means_no_jobs(self):
+        task = make_task("t", [(0, 10)], period=100, phase=2000)
+        result = _run([task], horizon=1000)
+        assert result.stats["t"].jobs == 0
+
+
+class TestTwoTasks:
+    def test_higher_priority_wins_cpu(self):
+        hi = make_task("hi", [(0, 100)], period=1000, priority=0)
+        lo = make_task("lo", [(0, 100)], period=1000, priority=1)
+        result = _run([hi, lo], horizon=5000)
+        assert result.max_response("hi") == 100
+        assert result.max_response("lo") == 200
+
+    def test_nonpreemptive_blocking(self):
+        # lo releases at 0 and starts its long segment; hi at 10 must wait.
+        hi = make_task("hi", [(0, 50)], period=1000, priority=0, phase=10)
+        lo = make_task("lo", [(0, 400)], period=1000, priority=1)
+        result = _run([hi, lo], horizon=2000)
+        assert result.max_response("hi") == 390 + 50
+
+    def test_preemptive_policy_preempts(self):
+        hi = make_task("hi", [(0, 50)], period=1000, priority=0, phase=10)
+        lo = make_task("lo", [(0, 400)], period=1000, priority=1)
+        result = _run([hi, lo], horizon=2000, policy=CpuPolicy.FP_P)
+        assert result.max_response("hi") == 50
+        # lo still completes with its full demand plus the preemption.
+        assert result.max_response("lo") == 450
+
+    def test_edf_orders_by_absolute_deadline(self):
+        # a has the later period but an earlier absolute deadline.
+        a = make_task("a", [(0, 100)], period=1000, deadline=150, priority=5)
+        b = make_task("b", [(0, 100)], period=1000, deadline=500, priority=0)
+        result = _run([a, b], horizon=3000, policy=CpuPolicy.EDF_NP)
+        assert result.max_response("a") == 100
+        assert result.max_response("b") == 200
+
+    def test_dma_priority_arbitration(self):
+        # Both want the DMA at t=0; priority arbitration serves hi first.
+        hi = make_task("hi", [(100, 10)], period=1000, priority=0)
+        lo = make_task("lo", [(100, 10)], period=1000, priority=1)
+        result = _run([hi, lo], horizon=2000)
+        assert result.max_response("hi") == 110
+        assert result.max_response("lo") == 210
+
+    def test_dma_fifo_arbitration_respects_eligibility_order(self):
+        hi = make_task("hi", [(100, 10)], period=1000, priority=0, phase=5)
+        lo = make_task("lo", [(100, 10)], period=1000, priority=1, phase=0)
+        result = _run([hi, lo], horizon=2000, arb=DmaArbitration.FIFO)
+        # lo's transfer was queued first and is served first under FIFO.
+        assert result.max_response("lo") == 110
+        assert result.max_response("hi") == 195 + 10
+
+    def test_dma_transfers_are_nonpreemptive_even_by_priority(self):
+        hi = make_task("hi", [(100, 10)], period=1000, priority=0, phase=50)
+        lo = make_task("lo", [(100, 10)], period=1000, priority=1)
+        result = _run([hi, lo], horizon=2000)
+        # hi waits for lo's in-flight transfer to finish (50 cycles left).
+        assert result.max_response("hi") == 50 + 100 + 10
+
+
+class TestOverloadAndMisses:
+    def test_overload_counts_misses(self):
+        task = make_task("t", [(0, 150)], period=100)
+        result = _run([task], horizon=1000)
+        assert result.total_misses > 0
+        assert not result.no_misses
+
+    def test_abort_on_miss_stops_early(self):
+        task = make_task("t", [(0, 150)], period=100)
+        result = _run([task], horizon=100_000, abort_on_miss=True)
+        assert result.aborted_on_miss
+        assert result.end_time < 100_000
+
+    def test_hard_cap_truncates_unbounded_backlog(self):
+        task = make_task("t", [(0, 300)], period=100)
+        result = _run([task], horizon=5000)
+        assert result.truncated or result.total_misses > 0
+
+    def test_queued_jobs_run_fifo_within_task(self):
+        # Period 100, execution 150: job k finishes before job k+1 starts.
+        task = make_task("t", [(0, 150)], period=100)
+        result = _run([task], horizon=450, record_trace=True)
+        intervals = result.trace.intervals("cpu")
+        jobs = [e.job for e in intervals]
+        assert jobs == sorted(jobs)
+
+
+class TestTraceIntegrity:
+    def test_no_resource_overlap(self):
+        tasks = [
+            make_task("a", [(30, 70), (40, 90)], period=500, priority=0),
+            make_task("b", [(60, 120), (0, 80)], period=700, priority=1),
+            make_task("c", [(20, 50)], period=300, priority=2),
+        ]
+        result = _run(tasks, horizon=10_000, record_trace=True)
+        result.trace.verify_no_overlap()
+
+    def test_busy_accounting_matches_trace(self):
+        tasks = [
+            make_task("a", [(30, 70)], period=500, priority=0),
+            make_task("b", [(60, 120)], period=700, priority=1),
+        ]
+        result = _run(tasks, horizon=5000, record_trace=True)
+        assert result.cpu_busy == result.trace.busy_cycles("cpu")
+        assert result.dma_busy == result.trace.busy_cycles("dma")
+
+    def test_completions_equal_releases_when_schedulable(self):
+        tasks = [make_task("a", [(10, 50)], period=200, priority=0)]
+        result = _run(tasks, horizon=2000, record_trace=True)
+        releases = len(result.trace.points("release"))
+        completes = len(result.trace.points("complete"))
+        assert releases == completes == result.stats["a"].jobs
+
+
+class TestConfigValidation:
+    def test_bad_horizon_rejected(self):
+        task = make_task("t", [(0, 10)], period=100)
+        with pytest.raises(ValueError, match="horizon"):
+            simulate(TaskSet.of([task]), SimConfig(horizon=0))

@@ -1,0 +1,122 @@
+"""Unit tests for the segmented task model."""
+
+import pytest
+
+from conftest import make_task
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+class TestSegment:
+    def test_valid(self):
+        seg = Segment(name="s", load_cycles=10, compute_cycles=20, load_bytes=128)
+        assert seg.load_cycles == 10
+
+    def test_zero_load_allowed(self):
+        Segment(name="s", load_cycles=0, compute_cycles=1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(load_cycles=-1, compute_cycles=10),
+        dict(load_cycles=0, compute_cycles=0),
+        dict(load_cycles=0, compute_cycles=10, load_bytes=-1),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Segment(name="s", **kwargs)
+
+
+class TestPeriodicTask:
+    def test_aggregates(self):
+        task = make_task("t", [(10, 100), (20, 200), (0, 50)], period=1000)
+        assert task.total_load == 30
+        assert task.total_compute == 350
+        assert task.max_segment_compute == 200
+        assert task.max_segment_load == 20
+        assert task.num_segments == 3
+        assert task.cpu_utilization == pytest.approx(0.35)
+        assert task.dma_utilization == pytest.approx(0.03)
+
+    def test_deadline_defaults_constrained(self):
+        with pytest.raises(ValueError, match="deadline"):
+            make_task("t", [(0, 10)], period=100, deadline=101)
+        with pytest.raises(ValueError, match="deadline"):
+            PeriodicTask(
+                name="t",
+                segments=(Segment(name="s", load_cycles=0, compute_cycles=10),),
+                period=100,
+                deadline=0,
+            )
+
+    def test_with_priority_preserves_rest(self):
+        task = make_task("t", [(5, 10)], period=100, priority=3)
+        moved = task.with_priority(1)
+        assert moved.priority == 1
+        assert moved.segments == task.segments
+        assert moved.period == task.period
+
+    def test_with_phase(self):
+        task = make_task("t", [(5, 10)], period=100)
+        assert task.with_phase(42).phase == 42
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(period=0),
+        dict(period=100, buffers=0),
+        dict(period=100, phase=-1),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_task("t", [(0, 10)], **kwargs)
+
+    def test_needs_segments(self):
+        with pytest.raises(ValueError, match="segment"):
+            PeriodicTask(name="t", segments=(), period=10, deadline=10)
+
+
+class TestTaskSet:
+    def _ts(self):
+        return TaskSet.of([
+            make_task("a", [(0, 10)], period=100, priority=1),
+            make_task("b", [(0, 20)], period=50, priority=0),
+        ])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet.of([
+                make_task("a", [(0, 10)], period=100),
+                make_task("a", [(0, 20)], period=50),
+            ])
+
+    def test_by_name(self):
+        ts = self._ts()
+        assert ts.by_name("a").period == 100
+        with pytest.raises(KeyError):
+            ts.by_name("zz")
+
+    def test_sorted_by_priority(self):
+        ts = self._ts()
+        assert [t.name for t in ts.sorted_by_priority()] == ["b", "a"]
+
+    def test_utilizations(self):
+        ts = self._ts()
+        assert ts.cpu_utilization == pytest.approx(0.1 + 0.4)
+        assert ts.dma_utilization == 0.0
+
+    def test_hyperperiod(self):
+        assert self._ts().hyperperiod() == 100
+
+    def test_with_priorities_positional(self):
+        ts = self._ts().with_priorities([5, 7])
+        assert ts.by_name("a").priority == 5
+        assert ts.by_name("b").priority == 7
+        with pytest.raises(ValueError):
+            self._ts().with_priorities([1])
+
+    def test_with_phases(self):
+        ts = self._ts().with_phases([3, 4])
+        assert ts.by_name("a").phase == 3
+        assert ts.by_name("b").phase == 4
+
+    def test_iteration_and_indexing(self):
+        ts = self._ts()
+        assert len(ts) == 2
+        assert ts[0].name == "a"
+        assert [t.name for t in ts] == ["a", "b"]

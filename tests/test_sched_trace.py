@@ -1,0 +1,73 @@
+"""Unit tests for trace recording and rendering."""
+
+import pytest
+
+from repro.sched.trace import Trace, TraceEvent
+
+
+def _busy(time, dur, res, task, job=0, seg=0):
+    return TraceEvent(
+        time=time, duration=dur, resource=res, kind="compute" if res == "cpu" else "load",
+        task=task, job=job, segment=seg,
+    )
+
+
+class TestTrace:
+    def test_intervals_sorted_and_filtered(self):
+        trace = Trace()
+        trace.add(_busy(50, 10, "cpu", "b"))
+        trace.add(_busy(0, 20, "cpu", "a"))
+        trace.add(_busy(10, 5, "dma", "a"))
+        cpu = trace.intervals("cpu")
+        assert [e.time for e in cpu] == [0, 50]
+        assert len(trace.intervals("dma")) == 1
+
+    def test_points(self):
+        trace = Trace()
+        trace.add(TraceEvent(5, 0, "", "release", "a", 0))
+        trace.add(TraceEvent(3, 0, "", "miss", "a", 0))
+        assert [e.time for e in trace.points("release")] == [5]
+        assert [e.time for e in trace.points("miss")] == [3]
+
+    def test_busy_cycles(self):
+        trace = Trace()
+        trace.add(_busy(0, 20, "cpu", "a"))
+        trace.add(_busy(30, 10, "cpu", "a"))
+        assert trace.busy_cycles("cpu") == 30
+
+    def test_verify_no_overlap_passes_adjacent(self):
+        trace = Trace()
+        trace.add(_busy(0, 10, "cpu", "a"))
+        trace.add(_busy(10, 10, "cpu", "b"))
+        trace.verify_no_overlap()
+
+    def test_verify_no_overlap_detects_conflict(self):
+        trace = Trace()
+        trace.add(_busy(0, 10, "cpu", "a"))
+        trace.add(_busy(5, 10, "cpu", "b"))
+        with pytest.raises(AssertionError, match="overlap"):
+            trace.verify_no_overlap()
+
+    def test_event_end(self):
+        assert _busy(5, 10, "cpu", "a").end == 15
+
+    def test_gantt_renders_rows_and_legend(self):
+        trace = Trace()
+        trace.add(_busy(0, 50, "cpu", "alpha"))
+        trace.add(_busy(50, 50, "cpu", "beta"))
+        trace.add(_busy(0, 30, "dma", "beta"))
+        chart = trace.gantt(until=100, width=20)
+        assert "cpu" in chart and "dma" in chart
+        assert "A=alpha" in chart and "B=beta" in chart
+        cpu_row = [l for l in chart.splitlines() if l.startswith(" cpu")][0]
+        assert "A" in cpu_row and "B" in cpu_row
+
+    def test_gantt_empty(self):
+        assert Trace().gantt() == "(empty trace)"
+
+    def test_gantt_idle_shown_as_dots(self):
+        trace = Trace()
+        trace.add(_busy(0, 10, "cpu", "a"))
+        chart = trace.gantt(until=100, width=10)
+        cpu_row = [l for l in chart.splitlines() if l.startswith(" cpu")][0]
+        assert "." in cpu_row

@@ -1,0 +1,68 @@
+"""Tests for the validation sweep and the extended CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.validation import ValidationReport, Violation, validate
+from repro.hw.presets import get_platform
+
+
+class TestValidation:
+    def test_sweep_passes(self):
+        report = validate(n_cases=4, utils=(0.3, 0.5), phasings=2, seed=3)
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.cases == 8
+        assert report.simulations >= 0
+        assert "PASS" in report.summary()
+
+    def test_reproducible(self):
+        a = validate(n_cases=3, utils=(0.4,), phasings=2, seed=9)
+        b = validate(n_cases=3, utils=(0.4,), phasings=2, seed=9)
+        assert a.admitted_checks == b.admitted_checks
+        assert a.simulations == b.simulations
+
+    def test_platform_override(self):
+        report = validate(
+            platform=get_platform("h743-octal"), n_cases=2, utils=(0.4,), seed=5
+        )
+        assert report.passed
+
+    def test_report_fail_summary(self):
+        report = ValidationReport()
+        report.violations.append(
+            Violation(method="m", seed=1, task="t", observed=10, bound=5, phases=[0])
+        )
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+
+class TestCliExtensions:
+    def test_plan_flash(self, capsys):
+        assert main(["plan", "doorbell", "--flash"]) == 0
+        out = capsys.readouterr().out
+        assert "internal flash" in out
+        assert "weights=flash" in out
+
+    def test_energy_command(self, capsys):
+        assert main(["energy", "doorbell", "--duration", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU active" in out and "total" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--cases", "2", "--phasings", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_simulate_svg(self, capsys, tmp_path):
+        path = tmp_path / "schedule.svg"
+        assert (
+            main(["simulate", "wearable", "--duration", "0.5", "--svg", str(path)])
+            == 0
+        )
+        assert path.exists()
+        content = path.read_text()
+        assert content.startswith("<svg")
+        assert "wearable" in content
+
+    def test_exp_f14(self, capsys):
+        assert main(["exp", "EXP-F14"]) == 0
+        assert "Energy per inference" in capsys.readouterr().out
