@@ -1,0 +1,7 @@
+"""Benchmark for EXP-R1: overload policies under injected faults."""
+
+from conftest import bench_experiment
+
+
+def test_r1_robustness(benchmark):
+    bench_experiment(benchmark, "EXP-R1", n_sets=4)

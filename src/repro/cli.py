@@ -10,6 +10,8 @@ Commands:
 * ``energy`` — plan + simulate a scenario and report its energy budget.
 * ``exp`` — run one (or ``all``) reconstructed experiments.
 * ``validate`` — analysis-vs-simulation consistency sweep (self-test).
+* ``robust`` — fault-injected simulation of a scenario under every
+  overload policy, plus the analysis sensitivity margin.
 """
 
 from __future__ import annotations
@@ -196,6 +198,85 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robust(args: argparse.Namespace) -> int:
+    from repro.core.analysis import sensitivity_margin
+    from repro.robust.faults import FaultConfig, InflationModel
+    from repro.robust.metrics import robustness_summary
+    from repro.robust.overload import DegradeConfig, OverrunPolicy, degraded_variant
+    from repro.sched.policies import CpuPolicy
+    from repro.sched.simulator import SimConfig, simulate
+
+    config = _build_config(args.scenario, args.platform, args.flash)
+    if not config.feasible:
+        print(f"INFEASIBLE: {config.infeasible_reason}")
+        return 1
+    platform = config.platform
+    taskset = config.taskset
+    if args.duration is not None:
+        horizon = platform.mcu.seconds_to_cycles(args.duration)
+    else:
+        horizon = min(2 * taskset.hyperperiod(), 200 * max(t.period for t in taskset))
+    crc = platform.dma.crc_cycles(platform.mcu)
+    try:
+        faults = FaultConfig(
+            inflation=(
+                InflationModel(args.inflation_model)
+                if args.inflation > 1.0
+                else InflationModel.NONE
+            ),
+            inflation_factor=args.inflation,
+            spike_prob=args.spike_prob,
+            dma_fault_prob=args.dma_fault_prob,
+            dma_max_retries=3,
+            dma_crc_overhead=crc,
+            jitter_cycles=args.jitter,
+            seed=args.seed,
+        )
+        degrade = DegradeConfig(
+            fallbacks={
+                t.name: degraded_variant(t, args.degrade_factor) for t in taskset
+            },
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    margin = sensitivity_margin(taskset, "rtmdm")
+    print(f"platform: {platform.name}")
+    print(
+        f"faults: inflation x{args.inflation} ({faults.inflation.value}), "
+        f"DMA fault p={args.dma_fault_prob}, jitter<={args.jitter}cyc, "
+        f"seed={args.seed}"
+    )
+    print(
+        "analysis sensitivity margin: "
+        + (f"x{margin:.3f}" if margin is not None else "none (not admitted nominally)")
+    )
+    print(
+        f"{'policy':12s} {'jobs':>5s} {'miss%':>7s} {'misses':>6s} "
+        f"{'aborts':>6s} {'skips':>5s} {'degr%':>6s} {'retries':>7s}"
+    )
+    worst_miss = 0.0
+    for policy in OverrunPolicy:
+        result = simulate(
+            taskset,
+            SimConfig(
+                policy=CpuPolicy.FP_NP,
+                horizon=horizon,
+                faults=faults,
+                overrun=policy,
+                degrade=degrade if policy is OverrunPolicy.DEGRADE else None,
+            ),
+        )
+        s = robustness_summary(result)
+        worst_miss = max(worst_miss, s["miss_ratio"])
+        print(
+            f"{policy.value:12s} {s['released']:5.0f} {100 * s['miss_ratio']:6.2f}% "
+            f"{s['misses']:6.0f} {s['aborts']:6.0f} {s['skips']:5.0f} "
+            f"{100 * s['degraded_residency']:5.1f}% {s['dma_retries']:7.0f}"
+        )
+    return 0 if worst_miss == 0.0 else 1
+
+
 def _cmd_exp(args: argparse.Namespace) -> int:
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
     for exp_id in ids:
@@ -266,6 +347,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     inspect.add_argument("--budget", type=int, default=None, metavar="KIB",
                          help="SRAM budget for the segmentation preview")
     inspect.set_defaults(fn=_cmd_inspect)
+
+    robust = sub.add_parser(
+        "robust", help="fault-injected scenario simulation per overload policy"
+    )
+    robust.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",
+                        default="doorbell")
+    robust.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    robust.add_argument("--flash", action="store_true",
+                        help="place small models in internal flash")
+    robust.add_argument("--duration", type=float, default=None, help="seconds")
+    robust.add_argument("--inflation", type=float, default=1.5,
+                        help="WCET inflation factor (>= 1)")
+    robust.add_argument("--inflation-model", choices=("fixed", "uniform", "spike"),
+                        default="fixed", help="how per-burst factors are drawn")
+    robust.add_argument("--spike-prob", type=float, default=0.05,
+                        help="per-burst spike probability (spike model)")
+    robust.add_argument("--dma-fault-prob", type=float, default=0.02,
+                        help="per-transfer CRC failure probability")
+    robust.add_argument("--jitter", type=int, default=0, metavar="CYCLES",
+                        help="max additive bus-contention jitter per transfer")
+    robust.add_argument("--degrade-factor", type=float, default=0.5,
+                        help="fallback variant scale for the DEGRADE policy")
+    robust.add_argument("--seed", type=int, default=1)
+    robust.set_defaults(fn=_cmd_robust)
 
     exp = sub.add_parser("exp", help="run a reconstructed experiment")
     exp.add_argument("id", help="experiment id (e.g. EXP-F4) or 'all'")

@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import isolated_latency
-from repro.sched.task import PeriodicTask, TaskSet
+from repro.sched.task import PeriodicTask, TaskSet, inflate_compute
 
 #: Analysis method names accepted by :func:`analyze`.
 METHODS = ("oblivious", "overlap", "holistic", "rtmdm")
@@ -304,3 +304,43 @@ def analyze(taskset: TaskSet, method: str = "rtmdm") -> AnalysisResult:
         bounds = [b for b in (overlap[name], holistic[name]) if b is not None]
         combined[name] = min(bounds) if bounds else None
     return AnalysisResult("rtmdm", combined, deadlines)
+
+
+def sensitivity_margin(
+    taskset: TaskSet,
+    method: str = "rtmdm",
+    upper: float = 16.0,
+    tolerance: float = 1e-3,
+) -> Optional[float]:
+    """Largest uniform WCET inflation the admission guarantee absorbs.
+
+    Binary-searches the biggest factor ``f`` such that the task set with
+    every compute WCET scaled to ``ceil(f * C)`` is still admitted by
+    ``method``.  This is the set's *overrun budget*: measured WCETs may
+    collectively be wrong by up to this factor before the offline
+    guarantee lapses.
+
+    Returns:
+        ``None`` when the nominal set is already rejected; ``upper``
+        when even the maximal probed inflation is admitted; otherwise a
+        factor in ``[1, upper)`` accurate to ``tolerance``.
+        Admission is monotone in ``f`` (inflating compute only adds
+        demand, interference, and blocking), so the binary search is
+        exact up to the tolerance.
+    """
+    if upper < 1.0:
+        raise ValueError(f"upper must be >= 1, got {upper}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if not analyze(taskset, method).schedulable:
+        return None
+    if analyze(inflate_compute(taskset, upper), method).schedulable:
+        return upper
+    lo, hi = 1.0, upper
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if analyze(inflate_compute(taskset, mid), method).schedulable:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -45,16 +45,25 @@ class DmaEngine:
             the next descriptor from the completion IRQ of the previous
             one.
         arbitration: Queue ordering policy for pending requests.
+        crc_check_s: Time to CRC-verify one staged block after a transfer
+            error (fault-injection only: a retried transfer re-pays the
+            full transfer plus this recheck; see
+            :class:`repro.robust.faults.FaultConfig`).
     """
 
     name: str = "dma1"
     program_overhead_s: float = 0.5e-6
     arbitration: DmaArbitration = DmaArbitration.PRIORITY
+    crc_check_s: float = 2e-6
 
     def __post_init__(self) -> None:
         if self.program_overhead_s < 0:
             raise ValueError(
                 f"program_overhead_s must be non-negative, got {self.program_overhead_s}"
+            )
+        if self.crc_check_s < 0:
+            raise ValueError(
+                f"crc_check_s must be non-negative, got {self.crc_check_s}"
             )
 
     def program_cycles(self, mcu: McuSpec) -> int:
@@ -71,10 +80,15 @@ class DmaEngine:
             return 0
         return self.program_cycles(mcu) + memory.read_cycles(nbytes, mcu)
 
+    def crc_cycles(self, mcu: McuSpec) -> int:
+        """CRC-recheck overhead per transfer retry, in CPU cycles."""
+        return mcu.seconds_to_cycles(self.crc_check_s)
+
     def with_arbitration(self, arbitration: DmaArbitration) -> "DmaEngine":
         """A copy of this engine using a different arbitration policy."""
         return DmaEngine(
             name=self.name,
             program_overhead_s=self.program_overhead_s,
             arbitration=arbitration,
+            crc_check_s=self.crc_check_s,
         )

@@ -1,0 +1,47 @@
+"""Fault injection and overload management for the RT-MDM simulator.
+
+The nominal timing engine answers "does the schedule fit"; this package
+makes it answer "what happens when things go wrong":
+
+* :mod:`repro.robust.faults` — seeded, reproducible fault models (WCET
+  overrun, DMA transfer retries, bus-contention jitter).
+* :mod:`repro.robust.overload` — overload policies (continue / abort at
+  deadline / skip next release / degrade to a fallback model variant).
+* :mod:`repro.robust.metrics` — miss ratios, shed load, and degraded-mode
+  residency of fault-injected runs.
+
+Wire the pieces through :class:`repro.sched.simulator.SimConfig`
+(``faults=``, ``overrun=``, ``degrade=``); with a null fault config and
+``OverrunPolicy.CONTINUE`` the simulator is bit-identical to the nominal
+engine.
+"""
+
+from repro.robust.faults import FaultConfig, FaultInjector, InflationModel
+from repro.robust.metrics import (
+    aborted_jobs,
+    degraded_residency,
+    miss_ratio,
+    robustness_summary,
+    skipped_releases,
+)
+from repro.robust.overload import (
+    DegradeConfig,
+    OverloadManager,
+    OverrunPolicy,
+    degraded_variant,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "InflationModel",
+    "OverrunPolicy",
+    "DegradeConfig",
+    "OverloadManager",
+    "degraded_variant",
+    "miss_ratio",
+    "aborted_jobs",
+    "skipped_releases",
+    "degraded_residency",
+    "robustness_summary",
+]

@@ -1,0 +1,72 @@
+"""Robustness metrics over simulation results.
+
+Complements :mod:`repro.eval.metrics` with the overload-specific
+quantities EXP-R1 reports: how much load was shed (aborts / skipped
+releases), how long tasks spent in degraded mode, and how noisy the DMA
+path was.
+
+NOTE: this module must not import :mod:`repro.sched.simulator` at
+runtime — the simulator itself imports :mod:`repro.robust` for its fault
+hooks, and a runtime import here would close the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.sched.simulator import SimResult
+
+
+def released_jobs(result: "SimResult") -> int:
+    """Jobs actually released (skipped releases excluded)."""
+    return sum(s.jobs for s in result.stats.values())
+
+
+def failed_jobs(result: "SimResult") -> int:
+    """Jobs that missed, were aborted, or never finished."""
+    return result.total_misses
+
+
+def miss_ratio(result: "SimResult") -> float:
+    """Fraction of released jobs that failed their deadline.
+
+    Matches :func:`repro.eval.metrics.miss_ratio`; re-implemented here so
+    the robust package stays import-cycle-free.
+    """
+    released = released_jobs(result)
+    if released == 0:
+        return 0.0
+    return failed_jobs(result) / released
+
+
+def aborted_jobs(result: "SimResult") -> int:
+    """Jobs killed at their deadline (``ABORT_AT_DEADLINE``)."""
+    return sum(s.aborts for s in result.stats.values())
+
+
+def skipped_releases(result: "SimResult") -> int:
+    """Releases suppressed by a late predecessor (``SKIP_NEXT``)."""
+    return sum(s.skips for s in result.stats.values())
+
+
+def degraded_residency(result: "SimResult") -> float:
+    """Fraction of released jobs that ran a fallback variant."""
+    released = released_jobs(result)
+    if released == 0:
+        return 0.0
+    return sum(s.degraded_jobs for s in result.stats.values()) / released
+
+
+def robustness_summary(result: "SimResult") -> Dict[str, float]:
+    """One-row summary of a fault-injected run (EXP-R1's columns)."""
+    return {
+        "released": released_jobs(result),
+        "miss_ratio": miss_ratio(result),
+        "misses": sum(s.misses for s in result.stats.values()),
+        "aborts": aborted_jobs(result),
+        "skips": skipped_releases(result),
+        "unfinished": sum(s.unfinished for s in result.stats.values()),
+        "degraded_residency": degraded_residency(result),
+        "dma_retries": result.dma_retries,
+    }

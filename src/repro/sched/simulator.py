@@ -15,6 +15,15 @@ completed, and segment *j*'s load may only start once segment
 
 All state is integer cycles; ties are broken deterministically, so a
 simulation is exactly reproducible.
+
+Fault injection and overload management (:mod:`repro.robust`) hook in
+through :class:`SimConfig`: a :class:`~repro.robust.faults.FaultConfig`
+perturbs compute/transfer durations from a dedicated seeded source, and
+an :class:`~repro.robust.overload.OverrunPolicy` decides what happens to
+jobs that overrun their deadline (abort, skip the next release, or
+degrade to a fallback segment list).  With no faults and
+``OverrunPolicy.CONTINUE`` the simulator is bit-identical to the nominal
+engine.
 """
 
 from __future__ import annotations
@@ -22,24 +31,34 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.hw.dma import DmaArbitration
+from repro.robust.faults import FaultConfig, FaultInjector
+from repro.robust.overload import DegradeConfig, OverloadManager, OverrunPolicy
 from repro.sched.policies import CpuPolicy
-from repro.sched.task import PeriodicTask, TaskSet
+from repro.sched.task import PeriodicTask, Segment, TaskSet
 from repro.sched.trace import Trace, TraceEvent
 
 _RELEASE = 0
 _DMA_DONE = 1
 _CPU_DONE = 2
+_DEADLINE = 3
 
 
 @dataclass
 class _Job:
-    """Runtime state of one released job."""
+    """Runtime state of one released job.
+
+    ``segments`` is snapshotted at release (it may be the task's
+    fallback variant under ``OverrunPolicy.DEGRADE``); all progress
+    bookkeeping runs against the snapshot, never ``task.segments``.
+    """
 
     task: PeriodicTask
+    segments: Tuple[Segment, ...]
     task_pos: int
     index: int
     release: int
@@ -50,15 +69,20 @@ class _Job:
     compute_remaining: Optional[int] = None
     load_eligible_since: Optional[int] = None
     finish: Optional[int] = None
+    aborted: bool = False
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
 
     @property
     def complete(self) -> bool:
-        return self.computes_done == self.task.num_segments
+        return self.computes_done == self.num_segments
 
     def load_eligible(self) -> bool:
         """Whether the next load may be issued (buffer available)."""
         j = self.loads_issued
-        return j < self.task.num_segments and j - self.computes_done < self.task.buffers
+        return j < self.num_segments and j - self.computes_done < self.task.buffers
 
     def compute_ready(self) -> bool:
         """Whether the next compute segment has its weights staged."""
@@ -73,11 +97,18 @@ class TaskStats:
     responses: List[int] = field(default_factory=list)
     misses: int = 0
     unfinished: int = 0
+    aborts: int = 0
+    skips: int = 0
+    degraded_jobs: int = 0
 
     @property
     def jobs(self) -> int:
-        """Jobs released (finished + unfinished)."""
-        return len(self.responses) + self.unfinished
+        """Jobs released (finished + aborted + unfinished).
+
+        Releases suppressed by ``SKIP_NEXT`` (``skips``) never became
+        jobs and are not counted here.
+        """
+        return len(self.responses) + self.aborts + self.unfinished
 
     @property
     def max_response(self) -> Optional[int]:
@@ -96,11 +127,12 @@ class SimResult:
     end_time: int
     aborted_on_miss: bool = False
     truncated: bool = False
+    dma_retries: int = 0
 
     @property
     def total_misses(self) -> int:
-        """Deadline misses plus jobs that never finished."""
-        return sum(s.misses + s.unfinished for s in self.stats.values())
+        """Deadline misses plus aborted jobs plus jobs that never finished."""
+        return sum(s.misses + s.aborts + s.unfinished for s in self.stats.values())
 
     @property
     def no_misses(self) -> bool:
@@ -136,6 +168,15 @@ class SimConfig:
             The periodic analyses remain valid — ``period`` stays the
             minimum inter-arrival time.
         seed: Random seed for sporadic release draws.
+        faults: Optional fault-injection parameters (WCET overrun, DMA
+            retries, bus jitter); ``None`` or a null config leaves every
+            duration nominal.  Fault draws use the config's own seed,
+            independent of ``seed``.
+        overrun: Reaction to jobs that overrun their deadline (see
+            :class:`~repro.robust.overload.OverrunPolicy`).  The default
+            ``CONTINUE`` is the nominal run-to-completion behavior.
+        degrade: Fallback-variant parameters; required when ``overrun``
+            is ``DEGRADE``, ignored otherwise.
     """
 
     policy: CpuPolicy = CpuPolicy.FP_NP
@@ -147,6 +188,9 @@ class SimConfig:
     sporadic_slack: float = 0.0
     seed: int = 0
     dma_channels: int = 1
+    faults: Optional[FaultConfig] = None
+    overrun: OverrunPolicy = OverrunPolicy.CONTINUE
+    degrade: Optional[DegradeConfig] = None
 
     def __post_init__(self) -> None:
         if self.sporadic_slack < 0:
@@ -157,6 +201,8 @@ class SimConfig:
             raise ValueError(
                 f"dma_channels must be >= 1, got {self.dma_channels}"
             )
+        if self.overrun is OverrunPolicy.DEGRADE and self.degrade is None:
+            raise ValueError("OverrunPolicy.DEGRADE requires a DegradeConfig")
 
 
 class Simulator:
@@ -170,7 +216,7 @@ class Simulator:
         self.trace = Trace() if config.record_trace else None
         self._heap: List[Tuple[int, int, int, object]] = []
         self._seq = itertools.count()
-        self._queues: Dict[str, List[_Job]] = {t.name: [] for t in taskset}
+        self._queues: Dict[str, Deque[_Job]] = {t.name: deque() for t in taskset}
         self._stats = {t.name: TaskStats(name=t.name) for t in taskset}
         self._cpu_job: Optional[_Job] = None
         self._cpu_start = 0
@@ -178,12 +224,20 @@ class Simulator:
         self._dma_channels: Dict[int, _Job] = {}
         self._cpu_busy = 0
         self._dma_busy = 0
+        self._dma_retries = 0
         self._aborted = False
         self._truncated = False
         self._hard_cap = int(config.horizon * config.hard_cap_factor) + max(
             t.period for t in taskset
         )
         self._arrival_rng = random.Random(config.seed)
+        self._faults: Optional[FaultInjector] = (
+            FaultInjector(config.faults)
+            if config.faults is not None and not config.faults.is_null
+            else None
+        )
+        self._overload = OverloadManager(config.overrun, config.degrade)
+        self._skip_next: Dict[str, bool] = {t.name: False for t in taskset}
 
     # ------------------------------------------------------------------
     # Priorities (lower tuple = served first)
@@ -217,17 +271,34 @@ class Simulator:
         return queue[0] if queue else None
 
     def _release(self, time: int, task: PeriodicTask, task_pos: int, index: int) -> None:
-        job = _Job(
-            task=task,
-            task_pos=task_pos,
-            index=index,
-            release=time,
-            abs_deadline=time + task.deadline,
-        )
-        self._queues[task.name].append(job)
-        self._trace(
-            time=time, duration=0, resource="", kind="release", task=task.name, job=index
-        )
+        if self._skip_next[task.name]:
+            # SKIP_NEXT: a late predecessor sheds this release entirely;
+            # the release schedule itself keeps its cadence.
+            self._skip_next[task.name] = False
+            self._stats[task.name].skips += 1
+            self._trace(
+                time=time, duration=0, resource="", kind="skip",
+                task=task.name, job=index,
+            )
+        else:
+            segments = self._overload.segments_for(task)
+            job = _Job(
+                task=task,
+                segments=segments,
+                task_pos=task_pos,
+                index=index,
+                release=time,
+                abs_deadline=time + task.deadline,
+            )
+            if segments is not task.segments:
+                self._stats[task.name].degraded_jobs += 1
+            self._queues[task.name].append(job)
+            self._trace(
+                time=time, duration=0, resource="", kind="release",
+                task=task.name, job=index,
+            )
+            if self.config.overrun is OverrunPolicy.ABORT_AT_DEADLINE:
+                self._push(job.abs_deadline, _DEADLINE, job)
         next_time = time + task.period
         if self.config.sporadic_slack > 0:
             slack = int(task.period * self.config.sporadic_slack)
@@ -241,7 +312,8 @@ class Simulator:
         response = time - job.release
         stats = self._stats[job.task.name]
         stats.responses.append(response)
-        if time > job.abs_deadline:
+        missed = time > job.abs_deadline
+        if missed:
             stats.misses += 1
             self._trace(
                 time=time,
@@ -253,6 +325,8 @@ class Simulator:
             )
             if self.config.abort_on_miss:
                 self._aborted = True
+            if self.config.overrun is OverrunPolicy.SKIP_NEXT:
+                self._skip_next[job.task.name] = True
         self._trace(
             time=time,
             duration=0,
@@ -263,7 +337,48 @@ class Simulator:
         )
         queue = self._queues[job.task.name]
         assert queue and queue[0] is job, "completed job must be the task's head job"
-        queue.pop(0)
+        queue.popleft()
+        self._mode_transition(time, job, missed)
+
+    def _mode_transition(self, time: int, job: _Job, missed: bool) -> None:
+        """Feed a job outcome to the overload manager; trace transitions."""
+        transition = self._overload.job_finished(job.task.name, missed)
+        if transition is not None:
+            self._trace(
+                time=time,
+                duration=0,
+                resource="",
+                kind=transition,
+                task=job.task.name,
+                job=job.index,
+            )
+
+    def _deadline_abort(self, time: int, job: _Job) -> None:
+        """ABORT_AT_DEADLINE: kill ``job`` the instant its deadline passes."""
+        if job.complete or job.aborted:
+            return
+        if (
+            self._cpu_job is job
+            and job.compute_remaining is not None
+            and self._cpu_start + job.compute_remaining == time
+            and job.computes_done + 1 == job.num_segments
+        ):
+            return  # its final burst completes at this very instant: on time
+        if self._cpu_job is job:
+            self._stop_compute(time, trace_kind=None)
+        job.aborted = True
+        stats = self._stats[job.task.name]
+        stats.aborts += 1
+        self._trace(
+            time=time, duration=0, resource="", kind="abort",
+            task=job.task.name, job=job.index,
+        )
+        queue = self._queues[job.task.name]
+        assert queue and queue[0] is job, "aborted job must be the task's head job"
+        queue.popleft()
+        # An in-flight DMA transfer drains (non-preemptive hardware);
+        # _dma_done frees the channel and discards the data.
+        self._mode_transition(time, job, missed=True)
 
     # ------------------------------------------------------------------
     # DMA scheduling
@@ -276,7 +391,7 @@ class Simulator:
                 continue
             while (
                 job.load_eligible()
-                and job.task.segments[job.loads_issued].load_cycles == 0
+                and job.segments[job.loads_issued].load_cycles == 0
             ):
                 job.loads_issued += 1
                 job.loads_done += 1
@@ -301,30 +416,38 @@ class Simulator:
             if not candidates:
                 return
             job = min(candidates, key=self._dma_key)
-            segment = job.task.segments[job.loads_issued]
+            segment = job.segments[job.loads_issued]
+            transfer_cycles = segment.load_cycles
+            if self._faults is not None:
+                transfer_cycles, retries = self._faults.transfer_cycles(
+                    transfer_cycles
+                )
+                self._dma_retries += retries
             channel = min(
                 c for c in range(self.config.dma_channels)
                 if c not in self._dma_channels
             )
             self._dma_channels[channel] = job
             job.load_eligible_since = None
-            self._dma_busy += segment.load_cycles
+            self._dma_busy += transfer_cycles
             self._trace(
                 time=time,
-                duration=segment.load_cycles,
+                duration=transfer_cycles,
                 resource="dma" if channel == 0 else f"dma{channel + 1}",
                 kind="load",
                 task=job.task.name,
                 job=job.index,
                 segment=job.loads_issued,
             )
-            self._push(time + segment.load_cycles, _DMA_DONE, (channel, job))
+            self._push(time + transfer_cycles, _DMA_DONE, (channel, job))
 
     def _dma_done(self, time: int, channel: int, job: _Job) -> None:
         assert self._dma_channels.get(channel) is job, (
             "DMA completion for a job that is not transferring on this channel"
         )
         del self._dma_channels[channel]
+        if job.aborted:
+            return  # the transfer drained; its data is discarded
         job.loads_issued += 1
         job.loads_done += 1
 
@@ -340,16 +463,19 @@ class Simulator:
         return ready
 
     def _start_compute(self, time: int, job: _Job) -> None:
-        segment = job.task.segments[job.computes_done]
+        segment = job.segments[job.computes_done]
         if job.compute_remaining is None:
-            job.compute_remaining = segment.compute_cycles
+            burst = segment.compute_cycles
+            if self._faults is not None:
+                burst = self._faults.compute_cycles(burst)
+            job.compute_remaining = burst
         self._cpu_job = job
         self._cpu_start = time
         self._cpu_token += 1
         self._push(time + job.compute_remaining, _CPU_DONE, (self._cpu_token, job))
 
-    def _stop_compute(self, time: int) -> None:
-        """Preempt the running segment, banking its progress."""
+    def _stop_compute(self, time: int, trace_kind: Optional[str] = "preempt") -> None:
+        """Stop the running segment (preemption or abort), banking progress."""
         job = self._cpu_job
         assert job is not None and job.compute_remaining is not None
         elapsed = time - self._cpu_start
@@ -365,9 +491,11 @@ class Simulator:
                 segment=job.computes_done,
             )
         job.compute_remaining -= elapsed
-        self._trace(
-            time=time, duration=0, resource="", kind="preempt", task=job.task.name, job=job.index
-        )
+        if trace_kind is not None:
+            self._trace(
+                time=time, duration=0, resource="", kind=trace_kind,
+                task=job.task.name, job=job.index,
+            )
         self._cpu_job = None
         self._cpu_token += 1  # invalidate the in-flight CPU_DONE event
 
@@ -411,6 +539,19 @@ class Simulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def _dispatch(self, time: int, kind: int, payload: object) -> None:
+        if kind == _RELEASE:
+            pos, index = payload  # type: ignore[misc]
+            self._release(time, self.taskset[pos], pos, index)
+        elif kind == _DMA_DONE:
+            channel, job = payload  # type: ignore[misc]
+            self._dma_done(time, channel, job)
+        elif kind == _CPU_DONE:
+            token, job = payload  # type: ignore[misc]
+            self._cpu_done(time, token, job)
+        else:
+            self._deadline_abort(time, payload)  # type: ignore[arg-type]
+
     def run(self) -> SimResult:
         """Execute the simulation and return aggregated results."""
         for pos, task in enumerate(self.taskset):
@@ -422,27 +563,11 @@ class Simulator:
             if time > self._hard_cap:
                 self._truncated = True
                 break
-            if kind == _RELEASE:
-                pos, index = payload  # type: ignore[misc]
-                self._release(time, self.taskset[pos], pos, index)
-            elif kind == _DMA_DONE:
-                channel, job = payload  # type: ignore[misc]
-                self._dma_done(time, channel, job)
-            else:
-                token, job = payload  # type: ignore[misc]
-                self._cpu_done(time, token, job)
+            self._dispatch(time, kind, payload)
             # Drain simultaneous events before making scheduling decisions.
             while self._heap and self._heap[0][0] == time and not self._aborted:
                 _, _, kind, payload = heapq.heappop(self._heap)
-                if kind == _RELEASE:
-                    pos, index = payload  # type: ignore[misc]
-                    self._release(time, self.taskset[pos], pos, index)
-                elif kind == _DMA_DONE:
-                    channel, job = payload  # type: ignore[misc]
-                    self._dma_done(time, channel, job)
-                else:
-                    token, job = payload  # type: ignore[misc]
-                    self._cpu_done(time, token, job)
+                self._dispatch(time, kind, payload)
             if not self._aborted:
                 self._schedule_dma(time)
                 self._schedule_cpu(time)
@@ -456,6 +581,7 @@ class Simulator:
             end_time=time,
             aborted_on_miss=self._aborted,
             truncated=self._truncated,
+            dma_retries=self._dma_retries,
         )
 
 

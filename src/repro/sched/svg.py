@@ -133,6 +133,43 @@ def trace_to_svg(
             f'L {x - 6:.2f} {y} Z" fill="#d00"><title>deadline miss: '
             f"{_esc(event.task)} job {event.job}</title></path>"
         )
+    # Overload-management events (repro.robust): aborts as dark-red
+    # crosses, skipped releases as grey crosses, mode switches as
+    # down/up triangles.
+    _overload_marks = (
+        ("abort", "#900", "aborted at deadline"),
+        ("skip", "#888", "release skipped"),
+    )
+    for kind, color, label in _overload_marks:
+        for event in trace.points(kind):
+            if event.time >= horizon or (event.task, "cpu") not in lane_index:
+                continue
+            y = y_of(lane_index[(event.task, "cpu")]) + _LANE_H // 2
+            x = x_of(event.time)
+            parts.append(
+                f'<path d="M {x - 5:.2f} {y - 5} L {x + 5:.2f} {y + 5} '
+                f'M {x - 5:.2f} {y + 5} L {x + 5:.2f} {y - 5}" '
+                f'stroke="{color}" stroke-width="2" fill="none">'
+                f"<title>{label}: {_esc(event.task)} job {event.job}"
+                f"</title></path>"
+            )
+    _mode_marks = (
+        ("degrade", "#D55E00", "switched to fallback variant", 1),
+        ("recover", "#009E73", "recovered to full model", -1),
+    )
+    for kind, color, label, direction in _mode_marks:
+        for event in trace.points(kind):
+            if event.time >= horizon or (event.task, "cpu") not in lane_index:
+                continue
+            y = y_of(lane_index[(event.task, "cpu")]) + _LANE_H // 2
+            x = x_of(event.time)
+            tip, base = y + 6 * direction, y - 6 * direction
+            parts.append(
+                f'<path d="M {x - 6:.2f} {base} L {x + 6:.2f} {base} '
+                f'L {x:.2f} {tip} Z" fill="{color}">'
+                f"<title>{label}: {_esc(event.task)} job {event.job}"
+                f"</title></path>"
+            )
     # Time axis.
     axis_y = _MARGIN_TOP + len(lanes) * (_LANE_H + _LANE_GAP) + 8
     parts.append(

@@ -223,6 +223,45 @@ class TaskSet:
         return TaskSet(tuple(t.with_phase(p) for t, p in zip(self.tasks, phases)))
 
 
+def inflate_compute(taskset: TaskSet, factor: float) -> TaskSet:
+    """Scale every segment's compute WCET by ``factor`` (rounded up).
+
+    Models a uniform execution-time overrun across the whole task set —
+    the workload the sensitivity-margin analysis
+    (:func:`repro.core.analysis.sensitivity_margin`) feeds back into the
+    RTA to find the largest overrun the admission guarantee absorbs.
+    Loads, periods, and deadlines are untouched.
+    """
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1.0:
+        return taskset
+    tasks = []
+    for task in taskset:
+        segments = tuple(
+            Segment(
+                name=s.name,
+                load_cycles=s.load_cycles,
+                compute_cycles=math.ceil(s.compute_cycles * factor),
+                load_bytes=s.load_bytes,
+                xip_bytes=s.xip_bytes,
+            )
+            for s in task.segments
+        )
+        tasks.append(
+            PeriodicTask(
+                name=task.name,
+                segments=segments,
+                period=task.period,
+                deadline=task.deadline,
+                priority=task.priority,
+                phase=task.phase,
+                buffers=task.buffers,
+            )
+        )
+    return TaskSet.of(tasks)
+
+
 def with_dispatch_overhead(taskset: TaskSet, overhead_cycles: int) -> TaskSet:
     """Charge a scheduler dispatch overhead to every segment.
 

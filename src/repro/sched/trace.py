@@ -20,7 +20,9 @@ class TraceEvent:
         time: Start time in cycles.
         duration: Interval length in cycles (0 for point events).
         resource: ``"cpu"``, ``"dma"`` or ``""`` for point events.
-        kind: ``compute | load | release | complete | miss | preempt``.
+        kind: ``compute | load | release | complete | miss | preempt``,
+            plus the overload events ``abort | skip | degrade | recover``
+            (see :mod:`repro.robust.overload`).
         task: Owning task name.
         job: Job index within the task (0-based).
         segment: Segment index within the job, or -1.

@@ -23,13 +23,14 @@ def _task(name, pairs, period, deadline, priority, buffers, phase=0):
 
 
 @st.composite
-def tasksets(draw, max_tasks=3):
+def tasksets(draw, max_tasks=3, max_load=80):
     n = draw(st.integers(1, max_tasks))
     tasks = []
     for i in range(n):
         m = draw(st.integers(1, 4))
         pairs = [
-            (draw(st.integers(0, 80)), draw(st.integers(1, 120))) for _ in range(m)
+            (draw(st.integers(0, max_load)), draw(st.integers(1, 120)))
+            for _ in range(m)
         ]
         demand = sum(l + c for l, c in pairs)
         period = draw(st.integers(demand, demand * 8))
@@ -102,11 +103,19 @@ def test_determinism(ts):
         assert a.stats[task.name].responses == b.stats[task.name].responses
 
 
-@given(tasksets(max_tasks=2))
+@given(tasksets(max_tasks=2, max_load=0))
 @settings(max_examples=60, deadline=None)
-def test_preemptive_never_hurts_highest_priority(ts):
-    """The highest-priority task's worst response under preemptive FP is
-    no worse than under non-preemptive FP."""
+def test_preemptive_never_hurts_highest_priority_cpu_only(ts):
+    """Without shared-DMA blocking, the highest-priority task's worst
+    response under preemptive FP is no worse than under non-preemptive FP.
+
+    The claim is only sound for CPU-only task sets (``load == 0``).  With
+    a shared DMA, preemption shifts *when* lower-priority jobs complete
+    and hence when their non-preemptive transfers occupy the bus; a
+    transfer started at an inopportune instant blocks the top task's
+    next load longer than under FP_NP (a Graham-style anomaly — see
+    ``test_preemption_dma_anomaly_pinned``).
+    """
     horizon = 6 * max(t.period for t in ts)
     np_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon))
     p_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_P, horizon=horizon))
@@ -115,3 +124,24 @@ def test_preemptive_never_hurts_highest_priority(ts):
     p_max = p_result.max_response(top)
     if np_max is not None and p_max is not None:
         assert p_max <= np_max
+
+
+def test_preemption_dma_anomaly_pinned():
+    """Regression pin of the hypothesis-found counterexample: preemption
+    CAN worsen the top task's response once tasks share the DMA.
+
+    Under FP_P the low-priority compute is preempted and finishes later,
+    which delays its next job's non-preemptive DMA transfer into a
+    window where it blocks the top task's load for longer than under
+    FP_NP.  The anomaly is genuine (not a simulator bug): both runs are
+    work-conserving and serialize each resource correctly.
+    """
+    ts = TaskSet.of([
+        _task("t0", [(15, 2)], period=49, deadline=24, priority=0, buffers=1),
+        _task("t1", [(34, 21)], period=59, deadline=29, priority=1, buffers=1),
+    ])
+    horizon = 6 * 59
+    np_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon))
+    p_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_P, horizon=horizon))
+    assert np_result.max_response("t0") == 48
+    assert p_result.max_response("t0") == 49  # worse, despite preemption

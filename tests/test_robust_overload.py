@@ -1,0 +1,212 @@
+"""Tests for overload policies (repro.robust.overload) and EXP-R1.
+
+The acceptance scenario: a transiently overloaded two-task set where the
+managed policies must *strictly* beat the CONTINUE baseline on miss
+ratio, deterministically (same seed → same metrics).
+"""
+
+import pytest
+
+from repro.robust import (
+    DegradeConfig,
+    FaultConfig,
+    InflationModel,
+    OverloadManager,
+    OverrunPolicy,
+    degraded_variant,
+    miss_ratio,
+    robustness_summary,
+)
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+def _task(name, pairs, period, deadline, priority, buffers, phase=0):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline,
+        priority=priority,
+        buffers=buffers,
+        phase=phase,
+    )
+
+
+def _overload_taskset():
+    """Fits nominally; a 2x WCET inflation overloads the low task, whose
+    long non-preemptive runs then also knock the high task late."""
+    return TaskSet.of([
+        _task("hi", [(0, 200)], 1000, 500, 0, 1),
+        _task("lo", [(100, 900)], 2000, 1200, 1, 1, phase=100),
+    ])
+
+
+_FAULTS = FaultConfig(inflation=InflationModel.FIXED, inflation_factor=2.0,
+                      seed=3)
+
+
+def _run(policy, ts=None, record_trace=False):
+    ts = ts or _overload_taskset()
+    degrade = None
+    if policy is OverrunPolicy.DEGRADE:
+        degrade = DegradeConfig(
+            fallbacks={t.name: degraded_variant(t, 0.5) for t in ts},
+            miss_threshold=1,
+            recover_after=2,
+        )
+    return simulate(
+        ts,
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=20000, faults=_FAULTS,
+                  overrun=policy, degrade=degrade,
+                  record_trace=record_trace),
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: managed policies strictly beat CONTINUE, deterministically
+# ----------------------------------------------------------------------
+def test_abort_and_degrade_strictly_reduce_miss_ratio():
+    baseline = miss_ratio(_run(OverrunPolicy.CONTINUE))
+    assert baseline > 0
+    assert miss_ratio(_run(OverrunPolicy.ABORT_AT_DEADLINE)) < baseline
+    assert miss_ratio(_run(OverrunPolicy.DEGRADE)) < baseline
+
+
+@pytest.mark.parametrize("policy", list(OverrunPolicy))
+def test_same_seed_runs_produce_identical_metrics(policy):
+    assert robustness_summary(_run(policy)) == robustness_summary(_run(policy))
+
+
+def test_abort_frees_resources_and_counts_aborts():
+    cont = _run(OverrunPolicy.CONTINUE)
+    abort = _run(OverrunPolicy.ABORT_AT_DEADLINE, record_trace=True)
+    # Every late lo job is killed at its deadline instead of completing.
+    assert abort.stats["lo"].aborts > 0
+    assert abort.stats["lo"].misses == 0
+    # The freed CPU time rescues hi jobs that CONTINUE made late.
+    assert abort.stats["hi"].misses < cont.stats["hi"].misses
+    assert abort.trace.points("abort")
+    # Aborted jobs never report a response, so the accounting still adds up.
+    lo = abort.stats["lo"]
+    assert lo.jobs == len(lo.responses) + lo.aborts + lo.unfinished
+
+
+def test_skip_next_suppresses_releases():
+    cont = _run(OverrunPolicy.CONTINUE)
+    skip = _run(OverrunPolicy.SKIP_NEXT, record_trace=True)
+    assert skip.stats["lo"].skips > 0
+    assert skip.trace.points("skip")
+    # Skipped releases never become jobs.
+    released = sum(s.jobs for s in skip.stats.values())
+    assert released < sum(s.jobs for s in cont.stats.values())
+
+
+def test_degrade_runs_fallback_and_recovers():
+    result = _run(OverrunPolicy.DEGRADE, record_trace=True)
+    assert result.stats["lo"].degraded_jobs > 0
+    degrades = result.trace.points("degrade")
+    recovers = result.trace.points("recover")
+    assert degrades and recovers  # full degrade -> recover cycling
+    # Residency is a proper fraction: some jobs ran degraded, not all.
+    summary = robustness_summary(result)
+    assert 0 < summary["degraded_residency"] < 1
+
+
+def test_continue_matches_nominal_when_no_faults():
+    ts = _overload_taskset()
+    plain = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=20000))
+    managed = simulate(
+        ts,
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=20000,
+                  overrun=OverrunPolicy.CONTINUE, faults=FaultConfig()),
+    )
+    for name in ("hi", "lo"):
+        assert plain.stats[name].responses == managed.stats[name].responses
+
+
+# ----------------------------------------------------------------------
+# OverloadManager unit behavior
+# ----------------------------------------------------------------------
+def test_degrade_policy_requires_config():
+    with pytest.raises(ValueError):
+        OverloadManager(OverrunPolicy.DEGRADE, None)
+    with pytest.raises(ValueError):
+        SimConfig(horizon=100, overrun=OverrunPolicy.DEGRADE)
+
+
+def test_mode_state_machine_transitions():
+    task = _task("t", [(10, 100)], 1000, 1000, 0, 1)
+    manager = OverloadManager(
+        OverrunPolicy.DEGRADE,
+        DegradeConfig(fallbacks={"t": degraded_variant(task)},
+                      miss_threshold=2, recover_after=2),
+    )
+    assert manager.segments_for(task) is task.segments
+    assert manager.job_finished("t", missed=True) is None
+    assert manager.job_finished("t", missed=True) == "degrade"
+    assert manager.is_degraded("t")
+    assert manager.segments_for(task) != task.segments
+    assert manager.job_finished("t", missed=False) is None
+    assert manager.job_finished("t", missed=False) == "recover"
+    assert not manager.is_degraded("t")
+    assert manager.segments_for(task) is task.segments
+
+
+def test_clean_job_resets_miss_streak():
+    task = _task("t", [(10, 100)], 1000, 1000, 0, 1)
+    manager = OverloadManager(
+        OverrunPolicy.DEGRADE,
+        DegradeConfig(fallbacks={"t": degraded_variant(task)},
+                      miss_threshold=2, recover_after=1),
+    )
+    assert manager.job_finished("t", missed=True) is None
+    assert manager.job_finished("t", missed=False) is None  # streak broken
+    assert manager.job_finished("t", missed=True) is None
+    assert manager.job_finished("t", missed=True) == "degrade"
+
+
+def test_tasks_without_fallback_never_degrade():
+    task = _task("t", [(10, 100)], 1000, 1000, 0, 1)
+    manager = OverloadManager(
+        OverrunPolicy.DEGRADE,
+        DegradeConfig(fallbacks={"other": (Segment("s", 1, 1),)},
+                      miss_threshold=1, recover_after=1),
+    )
+    for _ in range(5):
+        assert manager.job_finished("t", missed=True) is None
+    assert not manager.is_degraded("t")
+    assert manager.segments_for(task) is task.segments
+
+
+def test_degraded_variant_scales_and_validates():
+    task = _task("t", [(100, 7), (0, 1)], 1000, 1000, 0, 1)
+    fallback = degraded_variant(task, 0.5)
+    assert [s.load_cycles for s in fallback] == [50, 0]
+    assert [s.compute_cycles for s in fallback] == [4, 1]  # compute >= 1
+    assert all(s.name.endswith("~") for s in fallback)
+    with pytest.raises(ValueError):
+        degraded_variant(task, 0.0)
+    with pytest.raises(ValueError):
+        degraded_variant(task, 1.5)
+    with pytest.raises(ValueError):
+        DegradeConfig(fallbacks={"t": ()})
+
+
+# ----------------------------------------------------------------------
+# EXP-R1 driver
+# ----------------------------------------------------------------------
+def test_exp_r1_runs_and_is_deterministic():
+    from repro.eval.experiments import run_experiment
+
+    kwargs = dict(inflations=(1.0, 1.5), n_sets=2, seed=77)
+    a = run_experiment("EXP-R1", **kwargs)
+    b = run_experiment("EXP-R1", **kwargs)
+    assert a.columns == (
+        "inflation", "miss_continue", "miss_abort", "miss_skip_next",
+        "miss_degrade", "degraded_residency",
+    )
+    assert len(a.rows) == 2
+    assert a.rows == b.rows
+    assert a.notes == b.notes

@@ -1,0 +1,97 @@
+"""Edge-path tests for SimConfig: hard-cap truncation and abort_on_miss.
+
+Both paths end a run with jobs still in flight; the stats must account
+for every released job exactly once (responses + aborts + unfinished).
+"""
+
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+def _task(name, pairs, period, deadline, priority, buffers, phase=0):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline,
+        priority=priority,
+        buffers=buffers,
+        phase=phase,
+    )
+
+
+def _overloaded_taskset():
+    """Utilization > 1: the queue grows without bound, so released jobs
+    can never all complete."""
+    return TaskSet.of([
+        _task("t0", [(100, 950)], 1000, 1000, 0, 2),
+        _task("t1", [(50, 400)], 1500, 1500, 1, 2),
+    ])
+
+
+def test_hard_cap_truncates_overloaded_run():
+    result = simulate(
+        _overloaded_taskset(),
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=10000, hard_cap_factor=1.0),
+    )
+    assert result.truncated
+    # The backlog that never ran is accounted as unfinished...
+    unfinished = sum(s.unfinished for s in result.stats.values())
+    assert unfinished > 0
+    # ...and counted against schedulability.
+    assert result.total_misses >= unfinished
+    assert not result.no_misses
+    for stats in result.stats.values():
+        assert stats.jobs == len(stats.responses) + stats.aborts + stats.unfinished
+
+
+def test_hard_cap_factor_bounds_end_time():
+    # Utilization ~2: the backlog at the horizon is about one extra
+    # horizon's worth of work, far past a 1.5x cap.
+    ts = TaskSet.of([_task("t0", [(100, 1900)], 1000, 1000, 0, 2)])
+    config = SimConfig(policy=CpuPolicy.FP_NP, horizon=10000,
+                       hard_cap_factor=1.5)
+    result = simulate(ts, config)
+    assert result.truncated
+    # The cap is horizon * factor plus one period of slack, checked at
+    # event granularity — the breaking event may overshoot by one burst.
+    cap = config.horizon * config.hard_cap_factor + 1000
+    max_burst = 1900 + 100
+    assert cap < result.end_time <= cap + max_burst
+
+
+def test_generous_hard_cap_drains_the_queue():
+    """With a loose cap the same overloaded set runs its backlog down
+    after releases stop, so nothing is left unfinished."""
+    result = simulate(
+        _overloaded_taskset(),
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=4000, hard_cap_factor=10.0),
+    )
+    assert not result.truncated
+    assert all(s.unfinished == 0 for s in result.stats.values())
+    assert result.end_time > 4000  # backlog drained past the horizon
+
+
+def test_abort_on_miss_stops_with_jobs_in_flight():
+    result = simulate(
+        _overloaded_taskset(),
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=10000, abort_on_miss=True),
+    )
+    assert result.aborted_on_miss
+    assert not result.no_misses
+    # The run stopped at the first miss, well before the horizon drained.
+    assert result.end_time < 10000
+    # Jobs that were queued or in flight at the stop count as unfinished.
+    assert sum(s.unfinished for s in result.stats.values()) > 0
+    for stats in result.stats.values():
+        assert stats.jobs == len(stats.responses) + stats.aborts + stats.unfinished
+
+
+def test_abort_on_miss_unset_on_clean_sets():
+    ts = TaskSet.of([_task("t0", [(10, 100)], 1000, 1000, 0, 2)])
+    result = simulate(
+        ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=5000, abort_on_miss=True)
+    )
+    assert not result.aborted_on_miss
+    assert result.no_misses

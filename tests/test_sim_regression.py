@@ -1,0 +1,144 @@
+"""Regression pins for the simulator.
+
+Two kinds of pins:
+
+* **Anomaly pin** — the hypothesis-found counterexample where preemption
+  worsens the top task's response through shifted non-preemptive DMA
+  occupancy (companion to the weakened property in
+  ``test_prop_simulator.py``).
+
+* **Bit-identity pins** — exact response lists / busy cycles captured
+  before the fault-injection & overload subsystem landed.  They must hold
+  both for the default config and for a config carrying a *null*
+  :class:`~repro.robust.faults.FaultConfig` plus
+  ``OverrunPolicy.CONTINUE``: the robustness machinery, when disabled,
+  must not perturb a single cycle.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.dma import DmaArbitration
+from repro.robust import FaultConfig, OverrunPolicy
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+def _task(name, pairs, period, deadline, priority, buffers, phase=0):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline,
+        priority=priority,
+        buffers=buffers,
+        phase=phase,
+    )
+
+
+def _three_task_scenario():
+    return TaskSet.of([
+        _task("cam", [(120, 300), (200, 450), (80, 260)], 3000, 2600, 0, 2),
+        _task("mic", [(60, 500), (340, 700)], 5000, 4400, 1, 2, phase=700),
+        _task("imu", [(0, 900), (150, 400)], 7000, 7000, 2, 1, phase=1500),
+    ])
+
+
+# (policy, arbitration) -> per-task response lists captured pre-robustness.
+_NONPREEMPTIVE_RESPONSES = {
+    "cam": [1130, 1459, 1281, 1956, 1130, 1617, 1130],
+    "mic": [1630, 1260, 2121, 1260],
+    "imu": [2280, 3510, 3072],
+}
+_PREEMPTIVE_RESPONSES = {
+    "cam": [1130, 1179, 1130, 1130, 1130, 1130, 1130],
+    "mic": [1630, 2270, 1295, 2270],
+    "imu": [3290, 3660, 3072],
+}
+_BASELINES = {
+    (CpuPolicy.FP_NP, DmaArbitration.PRIORITY): _NONPREEMPTIVE_RESPONSES,
+    (CpuPolicy.FP_NP, DmaArbitration.FIFO): _NONPREEMPTIVE_RESPONSES,
+    (CpuPolicy.FP_P, DmaArbitration.PRIORITY): _PREEMPTIVE_RESPONSES,
+    (CpuPolicy.FP_P, DmaArbitration.FIFO): _PREEMPTIVE_RESPONSES,
+    (CpuPolicy.EDF_NP, DmaArbitration.PRIORITY): _NONPREEMPTIVE_RESPONSES,
+    (CpuPolicy.EDF_NP, DmaArbitration.FIFO): _NONPREEMPTIVE_RESPONSES,
+}
+
+# Configs that must reproduce the pinned numbers exactly.  The second one
+# exercises every robustness hook with the machinery disabled.
+_CONFIG_VARIANTS = {
+    "default": {},
+    "null-robust": {"faults": FaultConfig(), "overrun": OverrunPolicy.CONTINUE},
+}
+
+
+@pytest.mark.parametrize("extra_key", sorted(_CONFIG_VARIANTS))
+@pytest.mark.parametrize("policy,arb", sorted(_BASELINES, key=str))
+def test_three_task_scenario_bit_identical(policy, arb, extra_key):
+    result = simulate(
+        _three_task_scenario(),
+        SimConfig(
+            policy=policy,
+            dma_arbitration=arb,
+            horizon=21000,
+            sporadic_slack=0.3,
+            seed=7,
+            **_CONFIG_VARIANTS[extra_key],
+        ),
+    )
+    assert result.cpu_busy == 15770
+    assert result.dma_busy == 4850
+    assert result.end_time == 21856
+    assert result.dma_retries == 0
+    for name, responses in _BASELINES[(policy, arb)].items():
+        stats = result.stats[name]
+        assert stats.responses == responses
+        assert stats.misses == 0
+        assert stats.unfinished == 0
+        assert stats.aborts == 0
+        assert stats.skips == 0
+        assert stats.degraded_jobs == 0
+
+
+@pytest.mark.parametrize("extra_key", sorted(_CONFIG_VARIANTS))
+def test_overloaded_scenario_bit_identical(extra_key):
+    """An over-utilized set keeps its exact pre-robustness miss profile
+    under CONTINUE (late jobs run to completion, misses only counted)."""
+    ts = TaskSet.of([
+        _task("hi", [(100, 400)], 1000, 900, 0, 2),
+        _task("lo", [(300, 800), (100, 350)], 1800, 1800, 1, 2),
+    ])
+    result = simulate(
+        ts,
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=12000,
+                  **_CONFIG_VARIANTS[extra_key]),
+    )
+    assert result.cpu_busy == 12850
+    assert result.dma_busy == 4000
+    assert result.end_time == 13500
+    assert not result.truncated
+    hi, lo = result.stats["hi"], result.stats["lo"]
+    assert hi.responses == [500, 700] * 6
+    assert hi.misses == 0
+    assert lo.responses == [2050, 2250, 2450, 2650, 2850, 3050, 2700]
+    assert lo.misses == 7
+    assert lo.unfinished == 0
+
+
+def test_null_fault_config_is_null():
+    assert FaultConfig().is_null
+    assert not dataclasses.replace(FaultConfig(), dma_fault_prob=0.1).is_null
+
+
+def test_anomaly_example_pinned_under_both_arbitrations():
+    """The preemption/DMA anomaly example keeps its exact responses."""
+    ts = TaskSet.of([
+        _task("t0", [(15, 2)], period=49, deadline=24, priority=0, buffers=1),
+        _task("t1", [(34, 21)], period=59, deadline=29, priority=1, buffers=1),
+    ])
+    np_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=6 * 59))
+    p_result = simulate(ts, SimConfig(policy=CpuPolicy.FP_P, horizon=6 * 59))
+    assert np_result.stats["t0"].responses == [17, 23, 29, 35, 41, 48, 17, 23]
+    assert p_result.stats["t0"].responses == [17, 17, 25, 33, 41, 49, 17, 17]
