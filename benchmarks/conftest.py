@@ -13,17 +13,37 @@ Run with::
 Pass a larger scale for paper-quality curves::
 
     RTMDM_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only -s
+
+Parallel experiment drivers pick up ``REPRO_JOBS`` (or an explicit
+``jobs=`` in the benchmark module); results are bit-identical at any
+worker count, so timing runs can use every core.
+
+Besides the per-experiment ``benchmark_results/EXP-*.txt`` tables, a
+session summary lands in ``benchmark_results/BENCH_suite.json``: one
+record per experiment with wall-clock seconds, the effective ``jobs``
+and ``scale``, and the plan-cache hit/miss counters observed during that
+experiment.  CI uploads this file as an artifact, so the suite's
+performance trajectory is tracked across commits.
 """
 
+import json
 import os
 import pathlib
+import platform as _platform
+import sys
+import time
 
+from repro.core import segcache
 from repro.eval.experiments import run_experiment
+from repro.eval.parallel import resolve_jobs
 from repro.eval.reporting import render
 
 #: Rendered tables are also written here (one file per experiment), so
 #: the rows survive pytest's output capturing.
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+#: Per-experiment records accumulated over the session, in run order.
+_SUITE_RECORDS = []
 
 
 def bench_experiment(benchmark, exp_id, **kwargs):
@@ -31,8 +51,20 @@ def bench_experiment(benchmark, exp_id, **kwargs):
     and persist it under ``benchmark_results/``."""
     scale = float(os.environ.get("RTMDM_BENCH_SCALE", "1.0"))
     kwargs.setdefault("scale", scale)
+    before = segcache.snapshot()
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+    )
+    seconds = time.perf_counter() - start
+    _SUITE_RECORDS.append(
+        {
+            "exp_id": exp_id,
+            "seconds": round(seconds, 3),
+            "jobs": resolve_jobs(kwargs.get("jobs")),
+            "scale": kwargs.get("scale", scale),
+            "plan_cache": segcache.delta_since(before),
+        }
     )
     text = render(result)
     print()
@@ -40,3 +72,27 @@ def bench_experiment(benchmark, exp_id, **kwargs):
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-session suite summary (``BENCH_suite.json``).
+
+    Cache counters come from the in-driver deltas recorded by
+    :func:`bench_experiment`; with worker processes the drivers merge
+    each worker's counters back, so the numbers are exact in both serial
+    and parallel runs.
+    """
+    if not _SUITE_RECORDS:
+        return
+    suite = {
+        "schema": "rtmdm-bench-suite/1",
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "cache_enabled": segcache.is_enabled(),
+        "total_seconds": round(sum(r["seconds"] for r in _SUITE_RECORDS), 3),
+        "experiments": _SUITE_RECORDS,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_suite.json"
+    path.write_text(json.dumps(suite, indent=2) + "\n", encoding="utf-8")
+    print(f"\nbench suite summary -> {path}")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import segcache
 from repro.dnn.models import Model
 from repro.dnn.quantization import INT8, Quantization
 from repro.hw.platform import Platform
@@ -29,16 +30,20 @@ def xip_task(
     quant: Quantization = INT8,
 ) -> PeriodicTask:
     """Build the XIP version of a model as a periodic task (cycles)."""
-    segments = tuple(
-        Segment(
-            name=f"{name}/{layer.name}",
-            load_cycles=0,
-            compute_cycles=platform.xip_cycles(layer, quant.weight_bytes),
-            load_bytes=0,
-            xip_bytes=layer.param_bytes(quant),
+
+    def build() -> tuple:
+        return tuple(
+            Segment(
+                name=f"{name}/{layer.name}",
+                load_cycles=0,
+                compute_cycles=platform.xip_cycles(layer, quant.weight_bytes),
+                load_bytes=0,
+                xip_bytes=layer.param_bytes(quant),
+            )
+            for layer in model.layers
         )
-        for layer in model.layers
-    )
+
+    segments = segcache.cached_xip_segments(name, model, platform, quant, build)
     return PeriodicTask(
         name=name,
         segments=segments,

@@ -277,10 +277,11 @@ def _cmd_robust(args: argparse.Namespace) -> int:
     return 0 if worst_miss == 0.0 else 1
 
 
-def _cmd_exp(args: argparse.Namespace) -> int:
-    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+def _run_exp_ids(args: argparse.Namespace, ids: List[str]) -> None:
     for exp_id in ids:
-        result = run_experiment(exp_id, scale=args.scale)
+        result = run_experiment(
+            exp_id, scale=args.scale, n_sets=args.n_sets, jobs=args.jobs
+        )
         print(render(result))
         if args.plot and len(result.rows) >= 2:
             from repro.eval.plots import ascii_plot
@@ -291,6 +292,25 @@ def _cmd_exp(args: argparse.Namespace) -> int:
             except (TypeError, ValueError):
                 pass  # non-sweep results have no meaningful plot
         print()
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+    if not args.profile:
+        _run_exp_ids(args, ids)
+        return 0
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_exp_ids(args, ids)
+    finally:
+        profiler.disable()
+        print("--- profile (top 25 by cumulative time) ---")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 
@@ -374,7 +394,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     exp = sub.add_parser("exp", help="run a reconstructed experiment")
     exp.add_argument("id", help="experiment id (e.g. EXP-F4) or 'all'")
-    exp.add_argument("--scale", type=float, default=1.0, help="sample-count scale")
+    exp.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply every experiment's sample count (task-set draws, "
+        "Monte-Carlo phasings) by this factor; <1 for quick smoke runs, "
+        ">1 for tighter confidence intervals (default: 1.0)",
+    )
+    exp.add_argument(
+        "--n-sets", type=int, default=None, dest="n_sets",
+        help="override the number of task sets drawn per sweep point "
+        "(before --scale is applied); default: per-experiment",
+    )
+    exp.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for parallel experiments (default: "
+        "REPRO_JOBS env var, else 1 = serial); results are bit-identical "
+        "at any worker count",
+    )
+    exp.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+        "cumulative time",
+    )
     exp.add_argument("--plot", action="store_true", help="ASCII chart for sweeps")
     exp.set_defaults(fn=_cmd_exp)
 

@@ -17,8 +17,9 @@ simulator by the property tests.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.dnn.models import Model
 from repro.dnn.quantization import Quantization
@@ -48,11 +49,35 @@ def pipeline_finish_times(
     return finish
 
 
+# id-keyed latency memo over *shared* segment tuples.  The plan cache
+# hands the same immutable tuple to every re-materialized hit, and the
+# analyses recompute its isolated latency once per admission test; the
+# memo holds a strong reference to each tuple so ids cannot be reused.
+# ``segcache`` rebinds ``_memo_enabled`` to its master switch on import
+# (a late binding avoids a circular import).
+_memo_enabled: Callable[[], bool] = lambda: True
+_latency_memo: "OrderedDict[Tuple[int, int], Tuple[Tuple[Segment, ...], int]]" = (
+    OrderedDict()
+)
+_LATENCY_MEMO_MAX = 4096
+
+
 def isolated_latency(segments: Sequence[Segment], buffers: int = 2) -> int:
     """Job latency on an otherwise idle platform."""
     if not segments:
         raise ValueError("segments must be non-empty")
-    return pipeline_finish_times(segments, buffers)[-1][1]
+    if type(segments) is not tuple or not _memo_enabled():
+        return pipeline_finish_times(segments, buffers)[-1][1]
+    key = (id(segments), buffers)
+    entry = _latency_memo.get(key)
+    if entry is not None and entry[0] is segments:
+        _latency_memo.move_to_end(key)
+        return entry[1]
+    value = pipeline_finish_times(segments, buffers)[-1][1]
+    _latency_memo[key] = (segments, value)
+    while len(_latency_memo) > _LATENCY_MEMO_MAX:
+        _latency_memo.popitem(last=False)
+    return value
 
 
 def sequential_latency(segments: Sequence[Segment]) -> int:
@@ -133,6 +158,9 @@ class SegmentedModel:
 
     def segments(self) -> Tuple[Segment, ...]:
         """Materialize scheduler segments with platform cycle costs."""
+        memo = self.__dict__.get("_segments_memo")
+        if memo is not None:
+            return memo
         result = []
         for index, (start, end) in enumerate(self.boundaries):
             load_bytes = 0 if self.resident else self.segment_weight_bytes(index)
@@ -148,7 +176,11 @@ class SegmentedModel:
                     load_bytes=load_bytes,
                 )
             )
-        return tuple(result)
+        memo = tuple(result)
+        # frozen dataclass: memoize via __dict__ (not a field, so eq/repr
+        # are unaffected); latency helpers re-materialize constantly.
+        object.__setattr__(self, "_segments_memo", memo)
+        return memo
 
     # ------------------------------------------------------------------
     # Derived timing

@@ -143,6 +143,11 @@ class _Planner:
             self.prefix_c[i + 1] = self.prefix_c[i] + self.computes[i]
         act = model.peak_activation_bytes(quant)
         self.activation_bytes = act
+        # load_cycles is a pure function of the byte count for a fixed
+        # platform; candidate evaluation revisits the same segment sizes
+        # constantly (hill climbing shifts one boundary at a time), so
+        # memoizing per weight value removes most of its cost.
+        self._load_cache: dict = {}
         self.slot_cap = (sram_budget - act) // buffers
         if self.slot_cap < max(self.weights):
             raise SegmentationError(
@@ -177,20 +182,41 @@ class _Planner:
         return True
 
     def latency(self, boundaries: Boundaries) -> int:
-        """Isolated pipelined latency of a candidate (exact recurrence)."""
-        loads = [self.platform.load_cycles(self.seg_weight(s, e)) for s, e in boundaries]
-        comps = [self.seg_compute(s, e) for s, e in boundaries]
+        """Isolated pipelined latency of a candidate (exact recurrence).
+
+        Single fused pass over the recurrence: the hill climber calls
+        this for every candidate shift, so no intermediate lists, no
+        ``max`` builtins, no per-segment method calls — same integers.
+        """
+        load_cache = self._load_cache
+        load_cycles = self.platform.load_cycles
+        prefix_w = self.prefix_w
+        prefix_c = self.prefix_c
         b = self.buffers
-        f_load: List[int] = []
         f_comp: List[int] = []
-        for j in range(len(boundaries)):
-            prev_load = f_load[j - 1] if j >= 1 else 0
+        append = f_comp.append
+        prev_load = 0
+        prev_comp = 0
+        j = 0
+        for s, e in boundaries:
+            w = prefix_w[e] - prefix_w[s]
+            cycles = load_cache.get(w)
+            if cycles is None:
+                cycles = load_cycles(w)
+                load_cache[w] = cycles
             freed = f_comp[j - b] if j >= b else 0
-            load_finish = max(prev_load, freed) + loads[j]
-            prev_comp = f_comp[j - 1] if j >= 1 else 0
-            f_load.append(load_finish)
-            f_comp.append(max(prev_comp, load_finish) + comps[j])
-        return f_comp[-1]
+            if freed > prev_load:
+                prev_load = freed + cycles
+            else:
+                prev_load += cycles
+            comp = prefix_c[e] - prefix_c[s]
+            if prev_load > prev_comp:
+                prev_comp = prev_load + comp
+            else:
+                prev_comp += comp
+            append(prev_comp)
+            j += 1
+        return prev_comp
 
     def max_compute_section(self, boundaries: Boundaries) -> int:
         return max(self.seg_compute(s, e) for s, e in boundaries)
@@ -218,10 +244,89 @@ class _Planner:
             buffers=self.buffers,
         )
 
+    def _latency_suffix(
+        self, boundaries: Boundaries, start: int, f_comp_prefix: List[int]
+    ) -> Tuple[int, List[int]]:
+        """Latency of ``boundaries`` whose segments before ``start`` match
+        the schedule that produced ``f_comp_prefix`` (same recurrence as
+        :meth:`latency`, resumed mid-stream).  Returns the latency and the
+        full ``f_comp`` array for reuse."""
+        load_cache = self._load_cache
+        load_cycles = self.platform.load_cycles
+        prefix_w = self.prefix_w
+        prefix_c = self.prefix_c
+        b = self.buffers
+        f_comp = f_comp_prefix[:start]
+        append = f_comp.append
+        prev_comp = f_comp[start - 1] if start else 0
+        prev_load = self._f_load_state[start - 1] if start else 0
+        for j in range(start, len(boundaries)):
+            s, e = boundaries[j]
+            w = prefix_w[e] - prefix_w[s]
+            cycles = load_cache.get(w)
+            if cycles is None:
+                cycles = load_cycles(w)
+                load_cache[w] = cycles
+            freed = f_comp[j - b] if j >= b else 0
+            if freed > prev_load:
+                prev_load = freed + cycles
+            else:
+                prev_load += cycles
+            comp = prefix_c[e] - prefix_c[s]
+            if prev_load > prev_comp:
+                prev_comp = prev_load + comp
+            else:
+                prev_comp += comp
+            append(prev_comp)
+        return prev_comp, f_comp
+
+    def _latency_state(self, boundaries: Boundaries) -> Tuple[List[int], List[int]]:
+        """``(f_load, f_comp)`` arrays of the recurrence over ``boundaries``."""
+        load_cache = self._load_cache
+        load_cycles = self.platform.load_cycles
+        prefix_w = self.prefix_w
+        prefix_c = self.prefix_c
+        b = self.buffers
+        f_load: List[int] = []
+        f_comp: List[int] = []
+        prev_load = 0
+        prev_comp = 0
+        for j, (s, e) in enumerate(boundaries):
+            w = prefix_w[e] - prefix_w[s]
+            cycles = load_cache.get(w)
+            if cycles is None:
+                cycles = load_cycles(w)
+                load_cache[w] = cycles
+            freed = f_comp[j - b] if j >= b else 0
+            if freed > prev_load:
+                prev_load = freed + cycles
+            else:
+                prev_load += cycles
+            f_load.append(prev_load)
+            comp = prefix_c[e] - prefix_c[s]
+            if prev_load > prev_comp:
+                prev_comp = prev_load + comp
+            else:
+                prev_comp += comp
+            f_comp.append(prev_comp)
+        return f_load, f_comp
+
     def hill_climb(self, boundaries: Boundaries, max_passes: int = 4) -> Boundaries:
-        """Shift boundaries +-1 layer while it reduces exact latency."""
+        """Shift boundaries +-1 layer while it reduces exact latency.
+
+        Candidate evaluation is incremental: shifting the cut between
+        segments ``i`` and ``i+1`` leaves the recurrence prefix before
+        ``i`` untouched, so each candidate resumes from the incumbent's
+        stored pipeline state instead of re-running the full recurrence
+        — identical integers, roughly half the work on average.
+        """
         best = list(boundaries)
-        best_latency = self.latency(best)
+        self._f_load_state, f_comp_state = self._latency_state(best)
+        best_latency = f_comp_state[-1] if f_comp_state else 0
+        slot_cap = self.slot_cap
+        cap = self.compute_cap
+        prefix_w = self.prefix_w
+        prefix_c = self.prefix_c
         for _ in range(max_passes):
             improved = False
             for i in range(len(best) - 1):
@@ -229,14 +334,30 @@ class _Planner:
                     cut = best[i][1] + delta
                     if not best[i][0] < cut < best[i + 1][1]:
                         continue
-                    candidate = list(best)
-                    candidate[i] = (best[i][0], cut)
-                    candidate[i + 1] = (cut, best[i + 1][1])
-                    if not self.feasible(candidate):
+                    s0, e1 = best[i][0], best[i + 1][1]
+                    # Only the two touched segments can newly violate a
+                    # cap (`best` is feasible, the rest already fit); a
+                    # per-segment check replaces the full feasible() scan
+                    # with the same accept/reject decisions.
+                    if (
+                        prefix_w[cut] - prefix_w[s0] > slot_cap
+                        or prefix_w[e1] - prefix_w[cut] > slot_cap
+                    ):
                         continue
-                    latency = self.latency(candidate)
+                    if cap is not None and (
+                        prefix_c[cut] - prefix_c[s0] > cap
+                        or prefix_c[e1] - prefix_c[cut] > cap
+                    ):
+                        continue
+                    candidate = list(best)
+                    candidate[i] = (s0, cut)
+                    candidate[i + 1] = (cut, e1)
+                    latency, f_comp = self._latency_suffix(
+                        candidate, i, f_comp_state
+                    )
                     if latency < best_latency:
                         best, best_latency = candidate, latency
+                        self._f_load_state, f_comp_state = self._latency_state(best)
                         improved = True
             if not improved:
                 break

@@ -9,10 +9,11 @@ fast; pass ``scale=4`` or more for paper-quality curves).
 
 from __future__ import annotations
 
+import inspect
 import random
-import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import segcache
 from repro.core.analysis import METHODS, analyze
 from repro.core.framework import RtMdm
 from repro.core.pipeline import isolated_latency, sequential_latency
@@ -31,6 +32,7 @@ from repro.eval.metrics import (
     schedulability_ratio,
     tightness_ratios,
 )
+from repro.eval.parallel import resolve_jobs, run_units, stable_seed
 from repro.eval.reporting import ExperimentResult
 from repro.eval.systems import SYSTEMS, admit, derive_taskset
 from repro.hw.dma import DmaArbitration
@@ -42,12 +44,14 @@ from repro.workload.taskset import generate_case
 
 KIB = 1024
 
+#: Deterministic per-unit seeding (moved to repro.eval.parallel so worker
+#: processes share one definition); kept under the historic local name.
+_stable_seed = stable_seed
 
-def _stable_seed(*parts) -> int:
-    """Deterministic seed from mixed parts (``hash()`` of strings is
-    randomized per process and must never seed an experiment)."""
-    text = "|".join(repr(p) for p in parts)
-    return zlib.crc32(text.encode("utf-8"))
+
+def _with_cache_note(notes: str, deltas: Sequence[Dict[str, Tuple[int, int]]]) -> str:
+    """Append the merged plan-cache hit/miss summary to a notes string."""
+    return f"{notes}; {segcache.cache_note(segcache.merge_deltas(deltas))}"
 
 # ----------------------------------------------------------------------
 # EXP-T1 / EXP-T2: workload and platform characterization tables
@@ -139,11 +143,13 @@ def exp_f3_single_dnn_latency(
     platform = get_platform(platform_key)
     budget = platform.usable_sram_bytes
     rows = []
+    skipped = []
     for name in list_models():
         model = refine_model(build_model(name), INT8, max(2048, budget // 8))
         try:
             seg = search_segmentation(model, platform, budget, quant=INT8, buffers=2)
         except SegmentationError:
+            skipped.append(name)
             continue
         segments = seg.segments()
         pipelined = isolated_latency(segments, buffers=2)
@@ -162,6 +168,12 @@ def exp_f3_single_dnn_latency(
                 round(xip / pipelined, 2),
             )
         )
+    notes = "rtmdm = double-buffered pipeline; speedup columns are vs RT-MDM"
+    if skipped:
+        notes += (
+            "; skipped (no feasible segmentation within usable SRAM): "
+            + ", ".join(skipped)
+        )
     return ExperimentResult(
         exp_id="EXP-F3",
         title=f"Single-DNN isolated latency on {get_platform(platform_key).name} (ms)",
@@ -175,13 +187,29 @@ def exp_f3_single_dnn_latency(
             "xip/rtmdm",
         ),
         rows=tuple(rows),
-        notes="rtmdm = double-buffered pipeline; speedup columns are vs RT-MDM",
+        notes=notes,
     )
 
 
 # ----------------------------------------------------------------------
 # Schedulability sweeps (EXP-F4/F5/F6)
 # ----------------------------------------------------------------------
+
+
+def _sweep_admission_unit(unit: Tuple) -> Tuple[Tuple[bool, ...], Dict]:
+    """One ``(set index, sweep point)`` admission work unit.
+
+    Module-level and fed only picklable inputs so it can run in a pool
+    worker; returns the per-system verdicts plus the plan-cache counter
+    delta it caused (worker caches are per-process, so deltas must travel
+    back with the payload to make merged totals exact).
+    """
+    seed, x_label, index, platform, util, systems = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, x_label, index))
+    case = generate_case(platform, util, rng)
+    verdicts = tuple(admit(system, case) for system in systems)
+    return verdicts, segcache.delta_since(before)
 
 
 def _sched_sweep(
@@ -192,29 +220,60 @@ def _sched_sweep(
     n_sets: int,
     seed: int,
     systems: Sequence[str] = SYSTEMS,
-) -> List[Tuple]:
+    jobs: Optional[int] = None,
+) -> Tuple[List[Tuple], List[Dict]]:
     """Shared machinery: schedulability ratio of each system per x value.
 
     Draws are **paired across x values**: set index ``i`` uses the same
     seed at every sweep point, so when only the platform varies (SRAM or
     bandwidth sweeps) each point evaluates the *same* workloads and the
     curves are directly comparable.
+
+    Work decomposes into one unit per ``(set index, x value)`` — the
+    exact serial iteration — dispatched via
+    :func:`repro.eval.parallel.run_units`.  Units are ordered index-major
+    with one full sweep-row per pool chunk, so a worker scans all x
+    values of a set consecutively and keeps the plan cache's
+    paired-draw locality.  Merging walks units in the same order, so
+    verdict lists (and hence every ratio) are bit-identical to the
+    serial path.
+
+    Returns the result rows plus the per-unit cache-counter deltas.
     """
+    points = list(zip(x_values, platforms, total_utils))
+    systems = tuple(systems)
+    units = [
+        (seed, x_label, index, platform, util, systems)
+        for index in range(n_sets)
+        for (_, platform, util) in points
+    ]
+    results = run_units(
+        _sweep_admission_unit, units, jobs=jobs, chunksize=max(1, len(points)),
+        absorb_deltas=True,
+        # Leading full rows run in-process so forked workers inherit a
+        # warm plan cache instead of cold ones.  Misses are spread across
+        # the whole sweep (each set draws fresh model/budget combos), so
+        # every entry created before the fork is one duplicated miss per
+        # worker avoided; 16 rows balances that against serial fraction.
+        warm_prefix=16 * len(points),
+    )
     verdicts: Dict[object, Dict[str, List[bool]]] = {
         x: {s: [] for s in systems} for x in x_values
     }
-    for index in range(n_sets):
-        for x, platform, util in zip(x_values, platforms, total_utils):
-            rng = random.Random(_stable_seed(seed, x_label, index))
-            case = generate_case(platform, util, rng)
-            for system in systems:
-                verdicts[x][system].append(admit(system, case))
+    deltas: List[Dict] = []
+    it = iter(results)
+    for _ in range(n_sets):
+        for x, _, _ in points:
+            unit_verdicts, delta = next(it)
+            deltas.append(delta)
+            for system, verdict in zip(systems, unit_verdicts):
+                verdicts[x][system].append(verdict)
     rows = []
     for x in x_values:
         rows.append(
             (x, *(round(schedulability_ratio(verdicts[x][s]), 3) for s in systems))
         )
-    return rows
+    return rows, deltas
 
 
 def exp_f4_sched_vs_util(
@@ -223,55 +282,65 @@ def exp_f4_sched_vs_util(
     n_sets: int = 40,
     seed: int = 2024,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
     """Schedulability ratio vs total CPU utilization."""
     platform = get_platform(platform_key)
     n = max(4, int(n_sets * scale))
-    rows = _sched_sweep(
+    rows, deltas = _sched_sweep(
         platforms=[platform] * len(utils),
         x_values=list(utils),
         x_label="util",
         total_utils=list(utils),
         n_sets=n,
         seed=seed,
+        jobs=jobs,
     )
     return ExperimentResult(
         exp_id="EXP-F4",
         title=f"Schedulability ratio vs utilization on {platform.name} ({n} sets/point)",
         columns=("util", *SYSTEMS),
         rows=tuple(rows),
-        notes="admission by each system's offline analysis; DM priorities throughout",
+        notes=_with_cache_note(
+            "admission by each system's offline analysis; DM priorities throughout",
+            deltas,
+        ),
     )
 
 
 def exp_f5_sched_vs_sram(
     platform_key: str = "f746-qspi",
-    sram_kib: Sequence[int] = (64, 96, 128, 192, 256, 320, 448),
+    sram_kib: Sequence[int] = (64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448),
     util: float = 0.5,
     n_sets: int = 40,
     seed: int = 2025,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
     """Schedulability ratio vs SRAM size at fixed utilization."""
     base = get_platform(platform_key)
     platforms = [base.with_sram_bytes(k * KIB) for k in sram_kib]
     n = max(4, int(n_sets * scale))
-    rows = _sched_sweep(
+    rows, deltas = _sched_sweep(
         platforms=platforms,
         x_values=list(sram_kib),
         x_label="sram",
         total_utils=[util] * len(sram_kib),
         n_sets=n,
         seed=seed,
+        jobs=jobs,
     )
     return ExperimentResult(
         exp_id="EXP-F5",
         title=f"Schedulability ratio vs SRAM (KiB) at U={util} ({n} sets/point)",
         columns=("sram_kib", *SYSTEMS),
         rows=tuple(rows),
-        notes="XIP needs no staging buffers, so it flattens at low SRAM where staging systems die",
+        notes=_with_cache_note(
+            "XIP needs no staging buffers, so it flattens at low SRAM where staging systems die",
+            deltas,
+        ),
     )
 
 
@@ -282,26 +351,31 @@ def exp_f6_sched_vs_bandwidth(
     n_sets: int = 40,
     seed: int = 2026,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
     """Schedulability ratio vs external-memory bandwidth scaling."""
     base = get_platform(platform_key)
     platforms = [base.with_bandwidth_factor(f) for f in factors]
     n = max(4, int(n_sets * scale))
-    rows = _sched_sweep(
+    rows, deltas = _sched_sweep(
         platforms=platforms,
         x_values=list(factors),
         x_label="bw",
         total_utils=[util] * len(factors),
         n_sets=n,
         seed=seed,
+        jobs=jobs,
     )
     return ExperimentResult(
         exp_id="EXP-F6",
         title=f"Schedulability ratio vs bandwidth factor at U={util} ({n} sets/point)",
         columns=("bw_factor", *SYSTEMS),
         rows=tuple(rows),
-        notes="factor 1.0 = 48 MB/s QSPI; at high bandwidth overlap matters less",
+        notes=_with_cache_note(
+            "factor 1.0 = 48 MB/s QSPI; at high bandwidth overlap matters less",
+            deltas,
+        ),
     )
 
 
@@ -334,6 +408,36 @@ def _simulate_case(taskset, horizon_jobs: int, phases_rng: Optional[random.Rando
     return simulate(taskset, config)
 
 
+def _f7_unit(unit: Tuple) -> Tuple[Optional[Tuple[Dict, int]], Dict]:
+    """One ``(utilization, set index)`` miss-ratio work unit for EXP-F7.
+
+    Draws its own case from a per-(util, index) stable seed, simulates
+    every system over all phasings, and returns per-system miss-ratio
+    lists plus the admitted-but-missed count (``None`` payload for an
+    infeasible draw).
+    """
+    seed, platform, util, index, systems, n_phasings = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, "f7", util, index))
+    case = generate_case(platform, util, rng)
+    if not case.feasible:
+        return None, segcache.delta_since(before)
+    totals: Dict[str, List[float]] = {}
+    admitted_missed = 0
+    for system in systems:
+        taskset, method = derive_taskset(system, case)
+        admitted = segcache.cached_analyze(taskset, method).schedulable
+        values = []
+        for p in range(n_phasings):
+            prng = random.Random(_stable_seed(seed, util, index, system, p))
+            result = _simulate_case(taskset, horizon_jobs=20, phases_rng=prng)
+            values.append(miss_ratio(result))
+            if system == "rtmdm" and admitted and result.total_misses:
+                admitted_missed += 1
+        totals[system] = values
+    return (totals, admitted_missed), segcache.delta_since(before)
+
+
 def exp_f7_miss_ratio(
     platform_key: str = "f746-qspi",
     utils: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
@@ -341,30 +445,41 @@ def exp_f7_miss_ratio(
     n_phasings: int = 3,
     seed: int = 2027,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
-    """Empirical deadline-miss ratio in simulation vs utilization."""
+    """Empirical deadline-miss ratio in simulation vs utilization.
+
+    Every ``(utilization, set index)`` pair seeds its own draw and
+    phasings (no shared RNG chain across sets), which is what lets the
+    units run as independent parallel work with bit-identical merges.
+    """
     platform = get_platform(platform_key)
     n = max(2, int(n_sets * scale))
-    rows = []
     systems = ("rtmdm", "single-buffer", "sequential", "np-whole", "xip")
+    units = [
+        (seed, platform, util, index, systems, n_phasings)
+        for util in utils
+        for index in range(n)
+    ]
+    results = run_units(
+        _f7_unit, units, jobs=jobs, chunksize=max(1, n // 2), absorb_deltas=True
+    )
+    rows = []
+    deltas: List[Dict] = []
+    it = iter(results)
     for util in utils:
-        rng = random.Random(seed * 1000 + int(util * 100))
         totals: Dict[str, List[float]] = {s: [] for s in systems}
         admitted_missed = 0
         for _ in range(n):
-            case = generate_case(platform, util, rng)
-            if not case.feasible:
+            payload, delta = next(it)
+            deltas.append(delta)
+            if payload is None:
                 continue
+            unit_totals, unit_admitted_missed = payload
             for system in systems:
-                taskset, method = derive_taskset(system, case)
-                admitted = analyze(taskset, method).schedulable
-                for p in range(n_phasings):
-                    prng = random.Random(_stable_seed(seed, util, system, p))
-                    result = _simulate_case(taskset, horizon_jobs=20, phases_rng=prng)
-                    totals[system].append(miss_ratio(result))
-                    if system == "rtmdm" and admitted and result.total_misses:
-                        admitted_missed += 1
+                totals[system].extend(unit_totals[system])
+            admitted_missed += unit_admitted_missed
         row = [util]
         for system in systems:
             values = totals[system]
@@ -376,8 +491,32 @@ def exp_f7_miss_ratio(
         title=f"Simulated deadline-miss ratio vs utilization ({n} sets x {n_phasings} phasings)",
         columns=("util", *systems, "rtmdm_admitted_misses"),
         rows=tuple(rows),
-        notes="last column must be 0: sets admitted by RT-MDM's analysis never miss in simulation",
+        notes=_with_cache_note(
+            "last column must be 0: sets admitted by RT-MDM's analysis never miss in simulation",
+            deltas,
+        ),
     )
+
+
+def _f8_unit(unit: Tuple) -> Tuple[Optional[Dict[str, List[float]]], Dict]:
+    """One ``(utilization, set index)`` tightness work unit for EXP-F8."""
+    seed, platform, util, index = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, "f8", util, index))
+    case = generate_case(platform, util, rng)
+    if not case.feasible:
+        return None, segcache.delta_since(before)
+    ratios: Dict[str, List[float]] = {}
+    for method in METHODS:
+        result = segcache.cached_analyze(case.taskset, method)
+        if not result.schedulable:
+            continue
+        sim = _simulate_case(
+            case.taskset, horizon_jobs=30,
+            phases_rng=random.Random(_stable_seed(seed, util, index, method)),
+        )
+        ratios[method] = list(tightness_ratios(sim, result.wcrt))
+    return ratios, segcache.delta_since(before)
 
 
 def exp_f8_tightness(
@@ -386,29 +525,30 @@ def exp_f8_tightness(
     n_sets: int = 15,
     seed: int = 2028,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
-    """Analysis tightness: observed worst response / analytic bound."""
+    """Analysis tightness: observed worst response / analytic bound.
+
+    Like EXP-F7, draws and phasings are seeded per ``(utilization, set
+    index)`` so the sweep decomposes into independent work units.
+    """
     platform = get_platform(platform_key)
     n = max(2, int(n_sets * scale))
+    units = [
+        (seed, platform, util, index) for util in utils for index in range(n)
+    ]
+    results = run_units(
+        _f8_unit, units, jobs=jobs, chunksize=max(1, n // 2), absorb_deltas=True
+    )
     ratios_by_method: Dict[str, List[float]] = {m: [] for m in METHODS}
-    for util in utils:
-        rng = random.Random(seed * 1000 + int(util * 100))
-        for _ in range(n):
-            case = generate_case(platform, util, rng)
-            if not case.feasible:
-                continue
-            for method in METHODS:
-                result = analyze(case.taskset, method)
-                if not result.schedulable:
-                    continue
-                sim = _simulate_case(
-                    case.taskset, horizon_jobs=30,
-                    phases_rng=random.Random(_stable_seed(seed, util, method)),
-                )
-                ratios_by_method[method].extend(
-                    tightness_ratios(sim, result.wcrt)
-                )
+    deltas: List[Dict] = []
+    for payload, delta in results:
+        deltas.append(delta)
+        if payload is None:
+            continue
+        for method in METHODS:
+            ratios_by_method[method].extend(payload.get(method, ()))
     rows = []
     for method in METHODS:
         values = ratios_by_method[method]
@@ -427,7 +567,10 @@ def exp_f8_tightness(
         title="Analysis tightness: simulated max response / analytic bound",
         columns=("analysis", "samples", "p50", "p90", "max"),
         rows=tuple(rows),
-        notes="max must stay <= 1.0 (safety); higher p50 = tighter analysis",
+        notes=_with_cache_note(
+            "max must stay <= 1.0 (safety); higher p50 = tighter analysis",
+            deltas,
+        ),
     )
 
 
@@ -664,14 +807,30 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by id, with a helpful error on typos."""
+    """Run an experiment by id, with a helpful error on typos.
+
+    Options a particular driver does not take (e.g. ``jobs`` for an
+    experiment with no parallel decomposition) are dropped, so callers
+    like the CLI can pass ``scale``/``n_sets``/``jobs`` uniformly.
+    ``None`` values are also dropped so driver defaults apply.
+
+    Every invocation starts from a *cold* plan cache: the hit/miss note
+    an experiment reports is then a deterministic function of the
+    experiment and its arguments, not of whatever ran earlier in the
+    process (results are warmth-independent by construction either way).
+    """
     try:
         driver = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(**kwargs)
+    params = inspect.signature(driver).parameters
+    accepted = {
+        k: v for k, v in kwargs.items() if k in params and v is not None
+    }
+    segcache.clear_all()
+    return driver(**accepted)
 
 
 # ----------------------------------------------------------------------
@@ -824,6 +983,7 @@ def exp_f14_energy(
 
     platform = get_platform(platform_key)
     rows = []
+    skipped = []
     for name in ("tinyconv", "lenet5", "ds-cnn", "autoencoder",
                  "mobilenet-v1-0.25", "resnet8"):
         model = refine_model(
@@ -832,6 +992,7 @@ def exp_f14_energy(
         try:
             seg = _search(model, platform, platform.usable_sram_bytes, INT8, 2)
         except SegmentationError:
+            skipped.append(name)
             continue
         period = 4 * isolated_latency(seg.segments(), 2)
         variants = {
@@ -859,12 +1020,18 @@ def exp_f14_energy(
                 round(energies["xip"] / energies["rtmdm"], 2),
             )
         )
+    notes = "marginal (above-idle) energy; coefficients in repro.hw.energy"
+    if skipped:
+        notes += (
+            "; skipped (no feasible segmentation within usable SRAM): "
+            + ", ".join(skipped)
+        )
     return ExperimentResult(
         exp_id="EXP-F14",
         title=f"Energy per inference on {get_platform(platform_key).name} (mJ)",
         columns=("model", "rtmdm_mJ", "sequential_mJ", "xip_mJ", "xip/rtmdm"),
         rows=tuple(rows),
-        notes="marginal (above-idle) energy; coefficients in repro.hw.energy",
+        notes=notes,
     )
 
 
@@ -944,6 +1111,83 @@ EXPERIMENTS["EXP-F15"] = exp_f15_dma_channels
 # ----------------------------------------------------------------------
 
 
+def _r1_margin_unit(unit: Tuple) -> Tuple[Optional[Tuple[bool, Optional[float]]], Dict]:
+    """One per-set feasibility + sensitivity-margin work unit for EXP-R1."""
+    from repro.core.analysis import sensitivity_margin
+
+    seed, platform, util, index = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, "r1", index))
+    case = generate_case(platform, util, rng)
+    if not case.feasible:
+        return None, segcache.delta_since(before)
+    margin = sensitivity_margin(case.taskset, "rtmdm")
+    return (True, margin), segcache.delta_since(before)
+
+
+def _r1_sim_unit(unit: Tuple) -> Tuple[Tuple[Tuple[float, ...], Optional[float]], Dict]:
+    """One ``(inflation, case)`` overload-policy work unit for EXP-R1.
+
+    Regenerates its case from the draw index (cheap under a warm plan
+    cache) and simulates all four overload policies on it; ``case_index``
+    is the case's position among the *feasible* draws, which is what the
+    historical fault-seed derivation uses.
+    """
+    from repro.robust.faults import FaultConfig, InflationModel
+    from repro.robust.metrics import degraded_residency
+    from repro.robust.metrics import miss_ratio as robust_miss_ratio
+    from repro.robust.overload import DegradeConfig, OverrunPolicy, degraded_variant
+
+    seed, platform, util, draw_index, case_index, inflation, crc = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, "r1", draw_index))
+    case = generate_case(platform, util, rng)
+    taskset = case.taskset
+    max_period = max(t.period for t in taskset)
+    density = sum(4 * t.num_segments / t.period for t in taskset)
+    horizon = max(
+        2 * max_period,
+        min(20 * max_period, int(_EVENT_BUDGET / density)),
+    )
+    faults = FaultConfig(
+        inflation=InflationModel.FIXED,
+        inflation_factor=inflation,
+        dma_fault_prob=0.02,
+        dma_max_retries=3,
+        dma_crc_overhead=crc,
+        jitter_cycles=crc,
+        seed=_stable_seed(seed, "r1-faults", case_index),
+    )
+    degrade = DegradeConfig(
+        fallbacks={t.name: degraded_variant(t, 0.5) for t in taskset},
+        miss_threshold=2,
+        recover_after=3,
+    )
+    policies = (
+        OverrunPolicy.CONTINUE,
+        OverrunPolicy.ABORT_AT_DEADLINE,
+        OverrunPolicy.SKIP_NEXT,
+        OverrunPolicy.DEGRADE,
+    )
+    misses = []
+    residency: Optional[float] = None
+    for policy in policies:
+        result = simulate(
+            taskset,
+            SimConfig(
+                policy=CpuPolicy.FP_NP,
+                horizon=horizon,
+                faults=faults,
+                overrun=policy,
+                degrade=degrade if policy is OverrunPolicy.DEGRADE else None,
+            ),
+        )
+        misses.append(robust_miss_ratio(result))
+        if policy is OverrunPolicy.DEGRADE:
+            residency = degraded_residency(result)
+    return (tuple(misses), residency), segcache.delta_since(before)
+
+
 def exp_r1_overload_policies(
     platform_key: str = "f746-qspi",
     inflations: Sequence[float] = (1.0, 1.25, 1.5, 2.0),
@@ -951,6 +1195,7 @@ def exp_r1_overload_policies(
     n_sets: int = 6,
     seed: int = 2040,
     scale: float = 1.0,
+    jobs: Optional[int] = None,
     **_,
 ) -> ExperimentResult:
     """Miss ratio and degraded-mode residency vs fault intensity.
@@ -961,77 +1206,52 @@ def exp_r1_overload_policies(
     paired across inflation values, so each curve evaluates identical
     workloads.  The notes record the mean analysis sensitivity margin of
     the drawn sets — the offline counterpart of the empirical sweep.
-    """
-    from repro.core.analysis import sensitivity_margin
-    from repro.robust.faults import FaultConfig, InflationModel
-    from repro.robust.metrics import degraded_residency
-    from repro.robust.metrics import miss_ratio as robust_miss_ratio
-    from repro.robust.overload import DegradeConfig, OverrunPolicy, degraded_variant
 
+    Work decomposes into one margin unit per draw plus one simulation
+    unit per ``(inflation, feasible case)``; each simulation unit
+    regenerates its case from the draw's stable seed, so units stay
+    independent and the merged rows match the serial path bit for bit.
+    """
     platform = get_platform(platform_key)
     crc = platform.dma.crc_cycles(platform.mcu)
     n = max(2, int(n_sets * scale))
-    policies = (
-        OverrunPolicy.CONTINUE,
-        OverrunPolicy.ABORT_AT_DEADLINE,
-        OverrunPolicy.SKIP_NEXT,
-        OverrunPolicy.DEGRADE,
+    margin_units = [(seed, platform, util, index) for index in range(n)]
+    margin_results = run_units(
+        _r1_margin_unit, margin_units, jobs=jobs, chunksize=1, absorb_deltas=True
     )
-    cases = []
-    for index in range(n):
-        rng = random.Random(_stable_seed(seed, "r1", index))
-        case = generate_case(platform, util, rng)
-        if case.feasible:
-            cases.append(case)
-    margins = [
-        m for m in (sensitivity_margin(c.taskset, "rtmdm") for c in cases)
-        if m is not None
+    deltas: List[Dict] = []
+    feasible_draws: List[int] = []
+    margins: List[float] = []
+    for index, (payload, delta) in enumerate(margin_results):
+        deltas.append(delta)
+        if payload is None:
+            continue
+        feasible_draws.append(index)
+        if payload[1] is not None:
+            margins.append(payload[1])
+    sim_units = [
+        (seed, platform, util, draw_index, case_index, inflation, crc)
+        for inflation in inflations
+        for case_index, draw_index in enumerate(feasible_draws)
     ]
+    sim_results = run_units(
+        _r1_sim_unit, sim_units, jobs=jobs,
+        chunksize=max(1, len(feasible_draws) // 2), absorb_deltas=True,
+    )
     rows = []
+    it = iter(sim_results)
     for inflation in inflations:
-        miss: Dict[OverrunPolicy, List[float]] = {p: [] for p in policies}
+        miss_lists: List[List[float]] = [[], [], [], []]
         residency: List[float] = []
-        for case_index, case in enumerate(cases):
-            taskset = case.taskset
-            max_period = max(t.period for t in taskset)
-            density = sum(4 * t.num_segments / t.period for t in taskset)
-            horizon = max(
-                2 * max_period,
-                min(20 * max_period, int(_EVENT_BUDGET / density)),
-            )
-            faults = FaultConfig(
-                inflation=InflationModel.FIXED,
-                inflation_factor=inflation,
-                dma_fault_prob=0.02,
-                dma_max_retries=3,
-                dma_crc_overhead=crc,
-                jitter_cycles=crc,
-                seed=_stable_seed(seed, "r1-faults", case_index),
-            )
-            degrade = DegradeConfig(
-                fallbacks={
-                    t.name: degraded_variant(t, 0.5) for t in taskset
-                },
-                miss_threshold=2,
-                recover_after=3,
-            )
-            for policy in policies:
-                result = simulate(
-                    taskset,
-                    SimConfig(
-                        policy=CpuPolicy.FP_NP,
-                        horizon=horizon,
-                        faults=faults,
-                        overrun=policy,
-                        degrade=degrade if policy is OverrunPolicy.DEGRADE else None,
-                    ),
-                )
-                miss[policy].append(robust_miss_ratio(result))
-                if policy is OverrunPolicy.DEGRADE:
-                    residency.append(degraded_residency(result))
+        for _ in feasible_draws:
+            (misses, res), delta = next(it)
+            deltas.append(delta)
+            for policy_index, value in enumerate(misses):
+                miss_lists[policy_index].append(value)
+            if res is not None:
+                residency.append(res)
         row = [inflation]
-        for policy in policies:
-            values = miss[policy]
+        for values in miss_lists:
             row.append(round(sum(values) / len(values), 4) if values else None)
         row.append(
             round(sum(residency) / len(residency), 4) if residency else None
@@ -1049,7 +1269,10 @@ def exp_r1_overload_policies(
         )
     return ExperimentResult(
         exp_id="EXP-R1",
-        title=f"Overload policies under WCET inflation ({len(cases)} sets/point)",
+        title=(
+            f"Overload policies under WCET inflation "
+            f"({len(feasible_draws)} sets/point)"
+        ),
         columns=(
             "inflation",
             "miss_continue",
@@ -1059,7 +1282,10 @@ def exp_r1_overload_policies(
             "degraded_residency",
         ),
         rows=tuple(rows),
-        notes=f"2% DMA fault prob + bus jitter at every point; {margin_note}",
+        notes=_with_cache_note(
+            f"2% DMA fault prob + bus jitter at every point; {margin_note}",
+            deltas,
+        ),
     )
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.baselines import sequentialize, single_buffered, whole_job, xip_task
-from repro.core.analysis import analyze
+from repro.core.segcache import cached_analyze
 from repro.sched.task import TaskSet
 from repro.workload.taskset import GeneratedCase
 
@@ -85,4 +85,4 @@ def admit(system: str, case: GeneratedCase) -> bool:
     if not case.feasible:
         return False
     taskset, method = derive_taskset(system, case)
-    return analyze(taskset, method).schedulable
+    return cached_analyze(taskset, method).schedulable

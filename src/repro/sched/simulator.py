@@ -48,13 +48,16 @@ _CPU_DONE = 2
 _DEADLINE = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     """Runtime state of one released job.
 
     ``segments`` is snapshotted at release (it may be the task's
     fallback variant under ``OverrunPolicy.DEGRADE``); all progress
     bookkeeping runs against the snapshot, never ``task.segments``.
+
+    Slotted: sweeps allocate one instance per released job, and slot
+    storage is both smaller and faster than a per-instance ``__dict__``.
     """
 
     task: PeriodicTask
@@ -77,19 +80,19 @@ class _Job:
 
     @property
     def complete(self) -> bool:
-        return self.computes_done == self.num_segments
+        return self.computes_done == len(self.segments)
 
     def load_eligible(self) -> bool:
         """Whether the next load may be issued (buffer available)."""
         j = self.loads_issued
-        return j < self.num_segments and j - self.computes_done < self.task.buffers
+        return j < len(self.segments) and j - self.computes_done < self.task.buffers
 
     def compute_ready(self) -> bool:
         """Whether the next compute segment has its weights staged."""
         return self.computes_done < self.loads_done
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """Per-task simulation outcome."""
 
@@ -217,6 +220,15 @@ class Simulator:
         self._heap: List[Tuple[int, int, int, object]] = []
         self._seq = itertools.count()
         self._queues: Dict[str, Deque[_Job]] = {t.name: deque() for t in taskset}
+        # Hot-loop state, hoisted once: the scheduling passes run at every
+        # event and must not re-derive policy flags or queue lookups.
+        self._tasks: Tuple[PeriodicTask, ...] = tuple(taskset)
+        self._queue_list: List[Deque[_Job]] = [
+            self._queues[t.name] for t in self._tasks
+        ]
+        self._deadline_driven = config.policy.deadline_driven
+        self._preemptive = config.policy.preemptive
+        self._fifo_dma = config.dma_arbitration is DmaArbitration.FIFO
         self._stats = {t.name: TaskStats(name=t.name) for t in taskset}
         self._cpu_job: Optional[_Job] = None
         self._cpu_start = 0
@@ -243,12 +255,12 @@ class Simulator:
     # Priorities (lower tuple = served first)
     # ------------------------------------------------------------------
     def _cpu_key(self, job: _Job) -> Tuple:
-        if self.config.policy.deadline_driven:
+        if self._deadline_driven:
             return (job.abs_deadline, job.task.priority, job.release, job.task_pos)
         return (job.task.priority, job.release, job.task_pos)
 
     def _dma_key(self, job: _Job) -> Tuple:
-        if self.config.dma_arbitration is DmaArbitration.FIFO:
+        if self._fifo_dma:
             since = job.load_eligible_since if job.load_eligible_since is not None else 0
             return (since, job.release, job.task_pos)
         return self._cpu_key(job)
@@ -260,6 +272,9 @@ class Simulator:
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
 
     def _trace(self, **kwargs) -> None:
+        # Call sites guard on `self.trace is not None` themselves: with
+        # tracing off (the sweep default), not even the kwargs dict for
+        # a would-be TraceEvent is built.
         if self.trace is not None:
             self.trace.add(TraceEvent(**kwargs))
 
@@ -276,10 +291,11 @@ class Simulator:
             # the release schedule itself keeps its cadence.
             self._skip_next[task.name] = False
             self._stats[task.name].skips += 1
-            self._trace(
-                time=time, duration=0, resource="", kind="skip",
-                task=task.name, job=index,
-            )
+            if self.trace is not None:
+                self._trace(
+                    time=time, duration=0, resource="", kind="skip",
+                    task=task.name, job=index,
+                )
         else:
             segments = self._overload.segments_for(task)
             job = _Job(
@@ -293,10 +309,11 @@ class Simulator:
             if segments is not task.segments:
                 self._stats[task.name].degraded_jobs += 1
             self._queues[task.name].append(job)
-            self._trace(
-                time=time, duration=0, resource="", kind="release",
-                task=task.name, job=index,
-            )
+            if self.trace is not None:
+                self._trace(
+                    time=time, duration=0, resource="", kind="release",
+                    task=task.name, job=index,
+                )
             if self.config.overrun is OverrunPolicy.ABORT_AT_DEADLINE:
                 self._push(job.abs_deadline, _DEADLINE, job)
         next_time = time + task.period
@@ -315,26 +332,28 @@ class Simulator:
         missed = time > job.abs_deadline
         if missed:
             stats.misses += 1
-            self._trace(
-                time=time,
-                duration=0,
-                resource="",
-                kind="miss",
-                task=job.task.name,
-                job=job.index,
-            )
+            if self.trace is not None:
+                self._trace(
+                    time=time,
+                    duration=0,
+                    resource="",
+                    kind="miss",
+                    task=job.task.name,
+                    job=job.index,
+                )
             if self.config.abort_on_miss:
                 self._aborted = True
             if self.config.overrun is OverrunPolicy.SKIP_NEXT:
                 self._skip_next[job.task.name] = True
-        self._trace(
-            time=time,
-            duration=0,
-            resource="",
-            kind="complete",
-            task=job.task.name,
-            job=job.index,
-        )
+        if self.trace is not None:
+            self._trace(
+                time=time,
+                duration=0,
+                resource="",
+                kind="complete",
+                task=job.task.name,
+                job=job.index,
+            )
         queue = self._queues[job.task.name]
         assert queue and queue[0] is job, "completed job must be the task's head job"
         queue.popleft()
@@ -343,7 +362,7 @@ class Simulator:
     def _mode_transition(self, time: int, job: _Job, missed: bool) -> None:
         """Feed a job outcome to the overload manager; trace transitions."""
         transition = self._overload.job_finished(job.task.name, missed)
-        if transition is not None:
+        if transition is not None and self.trace is not None:
             self._trace(
                 time=time,
                 duration=0,
@@ -369,10 +388,11 @@ class Simulator:
         job.aborted = True
         stats = self._stats[job.task.name]
         stats.aborts += 1
-        self._trace(
-            time=time, duration=0, resource="", kind="abort",
-            task=job.task.name, job=job.index,
-        )
+        if self.trace is not None:
+            self._trace(
+                time=time, duration=0, resource="", kind="abort",
+                task=job.task.name, job=job.index,
+            )
         queue = self._queues[job.task.name]
         assert queue and queue[0] is job, "aborted job must be the task's head job"
         queue.popleft()
@@ -385,10 +405,10 @@ class Simulator:
     # ------------------------------------------------------------------
     def _advance_zero_loads(self) -> None:
         """Complete zero-byte loads instantly; they never use the DMA."""
-        for task in self.taskset:
-            job = self._head(task.name)
-            if job is None:
+        for queue in self._queue_list:
+            if not queue:
                 continue
+            job = queue[0]
             while (
                 job.load_eligible()
                 and job.segments[job.loads_issued].load_cycles == 0
@@ -400,13 +420,19 @@ class Simulator:
     def _schedule_dma(self, time: int) -> None:
         self._advance_zero_loads()
         while len(self._dma_channels) < self.config.dma_channels:
-            in_flight = set(id(j) for j in self._dma_channels.values())
+            # Single-channel runs (the common case) never have another
+            # transfer in flight once the loop condition holds.
+            if self._dma_channels:
+                in_flight = set(id(j) for j in self._dma_channels.values())
+            else:
+                in_flight = ()
             candidates: List[_Job] = []
-            for task in self.taskset:
-                job = self._head(task.name)
+            for queue in self._queue_list:
+                if not queue:
+                    continue
+                job = queue[0]
                 if (
-                    job is None
-                    or id(job) in in_flight  # one outstanding transfer per job
+                    id(job) in in_flight  # one outstanding transfer per job
                     or not job.load_eligible()
                 ):
                     continue
@@ -430,15 +456,16 @@ class Simulator:
             self._dma_channels[channel] = job
             job.load_eligible_since = None
             self._dma_busy += transfer_cycles
-            self._trace(
-                time=time,
-                duration=transfer_cycles,
-                resource="dma" if channel == 0 else f"dma{channel + 1}",
-                kind="load",
-                task=job.task.name,
-                job=job.index,
-                segment=job.loads_issued,
-            )
+            if self.trace is not None:
+                self._trace(
+                    time=time,
+                    duration=transfer_cycles,
+                    resource="dma" if channel == 0 else f"dma{channel + 1}",
+                    kind="load",
+                    task=job.task.name,
+                    job=job.index,
+                    segment=job.loads_issued,
+                )
             self._push(time + transfer_cycles, _DMA_DONE, (channel, job))
 
     def _dma_done(self, time: int, channel: int, job: _Job) -> None:
@@ -456,10 +483,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _cpu_candidates(self) -> List[_Job]:
         ready = []
-        for task in self.taskset:
-            job = self._head(task.name)
-            if job is not None and not job.complete and job.compute_ready():
-                ready.append(job)
+        for queue in self._queue_list:
+            if queue:
+                job = queue[0]
+                if not job.complete and job.compute_ready():
+                    ready.append(job)
         return ready
 
     def _start_compute(self, time: int, job: _Job) -> None:
@@ -481,17 +509,18 @@ class Simulator:
         elapsed = time - self._cpu_start
         if elapsed > 0:
             self._cpu_busy += elapsed
-            self._trace(
-                time=self._cpu_start,
-                duration=elapsed,
-                resource="cpu",
-                kind="compute",
-                task=job.task.name,
-                job=job.index,
-                segment=job.computes_done,
-            )
+            if self.trace is not None:
+                self._trace(
+                    time=self._cpu_start,
+                    duration=elapsed,
+                    resource="cpu",
+                    kind="compute",
+                    task=job.task.name,
+                    job=job.index,
+                    segment=job.computes_done,
+                )
         job.compute_remaining -= elapsed
-        if trace_kind is not None:
+        if trace_kind is not None and self.trace is not None:
             self._trace(
                 time=time, duration=0, resource="", kind=trace_kind,
                 task=job.task.name, job=job.index,
@@ -505,7 +534,7 @@ class Simulator:
             if candidates:
                 self._start_compute(time, min(candidates, key=self._cpu_key))
             return
-        if not self.config.policy.preemptive:
+        if not self._preemptive:
             return
         others = [c for c in candidates if c is not self._cpu_job]
         if not others:
@@ -520,15 +549,16 @@ class Simulator:
             return  # stale completion from a preempted burst
         duration = time - self._cpu_start
         self._cpu_busy += duration
-        self._trace(
-            time=self._cpu_start,
-            duration=duration,
-            resource="cpu",
-            kind="compute",
-            task=job.task.name,
-            job=job.index,
-            segment=job.computes_done,
-        )
+        if self.trace is not None:
+            self._trace(
+                time=self._cpu_start,
+                duration=duration,
+                resource="cpu",
+                kind="compute",
+                task=job.task.name,
+                job=job.index,
+                segment=job.computes_done,
+            )
         self._cpu_job = None
         self._cpu_token += 1
         job.compute_remaining = None

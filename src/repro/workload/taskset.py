@@ -19,10 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import SegmentedModel
 from repro.core.priority import deadline_monotonic
-from repro.core.segmentation import SegmentationError, search_segmentation
-from repro.dnn.models import Model, refine_model
+from repro.core.segcache import (
+    cached_build_model,
+    cached_refine_model,
+    cached_search_segmentation,
+)
+from repro.core.segmentation import SegmentationError
+from repro.dnn.models import Model
 from repro.dnn.quantization import INT8, Quantization
-from repro.dnn.zoo import build_model
 from repro.hw.platform import Platform
 from repro.sched.task import TaskSet
 
@@ -131,7 +135,7 @@ def generate_case(
     """
     n = n_tasks if n_tasks is not None else rng.randint(3, 5)
     names = [f"t{i}" for i in range(n)]
-    models = [build_model(rng.choice(list(model_pool))) for _ in range(n)]
+    models = [cached_build_model(rng.choice(list(model_pool))) for _ in range(n)]
     utils = uunifast(n, total_util, rng)
     chunk = max(2048, platform.usable_sram_bytes // (n * buffers * 2))
     # First pass: estimate periods from total compute to derive the
@@ -146,8 +150,12 @@ def generate_case(
         )
     cap = max(1000, int(min(est_deadlines)) // 8)
     macs_cap = max(1000, (cap - 4000) // 5)
+    # The cached planner quantizes the granularity knobs down to coarse
+    # deterministic ladders (see repro.core.segcache) so paired draws
+    # across sweep points share planning work; quantization applies on
+    # cache hits and misses alike, keeping results path-independent.
     refined = {
-        name: refine_model(model, quant, chunk, macs_cap)
+        name: cached_refine_model(model, quant, chunk, macs_cap)
         for name, model in zip(names, models)
     }
     budgets = _budgets(list(refined.items()), platform, quant, buffers)
@@ -165,7 +173,7 @@ def generate_case(
     tasks = []
     for name, util in zip(names, utils):
         try:
-            seg = search_segmentation(
+            seg = cached_search_segmentation(
                 refined[name],
                 platform,
                 budgets[name],

@@ -46,6 +46,27 @@ class TestCli:
         with pytest.raises(KeyError, match="available"):
             main(["exp", "EXP-Z9"])
 
+    def test_exp_jobs_and_n_sets(self, capsys):
+        assert main(
+            ["exp", "EXP-F4", "--scale", "0.1", "--n-sets", "4", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F4" in out and "plan cache:" in out
+
+    def test_exp_profile_prints_hotspots(self, capsys):
+        assert main(["exp", "EXP-T2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top 25 by cumulative time)" in out
+        assert "cumtime" in out
+
+    def test_exp_help_documents_tuning_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["exp", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--scale", "--n-sets", "--jobs", "--profile"):
+            assert flag in out
+        assert "REPRO_JOBS" in out  # the env default is discoverable
+
     def test_bad_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["plan", "nonexistent"])
