@@ -57,15 +57,17 @@ def bench_experiment(benchmark, exp_id, **kwargs):
         lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
     )
     seconds = time.perf_counter() - start
-    _SUITE_RECORDS.append(
-        {
-            "exp_id": exp_id,
-            "seconds": round(seconds, 3),
-            "jobs": resolve_jobs(kwargs.get("jobs")),
-            "scale": kwargs.get("scale", scale),
-            "plan_cache": segcache.delta_since(before),
-        }
-    )
+    record = {
+        "exp_id": exp_id,
+        "seconds": round(seconds, 3),
+        "jobs": resolve_jobs(kwargs.get("jobs")),
+        "scale": kwargs.get("scale", scale),
+        "plan_cache": segcache.delta_since(before),
+    }
+    # Driver-supplied extras (e.g. EXP-D1's admission-decision latency
+    # stats, which are wall-clock and therefore live outside the rows).
+    record.update(result.meta)
+    _SUITE_RECORDS.append(record)
     text = render(result)
     print()
     print(text)

@@ -1,0 +1,17 @@
+"""Benchmark for EXP-D1: online admission control (``repro.online``).
+
+The misses column is the contract: instances the online controller
+admits must never miss a deadline in fault-free execution.  The
+admission-decision latency stats land in ``BENCH_suite.json`` via the
+experiment's ``meta``.
+"""
+
+from conftest import bench_experiment
+
+
+def test_d1_admission(benchmark):
+    result = bench_experiment(benchmark, "EXP-D1", n_traces=2)
+    assert all(row[-1] == 0 for row in result.rows), (
+        "online-admitted instances missed deadlines in fault-free execution"
+    )
+    assert "decision_latency_us" in result.meta

@@ -8,15 +8,21 @@ Commands:
 * ``simulate`` — plan + simulate a scenario, print a Gantt excerpt
   (optionally write an SVG of the schedule).
 * ``energy`` — plan + simulate a scenario and report its energy budget.
+* ``serve`` — replay a timestamped request trace through the online
+  admission controller (``repro.online``).
 * ``exp`` — run one (or ``all``) reconstructed experiments.
 * ``validate`` — analysis-vs-simulation consistency sweep (self-test).
 * ``robust`` — fault-injected simulation of a scenario under every
   overload policy, plus the analysis sensitivity margin.
+
+``plan``, ``simulate`` and ``serve`` take ``--json`` for a
+machine-readable report on stdout (exit codes are unchanged).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -63,8 +69,38 @@ def _build_config(
     return rt.configure()
 
 
+def _plan_payload(args: argparse.Namespace, config) -> dict:
+    payload = {
+        "schema": "rtmdm-plan/1",
+        "scenario": args.scenario,
+        "platform": config.platform.name,
+        "feasible": config.feasible,
+        "admitted": config.feasible and config.admitted,
+    }
+    if not config.feasible:
+        payload["infeasible_reason"] = config.infeasible_reason
+        return payload
+    payload["analysis"] = config.analysis.method
+    payload["tasks"] = config.report_rows()
+    if config.sram_plan:
+        payload["sram"] = {
+            "used_bytes": config.sram_plan.used,
+            "capacity_bytes": config.sram_plan.capacity,
+        }
+    if config.placement and config.placement.resident:
+        payload["internal_flash"] = {
+            "used_bytes": config.placement.flash_used,
+            "budget_bytes": config.placement.flash_budget,
+            "resident": list(config.placement.resident),
+        }
+    return payload
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     config = _build_config(args.scenario, args.platform, args.flash)
+    if args.json:
+        print(json.dumps(_plan_payload(args, config), indent=2))
+        return 0 if config.feasible and config.admitted else 1
     if not config.feasible:
         print(f"INFEASIBLE: {config.infeasible_reason}")
         return 1
@@ -95,6 +131,34 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args.scenario, args.platform, args.flash)
+    if args.json:
+        if not config.feasible:
+            print(json.dumps(_plan_payload(args, config), indent=2))
+            return 1
+        result = config.simulate(duration_s=args.duration)
+        mcu = config.platform.mcu
+        tasks = {}
+        for name, stats in sorted(result.stats.items()):
+            worst = stats.max_response
+            tasks[name] = {
+                "jobs": stats.jobs,
+                "misses": stats.misses,
+                "unfinished": stats.unfinished,
+                "worst_ms": (
+                    round(mcu.cycles_to_ms(worst), 3) if worst is not None else None
+                ),
+            }
+        payload = {
+            "schema": "rtmdm-sim/1",
+            "scenario": args.scenario,
+            "platform": config.platform.name,
+            "end_ms": round(mcu.cycles_to_ms(result.end_time), 1),
+            "total_misses": result.total_misses,
+            "no_misses": result.no_misses,
+            "tasks": tasks,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if result.no_misses else 1
     if not config.feasible:
         print(f"INFEASIBLE: {config.infeasible_reason}")
         return 1
@@ -215,7 +279,11 @@ def _cmd_robust(args: argparse.Namespace) -> int:
     if args.duration is not None:
         horizon = platform.mcu.seconds_to_cycles(args.duration)
     else:
-        horizon = min(2 * taskset.hyperperiod(), 200 * max(t.period for t in taskset))
+        from repro.sched.rta import try_hyperperiod
+
+        max_period = max(t.period for t in taskset)
+        hp = try_hyperperiod([t.period for t in taskset])
+        horizon = min(2 * hp, 200 * max_period) if hp else 200 * max_period
     crc = platform.dma.crc_cycles(platform.mcu)
     try:
         faults = FaultConfig(
@@ -277,6 +345,46 @@ def _cmd_robust(args: argparse.Namespace) -> int:
     return 0 if worst_miss == 0.0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.online.events import RequestTrace
+    from repro.online.modechange import Protocol
+    from repro.online.runtime import OnlineRuntime
+    from repro.workload.arrivals import poisson_trace
+
+    platform = get_platform(args.platform or "f746-qspi")
+    if args.sram is not None:
+        platform = platform.with_sram_bytes(args.sram * 1024)
+    if args.trace is not None:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = RequestTrace.from_json(handle.read())
+    else:
+        trace = poisson_trace(args.duration, args.rate, seed=args.seed)
+    runtime = OnlineRuntime(platform, protocol=Protocol(args.protocol))
+    report = runtime.serve(trace, simulate=not args.no_sim)
+    if args.json:
+        print(json.dumps(report.to_dict(mcu=platform.mcu), indent=2))
+        return 0 if report.sound else 1
+    print(f"platform: {platform.name} "
+          f"({platform.usable_sram_bytes / 1024:.0f} KiB SRAM)")
+    source = args.trace or f"poisson rate={args.rate}/s seed={args.seed}"
+    print(f"trace: {source} ({trace.duration_s:g}s, {len(trace)} requests)")
+    for d in report.decisions:
+        extra = f" [{d.mode}]" if d.outcome == "admitted" and d.mode != "full" else ""
+        detail = f" ({d.reason})" if d.outcome in ("rejected", "ignored") else ""
+        proto = f" via {d.protocol}" if d.protocol == "drain" else ""
+        print(f"  t={d.time_s:7.3f}s {d.kind:7s} {d.task:10s} "
+              f"{d.outcome}{extra}{proto}{detail}")
+    print(f"admitted {report.admitted}/{report.admit_requests} "
+          f"({report.degraded} degraded), "
+          f"rejected {report.rejected_sram} sram / {report.rejected_rta} rta")
+    if report.sim is not None:
+        verdict = "no misses" if report.sim.no_misses else (
+            f"{report.sim.total_misses} MISSES")
+        print(f"execution: {verdict} over "
+              f"{platform.mcu.cycles_to_ms(report.sim.end_time):.0f} ms")
+    return 0 if report.sound else 1
+
+
 def _run_exp_ids(args: argparse.Namespace, ids: List[str]) -> None:
     for exp_id in ids:
         result = run_experiment(
@@ -332,6 +440,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     plan.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
     plan.add_argument("--flash", action="store_true",
                       help="place small models in internal flash")
+    plan.add_argument("--json", action="store_true",
+                      help="machine-readable plan report on stdout")
     plan.set_defaults(fn=_cmd_plan)
 
     sim = sub.add_parser("simulate", help="plan and simulate a scenario")
@@ -343,7 +453,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim.add_argument("--gantt-window", type=float, default=1.0, help="seconds shown")
     sim.add_argument("--svg", default=None, metavar="FILE",
                      help="write the schedule as an SVG")
+    sim.add_argument("--json", action="store_true",
+                     help="machine-readable simulation stats on stdout "
+                     "(suppresses the Gantt excerpt)")
     sim.set_defaults(fn=_cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a request trace through the online admission runtime",
+    )
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="request trace JSON (rtmdm-trace/1); default: "
+                       "generate a Poisson trace from --rate/--duration/--seed")
+    serve.add_argument("--rate", type=float, default=1.0,
+                       help="mean ADMIT arrival rate in requests/s "
+                       "(generated trace only)")
+    serve.add_argument("--duration", type=float, default=10.0,
+                       help="trace horizon in seconds (generated trace only)")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="trace RNG seed (generated trace only)")
+    serve.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    serve.add_argument("--sram", type=int, default=None, metavar="KIB",
+                       help="override the platform's SRAM size")
+    serve.add_argument("--protocol", choices=("auto", "immediate", "drain"),
+                       default="auto", help="mode-change protocol")
+    serve.add_argument("--no-sim", action="store_true",
+                       help="decisions only; skip the fault-free execution")
+    serve.add_argument("--json", action="store_true",
+                       help="machine-readable event log on stdout")
+    serve.set_defaults(fn=_cmd_serve)
 
     energy = sub.add_parser("energy", help="energy budget of a scenario")
     energy.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",

@@ -136,8 +136,11 @@ class Configuration:
         if duration_s is not None:
             horizon = self.platform.mcu.seconds_to_cycles(duration_s)
         else:
+            from repro.sched.rta import try_hyperperiod
+
             max_period = max(t.period for t in taskset)
-            horizon = min(2 * taskset.hyperperiod(), 200 * max_period)
+            hp = try_hyperperiod([t.period for t in taskset])
+            horizon = min(2 * hp, 200 * max_period) if hp else 200 * max_period
         config = SimConfig(
             policy=policy,
             dma_arbitration=self.platform.dma.arbitration,

@@ -1290,3 +1290,143 @@ def exp_r1_overload_policies(
 
 
 EXPERIMENTS["EXP-R1"] = exp_r1_overload_policies
+
+
+# ----------------------------------------------------------------------
+# EXP-D1: online admission control (repro.online)
+# ----------------------------------------------------------------------
+
+
+def _d1_unit(unit: Tuple) -> Tuple[Dict, Dict]:
+    """One ``(rate, SRAM budget, trace index)`` serve unit for EXP-D1.
+
+    Generates its trace from a stable per-unit seed, replays it through
+    :class:`~repro.online.runtime.OnlineRuntime` and returns the
+    decision-log aggregates plus the (wall-clock, report-only) decision
+    latencies.  The fault-free execution runs inside the unit so the
+    soundness check parallelizes with everything else.
+    """
+    from repro.online.runtime import OnlineRuntime
+    from repro.workload.arrivals import poisson_trace
+
+    seed, platform_key, sram_kib, rate_hz, index, duration_s = unit
+    before = segcache.snapshot()
+    platform = get_platform(platform_key).with_sram_bytes(sram_kib * KIB)
+    trace = poisson_trace(
+        duration_s, rate_hz, seed=_stable_seed(seed, "d1", rate_hz, index)
+    )
+    report = OnlineRuntime(platform).serve(trace)
+    payload = {
+        "requests": report.requests,
+        "admit_requests": report.admit_requests,
+        "admitted": report.admitted,
+        "degraded": report.degraded,
+        "rejected_sram": report.rejected_sram,
+        "rejected_rta": report.rejected_rta,
+        "misses": report.sim.total_misses if report.sim is not None else 0,
+        "latencies_us": report.decision_latencies_us,
+    }
+    return payload, segcache.delta_since(before)
+
+
+def exp_d1_admission(
+    platform_key: str = "f746-qspi",
+    rates_hz: Sequence[float] = (0.5, 1.5, 3.0),
+    sram_kib: Sequence[int] = (128, 192, 320),
+    n_traces: int = 4,
+    duration_s: float = 12.0,
+    seed: int = 2050,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    **_,
+) -> ExperimentResult:
+    """Admission ratio and decision latency vs arrival rate and SRAM.
+
+    Each ``(rate, SRAM, trace)`` unit serves an independent Poisson
+    request trace; the same trace seeds reappear at every SRAM budget so
+    the SRAM axis compares identical request streams.  Rows hold only
+    decision-log counts and simulated misses — deterministic across
+    worker counts — while wall-clock admission-decision latencies go to
+    ``meta`` (surfaced in the benchmark suite summary).
+    """
+    n = max(2, int(n_traces * scale))
+    units = [
+        (seed, platform_key, kib, rate, index, duration_s)
+        for rate in rates_hz
+        for kib in sram_kib
+        for index in range(n)
+    ]
+    results = run_units(
+        _d1_unit, units, jobs=jobs, chunksize=max(1, n // 2), absorb_deltas=True
+    )
+    rows = []
+    deltas: List[Dict] = []
+    latencies: List[float] = []
+    misses_total = 0
+    it = iter(results)
+    for rate in rates_hz:
+        for kib in sram_kib:
+            totals = {
+                k: 0
+                for k in (
+                    "requests", "admit_requests", "admitted", "degraded",
+                    "rejected_sram", "rejected_rta", "misses",
+                )
+            }
+            for _ in range(n):
+                payload, delta = next(it)
+                deltas.append(delta)
+                latencies.extend(payload.pop("latencies_us"))
+                for key, value in payload.items():
+                    totals[key] += value
+            misses_total += totals["misses"]
+            ratio = (
+                totals["admitted"] / totals["admit_requests"]
+                if totals["admit_requests"]
+                else 1.0
+            )
+            rows.append(
+                (
+                    rate,
+                    kib,
+                    totals["requests"],
+                    totals["admit_requests"],
+                    totals["admitted"],
+                    totals["degraded"],
+                    totals["rejected_sram"],
+                    totals["rejected_rta"],
+                    round(ratio, 4),
+                    totals["misses"],
+                )
+            )
+    latencies.sort()
+    meta = {}
+    if latencies:
+        meta["decision_latency_us"] = {
+            "n": len(latencies),
+            "mean": round(sum(latencies) / len(latencies), 1),
+            "p50": round(quantiles(latencies, (0.5,))[0], 1),
+            "p95": round(quantiles(latencies, (0.95,))[0], 1),
+            "max": round(latencies[-1], 1),
+        }
+    return ExperimentResult(
+        exp_id="EXP-D1",
+        title=(
+            f"Online admission vs arrival rate and SRAM "
+            f"({n} traces/point, {duration_s:g}s each)"
+        ),
+        columns=(
+            "rate_hz", "sram_kib", "requests", "admit_req", "admitted",
+            "degraded", "rej_sram", "rej_rta", "admit_ratio", "misses",
+        ),
+        rows=tuple(rows),
+        notes=_with_cache_note(
+            "misses column must be 0: admitted instances never miss in "
+            "fault-free execution; decision latency stats in suite meta",
+            deltas,
+        ),
+        meta=meta,
+    )
+
+
+EXPERIMENTS["EXP-D1"] = exp_d1_admission

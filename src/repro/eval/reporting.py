@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -16,6 +16,10 @@ class ExperimentResult:
         columns: Column headers.
         rows: Data rows (mixed str/int/float; None renders as ``-``).
         notes: Methodology note printed under the table.
+        meta: Machine-readable extras for the benchmark suite summary
+            (e.g. decision-latency statistics).  Unlike ``rows``, meta
+            may hold wall-clock measurements and is therefore excluded
+            from determinism comparisons.
     """
 
     exp_id: str
@@ -23,6 +27,7 @@ class ExperimentResult:
     columns: Tuple[str, ...]
     rows: Tuple[Tuple, ...]
     notes: str = ""
+    meta: Dict = field(default_factory=dict)
 
     def column(self, name: str) -> List:
         """Extract one column by header name."""

@@ -1,0 +1,44 @@
+"""Online admission control and mode-change runtime.
+
+Everything else in the library is *offline*: a scenario is fixed up
+front, planned once, and simulated to completion.  This package adds the
+deployment-time layer on top of that stack — DNN tasks arrive, depart
+and change rate at runtime, and every change is admitted only if the
+whole system provably stays schedulable:
+
+* :mod:`repro.online.events` — timestamped request traces
+  (``ADMIT`` / ``REMOVE`` / ``RESCALE`` events) with JSON round-trip.
+* :mod:`repro.online.admission` — per-request admission control: online
+  re-segmentation through the plan cache, a fast whole-job
+  non-preemptive RTA screen (:mod:`repro.sched.rta`), the full RT-MDM
+  analysis, and a degradation ladder (reduced rate / smaller variant)
+  before any hard rejection.
+* :mod:`repro.online.modechange` — sound mode-change protocols:
+  immediate switch where analysis covers the transition, otherwise
+  drain-then-switch behind an idle-instant bound.
+* :mod:`repro.online.sim` — a simulator variant whose tasks can stop
+  releasing mid-run (departures, rescale switch-overs).
+* :mod:`repro.online.runtime` — the serve loop: replay a trace, decide
+  every request, then execute the whole admitted schedule on the
+  simulator and check that no admitted job ever misses.
+"""
+
+from repro.online.admission import AdmissionController, Decision, Instance
+from repro.online.events import Request, RequestKind, RequestTrace
+from repro.online.modechange import Protocol, idle_instant_bound
+from repro.online.runtime import OnlineRuntime, ServeReport
+from repro.online.sim import DynamicSimulator
+
+__all__ = [
+    "AdmissionController",
+    "Decision",
+    "DynamicSimulator",
+    "Instance",
+    "OnlineRuntime",
+    "Protocol",
+    "Request",
+    "RequestKind",
+    "RequestTrace",
+    "ServeReport",
+    "idle_instant_bound",
+]

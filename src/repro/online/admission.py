@@ -1,0 +1,540 @@
+"""Per-request admission control for the online runtime.
+
+Every ``ADMIT`` runs a four-stage pipeline, each stage reusing the
+existing offline machinery so decisions stay fast:
+
+1. **Online re-segmentation** — the requested model is planned into the
+   currently *free* SRAM through :mod:`repro.core.segcache` (the same
+   granularity/budget policy as the offline planner); repeat requests
+   for the same model at similar budgets hit the plan cache.  No fit →
+   rejection with an ``sram`` justification.
+2. **Fast RTA screen** — the candidate union is checked with the
+   suspension-oblivious bound rebuilt from the classic RTA primitives in
+   :mod:`repro.sched.rta` (serialized per-job demand, segment-granular
+   non-preemptive blocking, chained release jitter).  The screen is
+   pessimistic relative to the full analysis: if it passes, the system
+   is schedulable and the expensive analysis is skipped.
+3. **Full analysis** — otherwise the RT-MDM analysis runs via
+   :func:`repro.core.segcache.cached_analyze`.
+4. **Degradation ladder** — on analysis failure the request is retried
+   at stretched periods and/or as a reduced fallback variant
+   (:func:`repro.robust.overload.degraded_variant`) before any hard
+   rejection.
+
+``REMOVE`` always succeeds (dropping releases only removes
+interference); ``RESCALE`` goes through the mode-change protocols in
+:mod:`repro.online.modechange`.  Every decision — including each
+rejection's justification — is recorded as a :class:`Decision`.
+
+SRAM is accounted conservatively: a departing instance's buffers stay
+reserved until its last possible residual job has completed, so a new
+admission can never overlap buffers with a draining predecessor.
+
+Candidate-set priorities are deadline-monotonic over a global total
+order ``(deadline, instance name)``; per-decision analyses and the final
+union simulation both derive their priorities from this same order, so
+relative priorities agree everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import segcache
+from repro.core.buffers import BUFFER_ALIGN
+from repro.core.framework import NP_CAP_DIVISOR
+from repro.core.segmentation import SegmentationError
+from repro.dnn.quantization import INT8, Quantization
+from repro.hw.platform import Platform
+from repro.online.events import Request, RequestKind
+from repro.online.modechange import Protocol, idle_instant_bound
+from repro.robust.overload import degraded_variant
+from repro.sched import rta
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One admitted incarnation of a logical task.
+
+    Re-admissions and rescales create fresh instances (unique
+    ``instance`` names), so the union of all instances ever admitted is
+    a valid task set for one simulation run.
+    """
+
+    instance: str
+    task: str
+    model: str
+    segments: Tuple[Segment, ...]
+    period: int
+    deadline: int
+    buffers: int
+    sram_bytes: int
+    mode: str
+    start_cycle: int
+    stop_cycle: Optional[int] = None
+
+    def to_periodic(self, priority: int = 0, phase: int = 0) -> PeriodicTask:
+        """Materialize as a schedulable task (analysis or simulation)."""
+        return PeriodicTask(
+            name=self.instance,
+            segments=self.segments,
+            period=self.period,
+            deadline=self.deadline,
+            priority=priority,
+            phase=phase,
+            buffers=self.buffers,
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded admission decision (the decision log entry).
+
+    ``outcome`` is one of ``admitted`` / ``rejected`` / ``removed`` /
+    ``rescaled`` / ``ignored``.  For admissions, ``mode`` says at what
+    service level (``full``, ``rate/<f>``, ``variant``,
+    ``variant+rate/<f>``) and ``reason`` which test justified it
+    (``rta-oblivious`` fast screen or ``analysis``).  For rejections,
+    ``reason`` carries the justification (``sram: ...``, ``rta: ...``,
+    ``rta-transition: ...``, ``drain-unbounded: ...``).
+    """
+
+    seq: int
+    time_s: float
+    kind: str
+    task: str
+    outcome: str
+    model: str = ""
+    mode: str = ""
+    reason: str = ""
+    protocol: str = ""
+    instance: str = ""
+    sram_bytes: int = 0
+    start_cycle: int = -1
+    latency_us: float = 0.0
+
+    def to_dict(self) -> Dict:
+        # latency_us is deliberately absent: the JSON event log must be
+        # bit-identical across same-seed runs; wall-clock decision
+        # latency is reported via the benchmark suite meta instead.
+        return {
+            "seq": self.seq,
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "task": self.task,
+            "outcome": self.outcome,
+            "model": self.model,
+            "mode": self.mode,
+            "reason": self.reason,
+            "protocol": self.protocol,
+            "instance": self.instance,
+            "sram_bytes": self.sram_bytes,
+            "start_cycle": self.start_cycle,
+        }
+
+
+class AdmissionController:
+    """Stateful per-request admission control over one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        quant: Quantization = INT8,
+        buffers: int = 2,
+        method: str = "rtmdm",
+        protocol: Protocol = Protocol.AUTO,
+        stretch_factors: Sequence[float] = (1.25, 1.5, 2.0),
+        degrade_factor: float = 0.5,
+    ) -> None:
+        if not all(f > 1.0 for f in stretch_factors):
+            raise ValueError(f"stretch factors must be > 1, got {stretch_factors}")
+        if not 0.0 < degrade_factor <= 1.0:
+            raise ValueError(f"degrade_factor must be in (0, 1], got {degrade_factor}")
+        self._platform = platform
+        self._quant = quant
+        self._buffers = buffers
+        self._method = method
+        self._protocol = protocol
+        self._stretch = tuple(stretch_factors)
+        self._degrade_factor = degrade_factor
+        self._resident: Dict[str, Instance] = {}
+        self._retired: List[Instance] = []
+        self._reservations: List[Tuple[int, int]] = []
+        self._counters: Dict[str, int] = {}
+        self.decisions: List[Decision] = []
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> Dict[str, Instance]:
+        """Live instances by logical task name (read-only view)."""
+        return dict(self._resident)
+
+    def all_instances(self) -> List[Instance]:
+        """Every instance ever admitted (live + stopped), in admit order."""
+        live = sorted(self._resident.values(), key=lambda i: i.instance)
+        return self._retired + live
+
+    def free_sram(self, at_cycle: int) -> int:
+        """Unreserved SRAM at ``at_cycle`` (draining buffers still held)."""
+        self._reservations = [
+            (until, b) for until, b in self._reservations if until > at_cycle
+        ]
+        used = sum(i.sram_bytes for i in self._resident.values())
+        used += sum(b for _, b in self._reservations)
+        return self._platform.usable_sram_bytes - used
+
+    def _instance_name(self, logical: str) -> str:
+        count = self._counters.get(logical, 0) + 1
+        self._counters[logical] = count
+        return logical if count == 1 else f"{logical}#{count}"
+
+    # ------------------------------------------------------------------
+    # Planning and schedulability
+    # ------------------------------------------------------------------
+    def _plan(
+        self, model_name: str, deadline: int, budget: int
+    ) -> Tuple[Tuple[Segment, ...], int]:
+        """Segment ``model_name`` into ``budget`` bytes (framework policy).
+
+        Raises:
+            SegmentationError: no segmentation fits the budget.
+        """
+        model = segcache.cached_build_model(model_name)
+        cap = max(1000, deadline // NP_CAP_DIVISOR)
+        macs_cap = max(1000, (cap - 4000) // 5)
+        chunk = max(2048, budget // (self._buffers * 2))
+        refined = segcache.cached_refine_model(model, self._quant, chunk, macs_cap)
+        seg = segcache.cached_search_segmentation(
+            refined,
+            self._platform,
+            budget,
+            quant=self._quant,
+            buffers=self._buffers,
+            max_segment_compute=cap,
+        )
+        cost = seg.sram_need_bytes() + (self._buffers + 1) * BUFFER_ALIGN
+        if cost > budget:
+            raise SegmentationError(
+                f"{model_name}: segmentation needs {cost} B with alignment "
+                f"slack but only {budget} B are free"
+            )
+        return seg.segments(), cost
+
+    def _rank(self, instances: Sequence[Instance]) -> List[PeriodicTask]:
+        """Deadline-monotonic tasks over the global total order."""
+        ordered = sorted(instances, key=lambda i: (i.deadline, i.instance))
+        return [inst.to_periodic(priority=rank) for rank, inst in enumerate(ordered)]
+
+    def _screen(self, tasks: Sequence[PeriodicTask]) -> bool:
+        """Suspension-oblivious serialized screen via the RTA primitives.
+
+        Rebuilds the library's ``oblivious`` bound from
+        :mod:`repro.sched.rta` building blocks: serialized per-job demand
+        ``sum(C) + sum(L)``, segment-granular non-preemptive blocking
+        (``n_seg * max_lp_C + n_load * max_lp_L`` — one lower-priority
+        section per own segment boundary / issued transfer), and release
+        jitter ``R_j - E_j`` chained in priority order.  Every term
+        dominates the corresponding term of the ``overlap`` analysis, so
+        a pass here implies the full ``rtmdm`` analysis passes too —
+        the screen is pessimistic, never optimistic.
+
+        A whole-job NP-RTA (single blocking term) is NOT sound here: the
+        simulator preempts at segment boundaries, so a fine-grained task
+        can be blocked once per gap, far exceeding one lower-priority
+        job's length (``fp_nonpreemptive_wcrt``'s docstring warns about
+        exactly this misuse).
+        """
+        ordered = sorted(tasks, key=lambda t: t.priority)
+        serialized = [t.total_compute + t.total_load for t in ordered]
+        if sum(e / t.period for e, t in zip(serialized, ordered)) > 1.0:
+            return False
+        screened: List[rta.RtaTask] = []
+        for index, task in enumerate(ordered):
+            lower = ordered[index + 1:]
+            max_lp_c = max((t.max_segment_compute for t in lower), default=0)
+            max_lp_l = max(
+                (s.load_cycles for t in lower for s in t.segments), default=0
+            )
+            n_load = sum(1 for s in task.segments if s.load_cycles > 0)
+            candidate = rta.RtaTask(
+                name=task.name,
+                exec_cycles=serialized[index],
+                period=task.period,
+                deadline=task.deadline,
+                priority=task.priority,
+                blocking=task.num_segments * max_lp_c + n_load * max_lp_l,
+            )
+            wcrt = rta.fp_preemptive_wcrt([*screened, candidate], candidate)
+            if wcrt is None or wcrt > task.deadline:
+                return False
+            screened.append(
+                replace(candidate, jitter=max(0, wcrt - candidate.exec_cycles))
+            )
+        return True
+
+    def _schedulable(self, tasks: Sequence[PeriodicTask]) -> Tuple[bool, str]:
+        """Admission test: fast oblivious-RTA screen, then full analysis."""
+        if self._screen(tasks):
+            return True, "rta-oblivious"
+        result = segcache.cached_analyze(TaskSet.of(tasks), self._method)
+        return result.schedulable, "analysis"
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Decision:
+        """Decide one request; append to and return the decision log entry."""
+        start_ns = time.perf_counter_ns()
+        t = self._platform.mcu.seconds_to_cycles(request.time_s)
+        if request.kind is RequestKind.ADMIT:
+            decision = self._admit(request, t)
+        elif request.kind is RequestKind.REMOVE:
+            decision = self._remove(request, t)
+        else:
+            decision = self._rescale(request, t)
+        decision = replace(
+            decision,
+            seq=len(self.decisions),
+            latency_us=(time.perf_counter_ns() - start_ns) / 1000.0,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _decision(self, request: Request, **kwargs) -> Decision:
+        return Decision(
+            seq=0,
+            time_s=request.time_s,
+            kind=request.kind.value,
+            task=request.task,
+            model=kwargs.pop("model", request.model),
+            **kwargs,
+        )
+
+    def _request_timing(self, request: Request) -> Tuple[int, int]:
+        cycles = self._platform.mcu.seconds_to_cycles
+        period = max(1, cycles(request.period_s))
+        deadline = cycles(request.deadline_s) if request.deadline_s else period
+        return period, min(period, max(1, deadline))
+
+    def _admit(self, request: Request, t: int) -> Decision:
+        if request.task in self._resident:
+            return self._decision(
+                request, outcome="ignored", reason="already-resident"
+            )
+        period, deadline = self._request_timing(request)
+        budget = self.free_sram(t)
+        try:
+            segments, cost = self._plan(request.model, deadline, budget)
+        except SegmentationError as exc:
+            return self._decision(request, outcome="rejected", reason=f"sram: {exc}")
+        name = self._instance_name(request.task)
+        for mode, p, d, segs in self._attempts(name, period, deadline, segments):
+            candidate = Instance(
+                instance=name,
+                task=request.task,
+                model=request.model,
+                segments=segs,
+                period=p,
+                deadline=d,
+                buffers=self._buffers,
+                sram_bytes=cost,
+                mode=mode,
+                start_cycle=t,
+            )
+            ok, path = self._schedulable(
+                self._rank([*self._resident.values(), candidate])
+            )
+            if ok:
+                start, protocol = self._admit_switch(t)
+                candidate = replace(candidate, start_cycle=start)
+                self._resident[request.task] = candidate
+                return self._decision(
+                    request,
+                    outcome="admitted",
+                    mode=mode,
+                    reason=path,
+                    protocol=protocol,
+                    instance=name,
+                    sram_bytes=cost,
+                    start_cycle=start,
+                )
+        return self._decision(
+            request,
+            outcome="rejected",
+            reason=(
+                "rta: unschedulable in every mode (full, rate-stretch "
+                f"{self._stretch}, variant x{self._degrade_factor})"
+            ),
+        )
+
+    def _attempts(
+        self,
+        name: str,
+        period: int,
+        deadline: int,
+        segments: Tuple[Segment, ...],
+    ) -> List[Tuple[str, int, int, Tuple[Segment, ...]]]:
+        """The degradation ladder: full service first, then fallbacks.
+
+        Rate stretches reuse the original segmentation (the granularity
+        cap came from the tighter original deadline, so it stays valid);
+        the variant attempts shrink every segment like
+        :func:`repro.robust.overload.degraded_variant` does, standing in
+        for a smaller model variant at unchanged buffer reservations
+        (recovery to full service needs no re-planning).
+        """
+        attempts = [("full", period, deadline, segments)]
+        stretched = []
+        for factor in self._stretch:
+            p = int(round(period * factor))
+            d = min(p, int(round(deadline * factor)))
+            stretched.append((p, d))
+            attempts.append((f"rate/{factor:g}", p, d, segments))
+        if self._degrade_factor < 1.0:
+            base = PeriodicTask(
+                name=name,
+                segments=segments,
+                period=period,
+                deadline=deadline,
+                buffers=self._buffers,
+            )
+            variant = degraded_variant(base, self._degrade_factor)
+            attempts.append(("variant", period, deadline, variant))
+            if stretched:
+                p, d = stretched[-1]
+                attempts.append(
+                    (f"variant+rate/{self._stretch[-1]:g}", p, d, variant)
+                )
+        return attempts
+
+    def _admit_switch(self, t: int) -> Tuple[int, str]:
+        """Switch cycle for an admit (see :mod:`repro.online.modechange`).
+
+        Immediate is always sound for admits (the union analysis just
+        passed), so a forced drain falls back to immediate when no
+        finite idle-instant bound exists.
+        """
+        if self._protocol is Protocol.DRAIN and self._resident:
+            bound = idle_instant_bound(
+                [i.to_periodic() for i in self._resident.values()]
+            )
+            if bound is not None:
+                return t + bound, "drain"
+        return t, "immediate"
+
+    def _remove(self, request: Request, t: int) -> Decision:
+        instance = self._resident.pop(request.task, None)
+        if instance is None:
+            return self._decision(request, outcome="ignored", reason="not-resident")
+        self._retired.append(replace(instance, stop_cycle=t))
+        # Residual jobs (released before t) complete within one deadline;
+        # their staging buffers stay reserved until then.
+        self._reservations.append((t + instance.deadline, instance.sram_bytes))
+        return self._decision(
+            request,
+            outcome="removed",
+            model=instance.model,
+            instance=instance.instance,
+            protocol="immediate",
+        )
+
+    def _rescale(self, request: Request, t: int) -> Decision:
+        old = self._resident.get(request.task)
+        if old is None:
+            return self._decision(request, outcome="ignored", reason="not-resident")
+        period, deadline = self._request_timing(request)
+        try:
+            segments, cost = self._plan(old.model, deadline, self.free_sram(t))
+        except SegmentationError as exc:
+            return self._decision(
+                request, outcome="rejected", model=old.model,
+                reason=f"sram: {exc}",
+            )
+        name = self._instance_name(request.task)
+        new = Instance(
+            instance=name,
+            task=request.task,
+            model=old.model,
+            segments=segments,
+            period=period,
+            deadline=deadline,
+            buffers=self._buffers,
+            sram_bytes=cost,
+            mode="full",
+            start_cycle=t,
+        )
+        if self._protocol is not Protocol.DRAIN:
+            # Transitional union: others + outgoing + incoming, sporadic.
+            ok, path = self._schedulable(
+                self._rank([*self._resident.values(), new])
+            )
+            if ok:
+                self._switch_instance(request.task, old, new, t, t)
+                return self._decision(
+                    request,
+                    outcome="rescaled",
+                    model=old.model,
+                    mode="full",
+                    reason=path,
+                    protocol="immediate",
+                    instance=name,
+                    sram_bytes=cost,
+                    start_cycle=t,
+                )
+            if self._protocol is Protocol.IMMEDIATE:
+                return self._decision(
+                    request,
+                    outcome="rejected",
+                    model=old.model,
+                    reason="rta-transition: transitional union unschedulable",
+                )
+        bound = idle_instant_bound(
+            [i.to_periodic() for i in self._resident.values()]
+        )
+        if bound is None:
+            return self._decision(
+                request,
+                outcome="rejected",
+                model=old.model,
+                reason=(
+                    "drain-unbounded: serialized utilization >= 1, "
+                    "no finite idle-instant bound"
+                ),
+            )
+        others = [i for i in self._resident.values() if i.task != request.task]
+        ok, path = self._schedulable(self._rank([*others, new]))
+        if not ok:
+            return self._decision(
+                request,
+                outcome="rejected",
+                model=old.model,
+                reason="rta: new rate unschedulable even after drain",
+            )
+        start = t + bound
+        self._switch_instance(request.task, old, new, t, start)
+        return self._decision(
+            request,
+            outcome="rescaled",
+            model=old.model,
+            mode="full",
+            reason=path,
+            protocol="drain",
+            instance=name,
+            sram_bytes=cost,
+            start_cycle=start,
+        )
+
+    def _switch_instance(
+        self, logical: str, old: Instance, new: Instance, stop: int, start: int
+    ) -> None:
+        """Commit a rescale: stop ``old`` at ``stop``, start ``new`` at ``start``."""
+        self._retired.append(replace(old, stop_cycle=stop))
+        self._reservations.append(
+            (max(stop + old.deadline, start), old.sram_bytes)
+        )
+        self._resident[logical] = replace(new, start_cycle=start)

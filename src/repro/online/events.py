@@ -1,0 +1,142 @@
+"""Timestamped request traces for the online runtime.
+
+A :class:`RequestTrace` is the runtime's entire input: a time-ordered
+sequence of :class:`Request` events over a bounded horizon.  Traces are
+plain data with a JSON round-trip so they can be generated
+(:mod:`repro.workload.arrivals`), saved, replayed (``rtmdm serve``) and
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+class RequestKind(enum.Enum):
+    """What a deployment request asks for."""
+
+    ADMIT = "admit"
+    REMOVE = "remove"
+    RESCALE = "rescale"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One deployment request.
+
+    Attributes:
+        time_s: Arrival time in seconds from trace start.
+        kind: ``ADMIT`` (start running a model periodically), ``REMOVE``
+            (stop it), or ``RESCALE`` (change its rate).
+        task: Logical task name the request refers to.
+        model: Zoo model name (``ADMIT`` only).
+        period_s: Requested period in seconds (``ADMIT``/``RESCALE``).
+        deadline_s: Relative deadline in seconds; ``0`` means implicit
+            (deadline = period).
+    """
+
+    time_s: float
+    kind: RequestKind
+    task: str
+    model: str = ""
+    period_s: float = 0.0
+    deadline_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"request time must be >= 0, got {self.time_s}")
+        if not self.task:
+            raise ValueError("request needs a task name")
+        if self.kind is RequestKind.ADMIT and not self.model:
+            raise ValueError(f"ADMIT for {self.task!r} needs a model name")
+        if self.kind in (RequestKind.ADMIT, RequestKind.RESCALE):
+            if self.period_s <= 0:
+                raise ValueError(
+                    f"{self.kind.value} for {self.task!r} needs period_s > 0"
+                )
+        if self.deadline_s < 0 or (
+            self.period_s > 0 and self.deadline_s > self.period_s
+        ):
+            raise ValueError(
+                f"{self.task!r}: deadline_s must be in [0, period_s], got "
+                f"{self.deadline_s} with period {self.period_s}"
+            )
+
+    def to_dict(self) -> Dict:
+        d = {"time_s": self.time_s, "kind": self.kind.value, "task": self.task}
+        if self.model:
+            d["model"] = self.model
+        if self.period_s:
+            d["period_s"] = self.period_s
+        if self.deadline_s:
+            d["deadline_s"] = self.deadline_s
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Request":
+        return cls(
+            time_s=float(d["time_s"]),
+            kind=RequestKind(d["kind"]),
+            task=str(d["task"]),
+            model=str(d.get("model", "")),
+            period_s=float(d.get("period_s", 0.0)),
+            deadline_s=float(d.get("deadline_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A bounded, time-ordered request sequence.
+
+    Attributes:
+        requests: Events in non-decreasing time order.
+        duration_s: Simulation horizon; releases stop here, but released
+            jobs still run to completion.
+    """
+
+    requests: Tuple[Request, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        times = [r.time_s for r in self.requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("requests must be in non-decreasing time order")
+        if times and times[-1] > self.duration_s:
+            raise ValueError(
+                f"last request at {times[-1]} s exceeds duration {self.duration_s} s"
+            )
+
+    @classmethod
+    def of(cls, requests: Iterable[Request], duration_s: float) -> "RequestTrace":
+        """Build a trace, sorting events by (time, original order)."""
+        ordered = sorted(
+            enumerate(requests), key=lambda pair: (pair[1].time_s, pair[0])
+        )
+        return cls(tuple(r for _, r in ordered), duration_s)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": "rtmdm-trace/1",
+            "duration_s": self.duration_s,
+            "requests": [r.to_dict() for r in self.requests],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RequestTrace":
+        payload = json.loads(text)
+        requests: List[Request] = [
+            Request.from_dict(d) for d in payload["requests"]
+        ]
+        return cls.of(requests, float(payload["duration_s"]))

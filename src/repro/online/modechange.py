@@ -1,0 +1,100 @@
+"""Sound mode-change protocols for the online runtime.
+
+The classic mode-change hazard: during a transition window, tasks can
+suffer interference from *both* the outgoing and the incoming
+configuration, which neither steady-state analysis covers.  The runtime
+uses two provably sound strategies and picks per request:
+
+**Immediate switch.**  The safe analyses in :mod:`repro.core.analysis`
+are critical-instant (sporadic) arguments — valid for *any* release
+pattern of the analysed set, with no assumption about when each task
+starts.  Hence:
+
+* *Admit* is immediately sound once the union (resident + candidate)
+  passes analysis: pre-switch pending jobs are releases of that same
+  union.
+* *Remove* is immediately sound: stopping releases only removes
+  interference.
+* *Rescale* is immediately sound only if the **transitional union**
+  (others + outgoing instance + incoming instance, as independent
+  sporadic tasks) passes — that set over-approximates every schedule in
+  which the old instance stops at the switch and the new one starts.
+
+**Drain-then-switch.**  When the transitional union fails, the outgoing
+instance stops releasing at the request and the incoming instance is
+held back until an *idle instant* — a point with no pending work at all
+— has provably occurred.  :func:`idle_instant_bound` bounds the first
+idle instant from worst-case (synchronous) backlog via a busy-period
+fixpoint over the serialized per-job demand ``C_i + L_i``; after an idle
+instant the history resets, so steady-state analysis of the new
+configuration covers everything that follows.  The bound is finite only
+when the serialized utilization is below one — precisely the regime
+where the pipeline's overlap is *not* load-bearing; otherwise the
+rescale is rejected rather than risk an unsound transition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.sched.task import PeriodicTask
+
+#: Fixpoint iteration guard (the utilization test already rules out true
+#: divergence; this bounds pathological convergence).
+_MAX_ITERATIONS = 4096
+
+
+class Protocol(enum.Enum):
+    """Mode-change strategy selection.
+
+    ``AUTO`` uses the cheapest sound option per request; ``IMMEDIATE``
+    refuses changes that would need a drain; ``DRAIN`` forces every
+    switch behind an idle instant (except where immediate is the only
+    sound option left, i.e. an unbounded drain on a plain admit).
+    """
+
+    AUTO = "auto"
+    IMMEDIATE = "immediate"
+    DRAIN = "drain"
+
+
+def serialized_utilization(tasks: Sequence[PeriodicTask]) -> float:
+    """Total utilization if every job's load and compute were serialized.
+
+    This over-approximates the demand of the real two-resource system
+    (CPU computes overlap DMA loads), which is exactly what makes the
+    idle-instant bound below safe.
+    """
+    return sum((t.total_compute + t.total_load) / t.period for t in tasks)
+
+
+def idle_instant_bound(tasks: Sequence[PeriodicTask]) -> Optional[int]:
+    """Upper bound on cycles until the system is provably idle once.
+
+    Busy-period fixpoint over serialized demand, from worst-case
+    (synchronous, fully backlogged) state::
+
+        L = sum_i ceil(L / T_i) * (C_i + L_i)
+
+    Any busy interval of the real system consumes at least one cycle of
+    serialized demand per cycle (the executor is work-conserving, so
+    some resource is active whenever work is pending), so the first
+    instant with no pending work occurs within ``L*`` cycles regardless
+    of actual phasing.  Returns ``None`` when no finite bound exists
+    (serialized utilization >= 1 or the fixpoint fails to converge).
+    """
+    if not tasks:
+        return 0
+    if serialized_utilization(tasks) >= 1.0:
+        return None
+    demands = [(t.period, t.total_compute + t.total_load) for t in tasks]
+    length = sum(d for _, d in demands)
+    if length == 0:
+        return 0
+    for _ in range(_MAX_ITERATIONS):
+        demand = sum(-(-length // period) * d for period, d in demands)
+        if demand <= length:
+            return length
+        length = demand
+    return None

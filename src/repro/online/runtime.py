@@ -1,0 +1,232 @@
+"""The serve loop: replay a request trace, then execute the result.
+
+:class:`OnlineRuntime` wires the pieces together.  Decisions are purely
+analytic and happen in request order (each one sees exactly the state
+earlier decisions left behind), so after the replay the full instance
+schedule — who runs, from which cycle, to which cycle — is determined.
+The whole trace then executes as *one* :class:`DynamicSimulator` run
+over the union of every instance ever admitted, which is what the
+soundness invariant is checked against: in a fault-free run, no job of
+any admitted instance may miss its deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dnn.quantization import INT8, Quantization
+from repro.hw.platform import Platform
+from repro.online.admission import AdmissionController, Decision, Instance
+from repro.online.events import RequestTrace
+from repro.online.modechange import Protocol
+from repro.online.sim import simulate_dynamic
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, SimResult
+from repro.sched.task import TaskSet
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one trace replay (decision log + execution)."""
+
+    platform_name: str
+    protocol: str
+    duration_s: float
+    decisions: List[Decision]
+    instances: List[Instance]
+    sim: Optional[SimResult]
+
+    # ------------------------------------------------------------------
+    # Decision-log aggregates (deterministic)
+    # ------------------------------------------------------------------
+    def _count(self, **fields) -> int:
+        return sum(
+            1
+            for d in self.decisions
+            if all(getattr(d, k) == v for k, v in fields.items())
+        )
+
+    @property
+    def requests(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def admit_requests(self) -> int:
+        """ADMIT requests that were actually decided (not ignored)."""
+        return sum(
+            1
+            for d in self.decisions
+            if d.kind == "admit" and d.outcome != "ignored"
+        )
+
+    @property
+    def admitted(self) -> int:
+        return self._count(outcome="admitted")
+
+    @property
+    def degraded(self) -> int:
+        """Admissions that needed the degradation ladder."""
+        return sum(
+            1
+            for d in self.decisions
+            if d.outcome == "admitted" and d.mode != "full"
+        )
+
+    @property
+    def rejected_sram(self) -> int:
+        return sum(
+            1
+            for d in self.decisions
+            if d.outcome == "rejected" and d.reason.startswith("sram")
+        )
+
+    @property
+    def rejected_rta(self) -> int:
+        """Rejections justified by a failed schedulability argument."""
+        return sum(
+            1
+            for d in self.decisions
+            if d.outcome == "rejected" and not d.reason.startswith("sram")
+        )
+
+    @property
+    def admission_ratio(self) -> float:
+        n = self.admit_requests
+        return self.admitted / n if n else 1.0
+
+    @property
+    def decision_latencies_us(self) -> List[float]:
+        """Wall-clock decision latencies (non-deterministic; report-only)."""
+        return [d.latency_us for d in self.decisions]
+
+    @property
+    def sound(self) -> bool:
+        """True iff no admitted job missed a deadline in the execution."""
+        return self.sim is None or self.sim.no_misses
+
+    def to_dict(self, mcu=None) -> Dict:
+        """Machine-readable event log (the ``rtmdm serve --json`` payload)."""
+        payload: Dict = {
+            "schema": "rtmdm-serve/1",
+            "platform": self.platform_name,
+            "protocol": self.protocol,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "admit_requests": self.admit_requests,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected_sram": self.rejected_sram,
+            "rejected_rta": self.rejected_rta,
+            "removed": self._count(outcome="removed"),
+            "rescaled": self._count(outcome="rescaled"),
+            "ignored": self._count(outcome="ignored"),
+            "admission_ratio": round(self.admission_ratio, 4),
+            "sound": self.sound,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+        if self.sim is not None:
+            stats = {}
+            for name, s in sorted(self.sim.stats.items()):
+                worst = s.max_response
+                stats[name] = {
+                    "jobs": s.jobs,
+                    "misses": s.misses,
+                    "unfinished": s.unfinished,
+                    "worst_ms": (
+                        round(mcu.cycles_to_ms(worst), 3)
+                        if mcu is not None and worst is not None
+                        else worst
+                    ),
+                }
+            payload["sim"] = {
+                "total_misses": self.sim.total_misses,
+                "end_ms": (
+                    round(mcu.cycles_to_ms(self.sim.end_time), 1)
+                    if mcu is not None
+                    else self.sim.end_time
+                ),
+                "tasks": stats,
+            }
+        return payload
+
+
+class OnlineRuntime:
+    """Replay a :class:`~repro.online.events.RequestTrace` end to end."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        quant: Quantization = INT8,
+        buffers: int = 2,
+        method: str = "rtmdm",
+        protocol: Protocol = Protocol.AUTO,
+        stretch_factors: Sequence[float] = (1.25, 1.5, 2.0),
+        degrade_factor: float = 0.5,
+    ) -> None:
+        self.platform = platform
+        self.protocol = protocol
+        self._controller_args = dict(
+            quant=quant,
+            buffers=buffers,
+            method=method,
+            protocol=protocol,
+            stretch_factors=tuple(stretch_factors),
+            degrade_factor=degrade_factor,
+        )
+
+    def serve(
+        self,
+        trace: RequestTrace,
+        simulate: bool = True,
+        record_trace: bool = False,
+    ) -> ServeReport:
+        """Decide every request, then execute the admitted schedule."""
+        controller = AdmissionController(self.platform, **self._controller_args)
+        for request in trace:
+            controller.handle(request)
+        instances = controller.all_instances()
+        sim = (
+            self._execute(trace, instances, record_trace) if simulate else None
+        )
+        return ServeReport(
+            platform_name=self.platform.name,
+            protocol=self.protocol.value,
+            duration_s=trace.duration_s,
+            decisions=list(controller.decisions),
+            instances=instances,
+            sim=sim,
+        )
+
+    def _execute(
+        self,
+        trace: RequestTrace,
+        instances: Sequence[Instance],
+        record_trace: bool,
+    ) -> Optional[SimResult]:
+        horizon = self.platform.mcu.seconds_to_cycles(trace.duration_s)
+        started = [
+            i
+            for i in instances
+            if i.start_cycle < horizon
+            and (i.stop_cycle is None or i.stop_cycle > i.start_cycle)
+        ]
+        if not started:
+            return None
+        ordered = sorted(started, key=lambda i: (i.deadline, i.instance))
+        tasks = [
+            inst.to_periodic(priority=rank, phase=inst.start_cycle)
+            for rank, inst in enumerate(ordered)
+        ]
+        stops = {
+            inst.instance: inst.stop_cycle
+            for inst in ordered
+            if inst.stop_cycle is not None
+        }
+        config = SimConfig(
+            policy=CpuPolicy.FP_NP,
+            dma_arbitration=self.platform.dma.arbitration,
+            horizon=horizon,
+            record_trace=record_trace,
+        )
+        return simulate_dynamic(TaskSet.of(tasks), config, stops)

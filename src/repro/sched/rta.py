@@ -73,11 +73,67 @@ def liu_layland_bound(n: int) -> float:
     return n * (2 ** (1 / n) - 1)
 
 
-def hyperperiod(periods: Sequence[int]) -> int:
-    """Least common multiple of ``periods``."""
+class HyperperiodError(ValueError):
+    """The LCM of the periods exceeds the tractability cap.
+
+    Co-prime periods make the hyperperiod grow multiplicatively — five
+    random ~1e7-cycle periods easily exceed 1e30.  Any algorithm that
+    iterates over a hyperperiod (demand-bound checkpoints, exhaustive
+    phasing search, simulation horizons) silently degenerates on such
+    inputs, so :func:`hyperperiod` fails loudly instead.
+    """
+
+
+#: Default hyperperiod cap: generous (~4.6e18 cycles is ~680 years at
+#: 216 MHz) yet far below where big-int LCMs start costing real time.
+HYPERPERIOD_CAP = 1 << 62
+
+
+def hyperperiod(periods: Sequence[int], cap: Optional[int] = HYPERPERIOD_CAP) -> int:
+    """Least common multiple of ``periods``, guarded against blowup.
+
+    Args:
+        periods: Positive periods in cycles.
+        cap: Raise :class:`HyperperiodError` once the running LCM
+            exceeds this bound (the fold short-circuits, so pathological
+            inputs fail fast instead of allocating huge integers).
+            ``None`` disables the guard.
+
+    Raises:
+        ValueError: Empty or non-positive periods.
+        HyperperiodError: The LCM exceeds ``cap``.
+    """
     if not periods:
         raise ValueError("periods must be non-empty")
-    return math.lcm(*periods)
+    if cap is not None and cap < 1:
+        raise ValueError(f"cap must be positive, got {cap}")
+    result = 1
+    for period in periods:
+        if period <= 0:
+            raise ValueError(f"periods must be positive, got {period}")
+        result = math.lcm(result, period)
+        if cap is not None and result > cap:
+            raise HyperperiodError(
+                f"hyperperiod of {len(periods)} periods exceeds the cap: "
+                f"partial LCM {result} > {cap}; pass cap=None to force, or "
+                f"use try_hyperperiod() for a fallible lookup"
+            )
+    return result
+
+
+def try_hyperperiod(
+    periods: Sequence[int], cap: Optional[int] = HYPERPERIOD_CAP
+) -> Optional[int]:
+    """:func:`hyperperiod`, but ``None`` instead of raising on blowup.
+
+    For callers with a natural fallback (e.g. simulation horizons capped
+    at N jobs of the slowest task) that should degrade gracefully on
+    co-prime period sets rather than abort.
+    """
+    try:
+        return hyperperiod(periods, cap=cap)
+    except HyperperiodError:
+        return None
 
 
 def _hp(tasks: Sequence[RtaTask], task: RtaTask) -> List[RtaTask]:

@@ -198,9 +198,19 @@ class TaskSet:
         """Total DMA utilization."""
         return sum(t.dma_utilization for t in self.tasks)
 
-    def hyperperiod(self) -> int:
-        """Least common multiple of all periods."""
-        return math.lcm(*(t.period for t in self.tasks))
+    def hyperperiod(self, cap: Optional[int] = None) -> int:
+        """Least common multiple of all periods.
+
+        Guarded against pathological LCM blowup: raises
+        :class:`repro.sched.rta.HyperperiodError` past the default cap
+        (see :data:`repro.sched.rta.HYPERPERIOD_CAP`); pass ``cap`` to
+        override.
+        """
+        from repro.sched import rta
+
+        if cap is None:
+            cap = rta.HYPERPERIOD_CAP
+        return rta.hyperperiod([t.period for t in self.tasks], cap=cap)
 
     def sorted_by_priority(self) -> List[PeriodicTask]:
         """Tasks ordered from highest (lowest number) to lowest priority."""

@@ -5,9 +5,19 @@
   sweeps).
 * :mod:`repro.workload.scenarios` — named, realistic multi-DNN scenarios
   (the case study and friends).
+* :mod:`repro.workload.arrivals` — Poisson request traces for the online
+  runtime (:mod:`repro.online`).
 """
 
+from repro.workload.arrivals import poisson_trace
 from repro.workload.scenarios import SCENARIOS, get_scenario
 from repro.workload.taskset import GeneratedCase, generate_case, uunifast
 
-__all__ = ["uunifast", "generate_case", "GeneratedCase", "SCENARIOS", "get_scenario"]
+__all__ = [
+    "uunifast",
+    "generate_case",
+    "GeneratedCase",
+    "SCENARIOS",
+    "get_scenario",
+    "poisson_trace",
+]

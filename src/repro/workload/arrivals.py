@@ -1,0 +1,106 @@
+"""Stochastic request-trace generation for the online runtime.
+
+Arrivals follow a Poisson process (exponential inter-arrival times) —
+the standard open-workload model for independent deployment requests.
+Each arriving task draws a model from the pool, a period from a small
+discrete ladder (discrete on purpose: recurring periods let repeated
+admissions share plan-cache entries), and an exponential lifetime after
+which it departs; some tasks additionally rescale once mid-life.
+
+Generation is exactly reproducible from ``seed`` (plain
+:class:`random.Random`, stable across supported Python versions) and
+never consults the platform — the same trace can be replayed against
+different SRAM budgets, which is what the EXP-D1 sweep does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.online.events import Request, RequestKind, RequestTrace
+from repro.workload.taskset import DEFAULT_MODEL_POOL
+
+#: Discrete request-period ladder in seconds.  Spans comfortably
+#: admissible (pool latencies are ~1-170 ms on the default platform) to
+#: clearly overloading, so sweeps exercise full admissions, degraded
+#: admissions and both rejection kinds.
+DEFAULT_PERIOD_LADDER_S: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+#: Rescale factors (applied to the running period; < 1 = faster rate).
+DEFAULT_RESCALE_FACTORS: Tuple[float, ...] = (0.5, 1.5, 2.0)
+
+
+def poisson_trace(
+    duration_s: float,
+    rate_hz: float,
+    seed: int,
+    model_pool: Sequence[str] = DEFAULT_MODEL_POOL,
+    period_ladder_s: Sequence[float] = DEFAULT_PERIOD_LADDER_S,
+    mean_lifetime_s: float = 6.0,
+    rescale_prob: float = 0.2,
+) -> RequestTrace:
+    """Draw one request trace.
+
+    Args:
+        duration_s: Trace horizon in seconds.
+        rate_hz: Mean ADMIT arrival rate (Poisson).
+        seed: RNG seed; traces are a pure function of all arguments.
+        model_pool: Zoo names to draw from (with replacement).
+        period_ladder_s: Candidate request periods (uniform choice).
+        mean_lifetime_s: Mean of the exponential task lifetime; REMOVE
+            events past the horizon are dropped (the task runs out the
+            trace).
+        rescale_prob: Probability a task issues one RESCALE at a uniform
+            point within its (in-horizon) lifetime.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    if mean_lifetime_s <= 0:
+        raise ValueError(f"mean_lifetime_s must be > 0, got {mean_lifetime_s}")
+    if not 0.0 <= rescale_prob <= 1.0:
+        raise ValueError(f"rescale_prob must be in [0, 1], got {rescale_prob}")
+    if not model_pool or not period_ladder_s:
+        raise ValueError("model_pool and period_ladder_s must be non-empty")
+    rng = random.Random(seed)
+    requests = []
+    time_s = 0.0
+    index = 0
+    while True:
+        time_s += rng.expovariate(rate_hz)
+        if time_s >= duration_s:
+            break
+        task = f"req{index}"
+        index += 1
+        model = rng.choice(list(model_pool))
+        period_s = rng.choice(list(period_ladder_s))
+        requests.append(
+            Request(
+                time_s=time_s,
+                kind=RequestKind.ADMIT,
+                task=task,
+                model=model,
+                period_s=period_s,
+            )
+        )
+        lifetime_s = rng.expovariate(1.0 / mean_lifetime_s)
+        end_s = time_s + lifetime_s
+        in_horizon_end = min(end_s, duration_s)
+        if rng.random() < rescale_prob and in_horizon_end - time_s > 1e-6:
+            at_s = time_s + rng.random() * (in_horizon_end - time_s)
+            factor = rng.choice(list(DEFAULT_RESCALE_FACTORS))
+            requests.append(
+                Request(
+                    time_s=at_s,
+                    kind=RequestKind.RESCALE,
+                    task=task,
+                    period_s=period_s * factor,
+                )
+            )
+        if end_s < duration_s:
+            requests.append(
+                Request(time_s=end_s, kind=RequestKind.REMOVE, task=task)
+            )
+    return RequestTrace.of(requests, duration_s)

@@ -74,3 +74,80 @@ class TestCli:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonOutput:
+    def test_plan_json(self, capsys):
+        import json
+
+        assert main(["plan", "doorbell", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-plan/1"
+        assert payload["admitted"] is True
+        assert {row["task"] for row in payload["tasks"]} >= {"kws"}
+        assert payload["sram"]["used_bytes"] <= payload["sram"]["capacity_bytes"]
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "doorbell", "--duration", "1.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-sim/1"
+        assert payload["no_misses"] is True
+        assert all("worst_ms" in t for t in payload["tasks"].values())
+
+
+class TestServe:
+    def test_serve_generated_trace(self, capsys):
+        assert main(
+            ["serve", "--rate", "1.0", "--duration", "4.0", "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace: poisson" in out
+        assert "admitted" in out
+
+    def test_serve_json_event_log(self, capsys):
+        import json
+
+        assert main(
+            ["serve", "--rate", "1.5", "--duration", "4.0", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-serve/1"
+        assert payload["sound"] is True
+        assert payload["requests"] == len(payload["decisions"])
+        assert payload["sim"]["total_misses"] == 0
+        # The event log must be bit-identical across same-seed runs, so
+        # wall-clock decision latency stays out of it (suite meta only).
+        assert all("latency_us" not in d for d in payload["decisions"])
+
+    def test_serve_trace_file(self, capsys, tmp_path):
+        import json
+
+        from repro.online.events import Request, RequestKind, RequestTrace
+
+        trace = RequestTrace.of(
+            [
+                Request(time_s=0.1, kind=RequestKind.ADMIT, task="kws",
+                        model="ds-cnn", period_s=0.4),
+                Request(time_s=1.5, kind=RequestKind.REMOVE, task="kws"),
+            ],
+            duration_s=3.0,
+        )
+        path = tmp_path / "trace.json"
+        path.write_text(trace.to_json(), encoding="utf-8")
+        assert main(["serve", "--trace", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["admitted"] == 1
+        assert payload["removed"] == 1
+
+    def test_serve_no_sim_and_overrides(self, capsys):
+        assert main(
+            ["serve", "--rate", "1.0", "--duration", "3.0", "--sram", "256",
+             "--protocol", "drain", "--no-sim", "--json"]
+        ) in (0, 1)
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "drain"
+        assert "sim" not in payload

@@ -65,8 +65,20 @@ def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "EXP-T1", "EXP-T2", "EXP-F3", "EXP-F4", "EXP-F5", "EXP-F6",
         "EXP-F7", "EXP-F8", "EXP-T3", "EXP-F9", "EXP-F10", "EXP-F11",
-        "EXP-F12", "EXP-F13", "EXP-F14", "EXP-F15", "EXP-R1",
+        "EXP-F12", "EXP-F13", "EXP-F14", "EXP-F15", "EXP-R1", "EXP-D1",
     }
+
+
+def test_d1_tiny_sound_with_latency_meta():
+    result = run_experiment(
+        "EXP-D1", n_traces=2, rates_hz=(1.5,), sram_kib=(192,), duration_s=8.0
+    )
+    assert len(result.rows) == 1
+    row = dict(zip(result.columns, result.rows[0]))
+    assert row["misses"] == 0
+    assert row["admit_req"] > 0
+    assert 0.0 <= row["admit_ratio"] <= 1.0
+    assert result.meta["decision_latency_us"]["n"] == row["requests"]
 
 
 def test_f13_tiny():

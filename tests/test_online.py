@@ -1,0 +1,335 @@
+"""Unit tests for the online admission-control runtime (``repro.online``)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_task
+from repro.core import segcache
+from repro.hw.presets import get_platform
+from repro.online.admission import AdmissionController
+from repro.online.events import Request, RequestKind, RequestTrace
+from repro.online.modechange import (
+    Protocol,
+    idle_instant_bound,
+    serialized_utilization,
+)
+from repro.online.runtime import OnlineRuntime
+from repro.online.sim import DynamicSimulator, simulate_dynamic
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig
+from repro.sched.task import TaskSet
+from repro.workload.arrivals import poisson_trace
+
+PLATFORM = get_platform("f746-qspi")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    segcache.clear_all()
+    yield
+    segcache.clear_all()
+
+
+def _admit(time_s, task, model="tinyconv", period_s=0.2, deadline_s=0.0):
+    return Request(
+        time_s=time_s, kind=RequestKind.ADMIT, task=task, model=model,
+        period_s=period_s, deadline_s=deadline_s,
+    )
+
+
+def _remove(time_s, task):
+    return Request(time_s=time_s, kind=RequestKind.REMOVE, task=task)
+
+
+def _rescale(time_s, task, period_s):
+    return Request(
+        time_s=time_s, kind=RequestKind.RESCALE, task=task, period_s=period_s
+    )
+
+
+class TestEvents:
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="time"):
+            _admit(-1.0, "a")
+        with pytest.raises(ValueError, match="task"):
+            Request(time_s=0, kind=RequestKind.REMOVE, task="")
+        with pytest.raises(ValueError, match="model"):
+            Request(time_s=0, kind=RequestKind.ADMIT, task="a", period_s=1.0)
+        with pytest.raises(ValueError, match="period"):
+            Request(time_s=0, kind=RequestKind.ADMIT, task="a", model="lenet5")
+        with pytest.raises(ValueError, match="period"):
+            Request(time_s=0, kind=RequestKind.RESCALE, task="a")
+        with pytest.raises(ValueError, match="deadline"):
+            _admit(0.0, "a", period_s=0.2, deadline_s=0.3)
+
+    def test_trace_ordering_and_validation(self):
+        trace = RequestTrace.of(
+            [_admit(2.0, "b"), _admit(1.0, "a")], duration_s=5.0
+        )
+        assert [r.task for r in trace] == ["a", "b"]
+        with pytest.raises(ValueError):
+            RequestTrace.of([_admit(6.0, "a")], duration_s=5.0)
+
+    def test_json_round_trip(self):
+        trace = RequestTrace.of(
+            [
+                _admit(0.5, "kws", model="ds-cnn", period_s=0.25),
+                _rescale(1.0, "kws", period_s=0.5),
+                _remove(2.0, "kws"),
+            ],
+            duration_s=4.0,
+        )
+        restored = RequestTrace.from_json(trace.to_json())
+        assert restored == trace
+        assert '"rtmdm-trace/1"' in trace.to_json()
+
+    def test_generated_trace_round_trip(self):
+        trace = poisson_trace(6.0, 1.5, seed=11)
+        assert RequestTrace.from_json(trace.to_json()) == trace
+        # Pure function of the arguments.
+        assert poisson_trace(6.0, 1.5, seed=11) == trace
+        assert poisson_trace(6.0, 1.5, seed=12) != trace
+
+
+class TestModeChange:
+    def test_empty_set_is_idle_now(self):
+        assert idle_instant_bound([]) == 0
+
+    def test_overutilized_has_no_bound(self):
+        task = make_task("t", [(400, 700)], period=1000)
+        assert serialized_utilization([task]) > 1.0
+        assert idle_instant_bound([task]) is None
+
+    def test_known_fixpoint(self):
+        # Serialized demand 300 per 1000 plus 200 per 800: L* solves
+        # L = ceil(L/1000)*300 + ceil(L/800)*200 -> 500.
+        a = make_task("a", [(100, 200)], period=1000)
+        b = make_task("b", [(0, 200)], period=800)
+        assert idle_instant_bound([a, b]) == 500
+
+    def test_bound_dominates_simulated_busy_period(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            tasks = []
+            for i in range(rng.randint(2, 4)):
+                period = rng.randint(500, 3000)
+                compute = rng.randint(1, period // 8)
+                load = rng.randint(0, period // 16)
+                tasks.append(
+                    make_task(f"t{i}", [(load, compute)], period=period,
+                              priority=i)
+                )
+            bound = idle_instant_bound(tasks)
+            assert bound is not None  # util <= 3/8 by construction
+            # One synchronous job per task (stop right after the first
+            # release): the whole backlog must clear within L*.
+            result = simulate_dynamic(
+                TaskSet.of(tasks),
+                SimConfig(policy=CpuPolicy.FP_NP, horizon=2 * bound + 10),
+                stops={t.name: 1 for t in tasks},
+            )
+            makespan = max(
+                result.max_response(t.name) for t in tasks
+            )
+            assert all(s.unfinished == 0 for s in result.stats.values())
+            assert makespan <= bound
+
+
+class TestDynamicSimulator:
+    def test_stop_suppresses_releases(self):
+        task = make_task("t", [(0, 10)], period=100)
+        config = SimConfig(policy=CpuPolicy.FP_NP, horizon=1000)
+        full = simulate_dynamic(TaskSet.of([task]), config)
+        stopped = simulate_dynamic(TaskSet.of([task]), config, {"t": 500})
+        assert full.stats["t"].jobs == 10
+        assert stopped.stats["t"].jobs == 5  # releases at 0..400 only
+
+    def test_job_released_before_stop_completes(self):
+        task = make_task("t", [(0, 80)], period=100)
+        config = SimConfig(policy=CpuPolicy.FP_NP, horizon=1000)
+        result = simulate_dynamic(TaskSet.of([task]), config, {"t": 1})
+        assert result.stats["t"].jobs == 1
+        assert result.stats["t"].unfinished == 0
+        assert result.max_response("t") == 80
+
+    def test_unknown_stop_name_rejected(self):
+        task = make_task("t", [(0, 10)], period=100)
+        config = SimConfig(policy=CpuPolicy.FP_NP, horizon=1000)
+        with pytest.raises(KeyError):
+            DynamicSimulator(TaskSet.of([task]), config, {"ghost": 5})
+        with pytest.raises(ValueError):
+            DynamicSimulator(TaskSet.of([task]), config, {"t": -1})
+
+
+class TestAdmissionController:
+    def test_admit_then_remove(self):
+        ctrl = AdmissionController(PLATFORM)
+        d = ctrl.handle(_admit(0.0, "kws", model="ds-cnn", period_s=0.4))
+        assert d.outcome == "admitted" and d.mode == "full"
+        assert d.reason in ("rta-oblivious", "analysis")
+        assert d.protocol == "immediate"
+        assert "kws" in ctrl.resident
+        d2 = ctrl.handle(_remove(1.0, "kws"))
+        assert d2.outcome == "removed"
+        assert "kws" not in ctrl.resident
+        # Retired instance keeps its stop cycle for the final execution.
+        stopped = [i for i in ctrl.all_instances() if i.stop_cycle is not None]
+        assert len(stopped) == 1
+        assert stopped[0].stop_cycle == PLATFORM.mcu.seconds_to_cycles(1.0)
+
+    def test_duplicate_admit_ignored(self):
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "a"))
+        d = ctrl.handle(_admit(0.5, "a"))
+        assert d.outcome == "ignored" and d.reason == "already-resident"
+
+    def test_remove_unknown_ignored(self):
+        ctrl = AdmissionController(PLATFORM)
+        d = ctrl.handle(_remove(0.0, "nobody"))
+        assert d.outcome == "ignored" and d.reason == "not-resident"
+
+    def test_sram_rejection_reason(self):
+        tiny = PLATFORM.with_sram_bytes(24 * 1024)  # ~8 KiB usable
+        ctrl = AdmissionController(tiny)
+        d = ctrl.handle(_admit(0.0, "big", model="resnet8", period_s=0.8))
+        assert d.outcome == "rejected"
+        assert d.reason.startswith("sram:")
+
+    def test_sram_freed_after_drain_window(self):
+        ctrl = AdmissionController(PLATFORM)
+        d = ctrl.handle(_admit(0.0, "a", model="ds-cnn", period_s=0.4))
+        free_before = ctrl.free_sram(PLATFORM.mcu.seconds_to_cycles(0.1))
+        ctrl.handle(_remove(1.0, "a"))
+        cycles = PLATFORM.mcu.seconds_to_cycles
+        # Still reserved while a residual job may run...
+        assert ctrl.free_sram(cycles(1.1)) == free_before
+        # ...and released after the departing instance's deadline passed.
+        assert ctrl.free_sram(cycles(1.5)) == free_before + d.sram_bytes
+
+    def test_degradation_ladder_before_rejection(self):
+        ctrl = AdmissionController(PLATFORM)
+        # resnet8's isolated latency (~173 ms) exceeds this deadline, so
+        # full service cannot pass; the ladder must kick in.
+        d = ctrl.handle(_admit(0.0, "fast", model="resnet8", period_s=0.1))
+        assert d.outcome == "admitted"
+        assert d.mode != "full"
+
+    def test_hopeless_rate_rejected_with_rta_reason(self):
+        ctrl = AdmissionController(
+            PLATFORM, stretch_factors=(1.25,), degrade_factor=1.0
+        )
+        # No variant fallback and only a tiny stretch: a deadline far
+        # below resnet8's latency exhausts the whole ladder.
+        d = ctrl.handle(_admit(0.0, "fast", model="resnet8", period_s=0.1))
+        assert d.outcome == "rejected"
+        assert d.reason.startswith("rta:")
+
+    def test_rescale_resident_task(self):
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "kws", model="ds-cnn", period_s=0.4))
+        d = ctrl.handle(_rescale(1.0, "kws", period_s=0.8))
+        assert d.outcome == "rescaled"
+        assert d.protocol in ("immediate", "drain")
+        assert ctrl.resident["kws"].instance == "kws#2"
+        assert ctrl.resident["kws"].period == PLATFORM.mcu.seconds_to_cycles(0.8)
+
+    def test_rescale_unknown_ignored(self):
+        ctrl = AdmissionController(PLATFORM)
+        d = ctrl.handle(_rescale(0.0, "nobody", period_s=0.5))
+        assert d.outcome == "ignored"
+
+    def test_drain_protocol_delays_start(self):
+        ctrl = AdmissionController(PLATFORM, protocol=Protocol.DRAIN)
+        ctrl.handle(_admit(0.0, "a", model="ds-cnn", period_s=0.4))
+        d = ctrl.handle(_admit(1.0, "b", model="lenet5", period_s=0.2))
+        assert d.outcome == "admitted"
+        assert d.protocol == "drain"
+        assert d.start_cycle > PLATFORM.mcu.seconds_to_cycles(1.0)
+
+    def test_decision_log_sequencing(self):
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "a"))
+        ctrl.handle(_remove(1.0, "a"))
+        assert [d.seq for d in ctrl.decisions] == [0, 1]
+        assert all(d.latency_us >= 0 for d in ctrl.decisions)
+
+
+class TestServeReport:
+    def test_aggregates_and_dict(self):
+        runtime = OnlineRuntime(PLATFORM)
+        trace = RequestTrace.of(
+            [
+                _admit(0.1, "kws", model="ds-cnn", period_s=0.4),
+                _admit(0.2, "wake", model="tinyconv", period_s=0.2),
+                _remove(2.0, "wake"),
+                _remove(3.0, "ghost"),
+            ],
+            duration_s=4.0,
+        )
+        report = runtime.serve(trace)
+        assert report.requests == 4
+        assert report.admit_requests == 2
+        assert report.admitted == 2
+        assert report.admission_ratio == 1.0
+        assert report.sound
+        payload = report.to_dict(mcu=PLATFORM.mcu)
+        assert payload["schema"] == "rtmdm-serve/1"
+        assert payload["ignored"] == 1
+        assert len(payload["decisions"]) == 4
+        assert payload["sim"]["total_misses"] == 0
+
+    def test_serve_without_simulation(self):
+        runtime = OnlineRuntime(PLATFORM)
+        trace = RequestTrace.of([_admit(0.0, "a")], duration_s=1.0)
+        report = runtime.serve(trace, simulate=False)
+        assert report.sim is None
+        assert report.sound  # vacuously: decisions only
+        assert "sim" not in report.to_dict()
+
+
+class TestSoundnessInvariant:
+    """ISSUE acceptance: across seeded random request traces, no admitted
+    job misses a deadline in fault-free execution, and every rejection is
+    justified by a failed schedulability argument or SRAM infeasibility.
+    """
+
+    GRID = [
+        (seed, rate, kib, proto)
+        for seed in range(4)
+        for rate, kib in ((1.0, 160), (2.5, 256))
+        for proto in (Protocol.AUTO, Protocol.IMMEDIATE, Protocol.DRAIN)
+    ]  # 24 traces
+
+    @pytest.mark.parametrize("seed,rate,kib,proto", GRID)
+    def test_admitted_never_miss(self, seed, rate, kib, proto):
+        platform = get_platform("f746-qspi").with_sram_bytes(kib * 1024)
+        trace = poisson_trace(8.0, rate, seed=9000 + 37 * seed)
+        report = OnlineRuntime(platform, protocol=proto).serve(trace)
+        assert report.sound, (
+            f"admitted instance missed a deadline (seed={seed}, rate={rate}, "
+            f"sram={kib}KiB, protocol={proto.value})"
+        )
+        for d in report.decisions:
+            if d.outcome == "rejected":
+                assert d.reason.startswith(
+                    ("sram:", "rta:", "rta-transition:", "drain-unbounded:")
+                ), f"unjustified rejection: {d}"
+
+    def test_decision_paths_all_exercised(self):
+        """The invariant grid is only meaningful if it actually exercises
+        admissions, degradations and both rejection families."""
+        totals = {"admitted": 0, "degraded": 0, "sram": 0, "rta": 0}
+        for seed, rate, kib, proto in self.GRID:
+            platform = get_platform("f746-qspi").with_sram_bytes(kib * 1024)
+            trace = poisson_trace(8.0, rate, seed=9000 + 37 * seed)
+            report = OnlineRuntime(platform, protocol=proto).serve(
+                trace, simulate=False
+            )
+            totals["admitted"] += report.admitted
+            totals["degraded"] += report.degraded
+            totals["sram"] += report.rejected_sram
+            totals["rta"] += report.rejected_rta
+        assert all(v > 0 for v in totals.values()), totals

@@ -1,0 +1,89 @@
+"""Property test: the classic NP-RTA upper-bounds simulated responses.
+
+For single-segment CPU-only tasks (no DMA load), the simulator's FP_NP
+policy *is* classic non-preemptive fixed-priority scheduling, so the
+Davis & Burns bound from :func:`repro.sched.rta.fp_nonpreemptive_wcrt`
+(with the standard lower-priority blocking term) must dominate the worst
+response observed in any simulated phasing.  This pins the contract the
+online admission controller's screen relies on: the rta module's bounds
+are never optimistic for the execution model they claim to cover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_task
+from repro.sched.policies import CpuPolicy
+from repro.sched.rta import (
+    RtaTask,
+    fp_nonpreemptive_wcrt,
+    utilization,
+    with_np_blocking,
+)
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import TaskSet
+
+
+def _draw_set(rng: random.Random):
+    """2-4 single-segment CPU-only tasks at moderate utilization."""
+    n = rng.randint(2, 4)
+    tasks = []
+    budget = rng.uniform(0.4, 0.85)
+    shares = [rng.random() for _ in range(n)]
+    total = sum(shares)
+    for i in range(n):
+        period = rng.randint(200, 4000)
+        compute = max(1, int(period * budget * shares[i] / total))
+        tasks.append((f"t{i}", compute, period))
+    # Deadline-monotonic priorities (deadline == period here).
+    tasks.sort(key=lambda t: t[2])
+    return tasks
+
+
+def _simulated_worst(tasks, phases, horizon):
+    periodic = [
+        make_task(name, [(0, compute)], period=period, priority=prio,
+                  phase=phase)
+        for prio, ((name, compute, period), phase) in enumerate(
+            zip(tasks, phases)
+        )
+    ]
+    result = simulate(
+        TaskSet.of(periodic),
+        SimConfig(policy=CpuPolicy.FP_NP, horizon=horizon),
+    )
+    return {
+        name: stats.max_response for name, stats in result.stats.items()
+    }
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_np_wcrt_dominates_simulation(seed):
+    rng = random.Random(6700 + seed)
+    drawn = _draw_set(rng)
+    rta_tasks = with_np_blocking(
+        [
+            RtaTask(name=name, exec_cycles=compute, period=period,
+                    deadline=period, priority=prio)
+            for prio, (name, compute, period) in enumerate(drawn)
+        ]
+    )
+    if utilization(rta_tasks) >= 1.0:
+        pytest.skip("overutilized draw: no finite NP bound expected")
+    bounds = {t.name: fp_nonpreemptive_wcrt(rta_tasks, t) for t in rta_tasks}
+    horizon = 60 * max(period for _, _, period in drawn)
+    phasings = [[0] * len(drawn)] + [
+        [rng.randrange(period) for _, _, period in drawn] for _ in range(3)
+    ]
+    for phases in phasings:
+        observed = _simulated_worst(drawn, phases, horizon)
+        for name, worst in observed.items():
+            if worst is None or bounds[name] is None:
+                continue
+            assert worst <= bounds[name], (
+                f"seed {seed}: simulated response {worst} of {name} exceeds "
+                f"NP-RTA bound {bounds[name]} (phases {phases})"
+            )

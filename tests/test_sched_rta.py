@@ -3,6 +3,8 @@
 import pytest
 
 from repro.sched.rta import (
+    HYPERPERIOD_CAP,
+    HyperperiodError,
     RtaTask,
     edf_demand_schedulable,
     fp_nonpreemptive_wcrt,
@@ -10,6 +12,7 @@ from repro.sched.rta import (
     fp_schedulable,
     hyperperiod,
     liu_layland_bound,
+    try_hyperperiod,
     utilization,
     with_np_blocking,
 )
@@ -132,6 +135,32 @@ class TestHelpers:
         assert hyperperiod([10, 15, 35]) == 210
         with pytest.raises(ValueError):
             hyperperiod([])
+
+    def test_hyperperiod_cap(self):
+        # Large co-prime periods: pairwise LCMs explode multiplicatively.
+        primes = [999999937, 998244353, 1000000007, 1000000009]
+        with pytest.raises(HyperperiodError, match="cap"):
+            hyperperiod(primes)
+        with pytest.raises(HyperperiodError):
+            hyperperiod([7, 11], cap=10)
+        # cap=None disables the guard entirely.
+        import math
+
+        assert hyperperiod(primes, cap=None) == math.lcm(*primes)
+        assert hyperperiod([10, 15], cap=30) == 30  # boundary: == cap is fine
+
+    def test_hyperperiod_validation(self):
+        with pytest.raises(ValueError):
+            hyperperiod([10, 0])
+        with pytest.raises(ValueError):
+            hyperperiod([10], cap=0)
+
+    def test_try_hyperperiod(self):
+        assert try_hyperperiod([10, 15, 35]) == 210
+        assert try_hyperperiod([7, 11], cap=10) is None
+        assert HYPERPERIOD_CAP > 10**18
+        with pytest.raises(ValueError):  # non-cap errors still raise
+            try_hyperperiod([])
 
     def test_rta_task_validation(self):
         with pytest.raises(ValueError):

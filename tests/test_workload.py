@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.dnn.zoo import list_models
 from repro.hw.presets import get_platform
 from repro.workload.scenarios import SCENARIOS, get_scenario
 from repro.workload.taskset import DEFAULT_MODEL_POOL, generate_case, uunifast
@@ -105,3 +106,35 @@ class TestScenarios:
     def test_platform_keys_valid(self):
         for scenario in SCENARIOS.values():
             get_platform(scenario.platform_key)
+
+    def test_models_exist_in_zoo(self):
+        zoo = set(list_models())
+        for scenario in SCENARIOS.values():
+            for _, model_name, _, _ in scenario.tasks:
+                assert model_name in zoo, (
+                    f"{scenario.name}: unknown model {model_name!r}"
+                )
+
+    def test_deadlines_constrained(self):
+        # 0 means implicit (= period); explicit deadlines must fit the period.
+        for scenario in SCENARIOS.values():
+            for task_name, _, period_s, deadline_s in scenario.tasks:
+                assert period_s > 0, f"{scenario.name}/{task_name}"
+                assert 0 <= deadline_s <= period_s, (
+                    f"{scenario.name}/{task_name}: deadline {deadline_s} "
+                    f"outside (0, {period_s}]"
+                )
+
+    def test_task_names_unique(self):
+        for scenario in SCENARIOS.values():
+            names = [t[0] for t in scenario.tasks]
+            assert len(set(names)) == len(names), scenario.name
+
+    def test_specs_resolve_implicit_deadlines(self):
+        for scenario in SCENARIOS.values():
+            for spec, raw in zip(scenario.specs(), scenario.tasks):
+                assert spec.model.num_layers > 0
+                if raw[3] > 0:
+                    assert spec.deadline_s == raw[3]
+                else:
+                    assert spec.deadline_s is None
