@@ -1,0 +1,7 @@
+"""Benchmark for EXP-R2: recovery ladders under persistent flash faults."""
+
+from conftest import bench_experiment
+
+
+def test_r2_recovery(benchmark):
+    bench_experiment(benchmark, "EXP-R2", n_sets=4)

@@ -15,7 +15,7 @@ Run with::
     python examples/multi_dnn_case_study.py
 """
 
-from repro import RtMdm, build_model, get_platform
+from repro import RtMdm, get_platform
 from repro.baselines import sequentialize
 from repro.core.analysis import analyze
 from repro.sched.task import TaskSet

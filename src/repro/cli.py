@@ -14,8 +14,11 @@ Commands:
 * ``validate`` — analysis-vs-simulation consistency sweep (self-test).
 * ``robust`` — fault-injected simulation of a scenario under every
   overload policy, plus the analysis sensitivity margin.
+* ``recover`` — persistent external-memory faults (bad flash regions)
+  simulated under each recovery ladder, plus the fault-aware
+  admission verdict.
 
-``plan``, ``simulate`` and ``serve`` take ``--json`` for a
+``plan``, ``simulate``, ``serve`` and ``recover`` take ``--json`` for a
 machine-readable report on stdout (exit codes are unchanged).
 """
 
@@ -345,6 +348,148 @@ def _cmd_robust(args: argparse.Namespace) -> int:
     return 0 if worst_miss == 0.0 else 1
 
 
+#: Recovery ladders selectable from ``rtmdm recover --protocol``.
+_RECOVER_LADDERS = ("none", "remap", "xip", "full")
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.core.analysis import fault_aware_analysis
+    from repro.robust.escalation import (
+        EscalationConfig,
+        bad_region_span,
+        fault_overhead_cycles,
+    )
+    from repro.robust.metrics import recovery_summary
+    from repro.robust.recovery import RecoveryConfig, RecoveryProtocol
+    from repro.sched.policies import CpuPolicy
+    from repro.sched.simulator import SimConfig, simulate
+
+    config = _build_config(args.scenario, args.platform, args.flash)
+    if not config.feasible:
+        print(f"INFEASIBLE: {config.infeasible_reason}")
+        return 1
+    platform = config.platform
+    taskset = config.taskset
+    if args.duration is not None:
+        horizon = platform.mcu.seconds_to_cycles(args.duration)
+    else:
+        from repro.sched.rta import try_hyperperiod
+
+        max_period = max(t.period for t in taskset)
+        hp = try_hyperperiod([t.period for t in taskset])
+        horizon = min(2 * hp, 200 * max_period) if hp else 200 * max_period
+    crc = platform.dma.crc_cycles(platform.mcu)
+    try:
+        escalation = EscalationConfig(
+            bad_regions=(
+                (bad_region_span(taskset, 0.25, 0.25 + args.bad_frac),)
+                if args.bad_frac > 0
+                else ()
+            ),
+            crc_fault_prob=args.crc_fault_prob,
+            max_retries=args.retries,
+            backoff_slot_cycles=crc,
+            crc_overhead_cycles=crc,
+            mirror_bad=args.mirror_bad,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ladders = {
+        "none": None,
+        "remap": (RecoveryProtocol.REMAP,),
+        "xip": (RecoveryProtocol.REMAP, RecoveryProtocol.XIP_FALLBACK),
+        "full": (
+            RecoveryProtocol.REMAP,
+            RecoveryProtocol.XIP_FALLBACK,
+            RecoveryProtocol.DEGRADE,
+        ),
+    }
+    selected = (
+        list(_RECOVER_LADDERS) if args.protocol == "all" else [args.protocol]
+    )
+    full_recovery = RecoveryConfig.for_platform(platform, ladder=ladders["full"])
+    cost = fault_overhead_cycles(taskset, escalation, recovery=full_recovery)
+    fa = fault_aware_analysis(taskset, args.retries, cost)
+    protocols = {}
+    best_miss: Optional[float] = None
+    for name in selected:
+        ladder = ladders[name]
+        recovery = (
+            None
+            if ladder is None
+            else RecoveryConfig.for_platform(platform, ladder=ladder)
+        )
+        result = simulate(
+            taskset,
+            SimConfig(
+                policy=CpuPolicy.FP_NP,
+                horizon=horizon,
+                escalation=escalation,
+                recovery=recovery,
+            ),
+        )
+        summary = recovery_summary(result)
+        protocols[name] = {
+            **summary,
+            "quarantined": list(result.quarantined),
+            "fault_events": [e.to_dict() for e in result.fault_events],
+        }
+        miss = summary["survival_miss_ratio"]
+        best_miss = miss if best_miss is None else min(best_miss, miss)
+    ok = best_miss == 0.0
+    if args.json:
+        payload = {
+            "schema": "rtmdm-recover/1",
+            "platform": platform.name,
+            "scenario": args.scenario,
+            "bad_frac": args.bad_frac,
+            "mirror_bad": args.mirror_bad,
+            "crc_fault_prob": args.crc_fault_prob,
+            "retries": args.retries,
+            "seed": args.seed,
+            "horizon_cycles": horizon,
+            "fault_cost_cycles": cost,
+            "fault_aware_admit": fa.schedulable,
+            "survives": ok,
+            "protocols": protocols,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(f"platform: {platform.name}")
+    print(
+        f"faults: bad region {100 * args.bad_frac:g}% of flash"
+        f"{' (mirror too)' if args.mirror_bad else ''}, "
+        f"transient CRC p={args.crc_fault_prob}, "
+        f"{args.retries} retries/transfer, seed={args.seed}"
+    )
+    print(
+        f"fault-aware admission (k={args.retries}, "
+        f"cost={cost} cyc/fault): "
+        + ("ADMIT" if fa.schedulable else "REJECT")
+    )
+    print(
+        f"{'ladder':8s} {'jobs':>5s} {'miss%':>7s} {'faults':>6s} "
+        f"{'remaps':>6s} {'xip':>5s} {'degr':>5s} {'quar':>5s} "
+        f"{'rec lat':>8s}"
+    )
+    for name in selected:
+        s = protocols[name]
+        latency = s["mean_recovery_latency"]
+        lat_ms = (
+            f"{platform.mcu.cycles_to_ms(latency):.2f}ms" if latency else "-"
+        )
+        print(
+            f"{name:8s} {s['released']:5.0f} "
+            f"{100 * s['survival_miss_ratio']:6.2f}% {s['faults']:6.0f} "
+            f"{s['remaps']:6.0f} {s['xip_fallbacks']:5.0f} "
+            f"{s['degrades']:5.0f} {s['quarantined_tasks']:5.0f} "
+            f"{lat_ms:>8s}"
+        )
+    return 0 if ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.online.events import RequestTrace
     from repro.online.modechange import Protocol
@@ -529,6 +674,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fallback variant scale for the DEGRADE policy")
     robust.add_argument("--seed", type=int, default=1)
     robust.set_defaults(fn=_cmd_robust)
+
+    recover = sub.add_parser(
+        "recover",
+        help="persistent-fault simulation of a scenario per recovery ladder",
+    )
+    recover.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",
+                         default="doorbell")
+    recover.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    recover.add_argument("--flash", action="store_true",
+                         help="place small models in internal flash")
+    recover.add_argument("--duration", type=float, default=None, help="seconds")
+    recover.add_argument("--bad-frac", type=float, default=0.25,
+                         dest="bad_frac",
+                         help="fraction of the flash layout that is "
+                         "permanently bad (CRC always fails)")
+    recover.add_argument("--mirror-bad", action="store_true", dest="mirror_bad",
+                         help="mirror copies share the bad region, forcing "
+                         "escalation past REMAP")
+    recover.add_argument("--crc-fault-prob", type=float, default=0.0,
+                         dest="crc_fault_prob",
+                         help="additional transient per-attempt CRC failure "
+                         "probability")
+    recover.add_argument("--retries", type=int, default=3,
+                         help="retry budget per transfer before escalation")
+    recover.add_argument("--protocol",
+                         choices=(*_RECOVER_LADDERS, "all"), default="all",
+                         help="recovery ladder to simulate (default: all)")
+    recover.add_argument("--seed", type=int, default=1)
+    recover.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout "
+                         "(schema rtmdm-recover/1)")
+    recover.set_defaults(fn=_cmd_recover)
 
     exp = sub.add_parser("exp", help="run a reconstructed experiment")
     exp.add_argument("id", help="experiment id (e.g. EXP-F4) or 'all'")

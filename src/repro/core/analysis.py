@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import isolated_latency
-from repro.sched.task import PeriodicTask, TaskSet, inflate_compute
+from repro.sched.task import PeriodicTask, TaskSet, inflate_compute, inflate_loads
 
 #: Analysis method names accepted by :func:`analyze`.
 METHODS = ("oblivious", "overlap", "holistic", "rtmdm")
@@ -304,6 +304,34 @@ def analyze(taskset: TaskSet, method: str = "rtmdm") -> AnalysisResult:
         bounds = [b for b in (overlap[name], holistic[name]) if b is not None]
         combined[name] = min(bounds) if bounds else None
     return AnalysisResult("rtmdm", combined, deadlines)
+
+
+def fault_aware_analysis(
+    taskset: TaskSet,
+    k_faults: int,
+    fault_cost: int,
+    method: str = "rtmdm",
+) -> AnalysisResult:
+    """Schedulability with up to ``k_faults`` transfer faults per job.
+
+    Runs ``method`` over the fault-inflated task set
+    (:func:`repro.sched.task.inflate_loads`): every task that stages
+    weights carries ``k_faults * fault_cost`` extra DMA cycles on its
+    first load (serial in the pipeline latency) and on its largest load
+    segment (the non-preemptive blocking term), covering the retries,
+    CRC rechecks, backoff slots, watchdog waits, and REMAP re-fetches
+    any distribution of at most ``k_faults`` faults per job can cost
+    (derive ``fault_cost`` from the handler configuration with
+    :func:`repro.robust.escalation.fault_overhead_cycles`).  All demand,
+    interference, blocking, and latency terms of the analyses are
+    monotone in load cycles, so admission of the inflated set is sound
+    for the faulty system — property-tested against the simulator under
+    ``<= k_faults`` injected faults per job.
+
+    With ``k_faults == 0`` (or a zero cost) this is exactly
+    :func:`analyze`.
+    """
+    return analyze(inflate_loads(taskset, k_faults, fault_cost), method)
 
 
 def sensitivity_margin(

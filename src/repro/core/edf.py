@@ -26,7 +26,7 @@ against it) rather than by a formal proof — see DESIGN.md §5.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.sched.rta import RtaTask, edf_demand_schedulable
 from repro.sched.task import TaskSet

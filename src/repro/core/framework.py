@@ -23,9 +23,8 @@ A :class:`Configuration` can then be simulated
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.buffers import BUFFER_ALIGN, SramPlan, plan_sram
@@ -42,7 +41,7 @@ from repro.dnn.quantization import INT8, Quantization
 from repro.hw.platform import Platform
 from repro.sched.policies import CpuPolicy
 from repro.sched.simulator import SimConfig, SimResult, simulate
-from repro.sched.task import PeriodicTask, TaskSet
+from repro.sched.task import TaskSet
 
 #: Non-preemptive section cap: min deadline divided by this (see
 #: RtMdm._np_section_cap).

@@ -21,7 +21,7 @@ This module is the ``use_internal_flash=True`` path of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import SegmentedModel
 from repro.core.segmentation import min_max_weight_partition

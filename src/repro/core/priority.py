@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.analysis import AnalysisResult, analyze
-from repro.sched.task import PeriodicTask, TaskSet
+from repro.sched.task import TaskSet
 
 
 def deadline_monotonic(taskset: TaskSet) -> TaskSet:

@@ -10,7 +10,7 @@ the activation-liveness analysis exact and simple.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.dnn.layers import Add, Layer

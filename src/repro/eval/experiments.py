@@ -32,7 +32,7 @@ from repro.eval.metrics import (
     schedulability_ratio,
     tightness_ratios,
 )
-from repro.eval.parallel import resolve_jobs, run_units, stable_seed
+from repro.eval.parallel import run_units, stable_seed
 from repro.eval.reporting import ExperimentResult
 from repro.eval.systems import SYSTEMS, admit, derive_taskset
 from repro.hw.dma import DmaArbitration
@@ -1430,3 +1430,210 @@ def exp_d1_admission(
 
 
 EXPERIMENTS["EXP-D1"] = exp_d1_admission
+
+
+# ----------------------------------------------------------------------
+# EXP-R2: recovery protocols under persistent external-memory faults
+# ----------------------------------------------------------------------
+
+
+def _r2_unit(unit: Tuple) -> Tuple[Optional[Dict], Dict]:
+    """One ``(bad fraction, retry budget, draw)`` recovery unit for EXP-R2.
+
+    Regenerates its workload from the draw's stable seed, marks a
+    deterministic slice of the flash layout as bad, and simulates the
+    same escalation config under four recovery ladders (quarantine-only,
+    REMAP, REMAP+XIP, full ladder).  The fault-aware admission verdict
+    (:func:`repro.core.analysis.fault_aware_analysis` at the unit's
+    retry budget) rides along so the schedulability axis shares the
+    exact workloads of the empirical one.
+    """
+    from repro.core.analysis import fault_aware_analysis
+    from repro.robust.escalation import (
+        EscalationConfig,
+        bad_region_span,
+        fault_overhead_cycles,
+    )
+    from repro.robust.metrics import recovery_summary
+    from repro.robust.recovery import RecoveryConfig, RecoveryProtocol
+
+    seed, platform_key, util, index, bad_frac, retries = unit
+    before = segcache.snapshot()
+    platform = get_platform(platform_key)
+    rng = random.Random(_stable_seed(seed, "r2", index))
+    case = generate_case(platform, util, rng)
+    if not case.feasible:
+        return None, segcache.delta_since(before)
+    taskset = case.taskset
+    max_period = max(t.period for t in taskset)
+    density = sum(4 * t.num_segments / t.period for t in taskset)
+    horizon = max(
+        2 * max_period,
+        min(20 * max_period, int(_EVENT_BUDGET / density)),
+    )
+    crc = platform.dma.crc_cycles(platform.mcu)
+    escalation = EscalationConfig(
+        bad_regions=(
+            (bad_region_span(taskset, 0.25, 0.25 + bad_frac),)
+            if bad_frac > 0
+            else ()
+        ),
+        max_retries=retries,
+        backoff_slot_cycles=crc,
+        crc_overhead_cycles=crc,
+        seed=_stable_seed(seed, "r2-faults", index),
+    )
+    ladders = (
+        None,  # no recovery: terminal faults quarantine the task
+        (RecoveryProtocol.REMAP,),
+        (RecoveryProtocol.REMAP, RecoveryProtocol.XIP_FALLBACK),
+        (
+            RecoveryProtocol.REMAP,
+            RecoveryProtocol.XIP_FALLBACK,
+            RecoveryProtocol.DEGRADE,
+        ),
+    )
+    full_recovery = RecoveryConfig.for_platform(platform, ladder=ladders[-1])
+    cost = fault_overhead_cycles(taskset, escalation, recovery=full_recovery)
+    fa = fault_aware_analysis(taskset, retries, cost)
+    summaries = []
+    for ladder in ladders:
+        recovery = (
+            None
+            if ladder is None
+            else RecoveryConfig.for_platform(platform, ladder=ladder)
+        )
+        result = simulate(
+            taskset,
+            SimConfig(
+                policy=CpuPolicy.FP_NP,
+                horizon=horizon,
+                escalation=escalation,
+                recovery=recovery,
+            ),
+        )
+        summaries.append(recovery_summary(result))
+    payload = {
+        "fa_admit": fa.schedulable,
+        "fault_cost": cost,
+        "miss": tuple(s["survival_miss_ratio"] for s in summaries),
+        "quarantined": tuple(s["quarantined_tasks"] for s in summaries),
+        "rec_latency": summaries[-1]["mean_recovery_latency"],
+        "recovered": summaries[-1]["remaps"] + summaries[-1]["xip_fallbacks"],
+    }
+    return payload, segcache.delta_since(before)
+
+
+def exp_r2_recovery(
+    platform_key: str = "f746-qspi",
+    bad_fracs: Sequence[float] = (0.0, 0.1, 0.25),
+    retry_budgets: Sequence[int] = (1, 3),
+    util: float = 0.55,
+    n_sets: int = 4,
+    seed: int = 2060,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    **_,
+) -> ExperimentResult:
+    """Recovery protocols vs persistent-fault rate and retry budget.
+
+    Sweeps the fraction of flash marked permanently bad against the
+    per-transfer retry budget, and compares four escalation ladders on
+    identical workloads: quarantine-only (no recovery), REMAP,
+    REMAP+XIP_FALLBACK, and the full ladder with DEGRADE.  Miss columns
+    use the survival miss ratio (quarantined releases charged as
+    failures), so sacrificing a task cannot look better than recovering
+    it.  ``fa_admit`` is the fraction of drawn sets the fault-aware
+    analysis still admits at that retry budget — the analytical
+    counterpart of the empirical columns.
+
+    Draws are paired across every ``(bad_frac, retries)`` point, so each
+    curve evaluates identical workloads; one unit per point and draw
+    keeps the sweep embarrassingly parallel and bit-identical to the
+    serial path.
+    """
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    units = [
+        (seed, platform_key, util, index, bad_frac, retries)
+        for bad_frac in bad_fracs
+        for retries in retry_budgets
+        for index in range(n)
+    ]
+    results = run_units(
+        _r2_unit, units, jobs=jobs, chunksize=max(1, n // 2), absorb_deltas=True
+    )
+    rows = []
+    deltas: List[Dict] = []
+    it = iter(results)
+    feasible_total = 0
+    for bad_frac in bad_fracs:
+        for retries in retry_budgets:
+            payloads = []
+            for _ in range(n):
+                payload, delta = next(it)
+                deltas.append(delta)
+                if payload is not None:
+                    payloads.append(payload)
+            if not payloads:
+                rows.append((bad_frac, retries) + (None,) * 8)
+                continue
+            feasible_total += len(payloads)
+
+            def _mean(values: Sequence[float]) -> float:
+                return round(sum(values) / len(values), 4)
+
+            recovered = [p for p in payloads if p["recovered"] > 0]
+            latency_ms = (
+                round(
+                    platform.mcu.cycles_to_ms(
+                        sum(p["rec_latency"] for p in recovered) / len(recovered)
+                    ),
+                    3,
+                )
+                if recovered
+                else None
+            )
+            rows.append(
+                (
+                    bad_frac,
+                    retries,
+                    _mean([1.0 if p["fa_admit"] else 0.0 for p in payloads]),
+                    _mean([p["miss"][0] for p in payloads]),
+                    _mean([p["miss"][1] for p in payloads]),
+                    _mean([p["miss"][2] for p in payloads]),
+                    _mean([p["miss"][3] for p in payloads]),
+                    sum(p["quarantined"][0] for p in payloads),
+                    sum(p["quarantined"][3] for p in payloads),
+                    latency_ms,
+                )
+            )
+    return ExperimentResult(
+        exp_id="EXP-R2",
+        title=(
+            f"Recovery ladders under persistent flash faults "
+            f"({n} sets/point)"
+        ),
+        columns=(
+            "bad_frac",
+            "retries",
+            "fa_admit",
+            "miss_quar",
+            "miss_remap",
+            "miss_rx",
+            "miss_full",
+            "quar_none",
+            "quar_full",
+            "rec_lat_ms",
+        ),
+        rows=tuple(rows),
+        notes=_with_cache_note(
+            "miss columns are survival miss ratios (quarantined releases "
+            f"count as failures); {feasible_total} feasible set-points; "
+            "rec_lat_ms averages full-ladder runs that recovered a job",
+            deltas,
+        ),
+    )
+
+
+EXPERIMENTS["EXP-R2"] = exp_r2_recovery

@@ -8,7 +8,7 @@ into the layer timing model (:mod:`repro.hw.timing`).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.hw.dma import DmaEngine
 from repro.hw.mcu import McuSpec
 from repro.hw.memory import ExternalMemory
 from repro.hw.platform import Platform

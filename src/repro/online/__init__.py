@@ -20,7 +20,11 @@ whole system provably stays schedulable:
   releasing mid-run (departures, rescale switch-overs).
 * :mod:`repro.online.runtime` — the serve loop: replay a trace, decide
   every request, then execute the whole admitted schedule on the
-  simulator and check that no admitted job ever misses.
+  simulator and check that no admitted job ever misses.  Execution can
+  inject external-memory faults (:mod:`repro.robust.escalation` /
+  :mod:`repro.robust.recovery`); a post-run health monitor compares
+  observed fault rates against the admitted retry budget and drives
+  over-budget tasks through the mode-change path.
 """
 
 from repro.online.admission import AdmissionController, Decision, Instance

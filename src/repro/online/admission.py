@@ -52,7 +52,7 @@ from repro.online.events import Request, RequestKind
 from repro.online.modechange import Protocol, idle_instant_bound
 from repro.robust.overload import degraded_variant
 from repro.sched import rta
-from repro.sched.task import PeriodicTask, Segment, TaskSet
+from repro.sched.task import PeriodicTask, Segment, TaskSet, inflate_loads
 
 
 @dataclass(frozen=True)
@@ -148,11 +148,19 @@ class AdmissionController:
         protocol: Protocol = Protocol.AUTO,
         stretch_factors: Sequence[float] = (1.25, 1.5, 2.0),
         degrade_factor: float = 0.5,
+        retry_budget: int = 0,
+        fault_overhead_cycles: int = 0,
     ) -> None:
         if not all(f > 1.0 for f in stretch_factors):
             raise ValueError(f"stretch factors must be > 1, got {stretch_factors}")
         if not 0.0 < degrade_factor <= 1.0:
             raise ValueError(f"degrade_factor must be in (0, 1], got {degrade_factor}")
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
+        if fault_overhead_cycles < 0:
+            raise ValueError(
+                f"fault_overhead_cycles must be >= 0, got {fault_overhead_cycles}"
+            )
         self._platform = platform
         self._quant = quant
         self._buffers = buffers
@@ -160,6 +168,14 @@ class AdmissionController:
         self._protocol = protocol
         self._stretch = tuple(stretch_factors)
         self._degrade_factor = degrade_factor
+        # Fault-aware admission: every job may suffer up to retry_budget
+        # transfer faults, each costing fault_overhead_cycles of extra
+        # DMA demand (derive the cost from the handler config via
+        # repro.robust.escalation.fault_overhead_cycles).  Zero budget
+        # (the default) keeps decisions bit-identical to fault-oblivious
+        # admission.
+        self._retry_budget = retry_budget
+        self._fault_overhead = fault_overhead_cycles
         self._resident: Dict[str, Instance] = {}
         self._retired: List[Instance] = []
         self._reservations: List[Tuple[int, int]] = []
@@ -173,6 +189,11 @@ class AdmissionController:
     def resident(self) -> Dict[str, Instance]:
         """Live instances by logical task name (read-only view)."""
         return dict(self._resident)
+
+    @property
+    def retry_budget(self) -> int:
+        """Per-job fault tolerance the admission guarantee covers."""
+        return self._retry_budget
 
     def all_instances(self) -> List[Instance]:
         """Every instance ever admitted (live + stopped), in admit order."""
@@ -250,7 +271,17 @@ class AdmissionController:
         exactly this misuse).
         """
         ordered = sorted(tasks, key=lambda t: t.priority)
-        serialized = [t.total_compute + t.total_load for t in ordered]
+        # Fault-aware inflation: a retry budget of k adds k * cost extra
+        # DMA demand per job of every loading task.  One charge suffices
+        # here: the serialized exec term already counts every load at
+        # full length, so the fault work cannot hide under compute the
+        # way it can in the pipelined latency term (which is why
+        # sched.task.inflate_loads charges first and largest segments).
+        extra = self._retry_budget * self._fault_overhead
+        serialized = [
+            t.total_compute + t.total_load + (extra if t.total_load > 0 else 0)
+            for t in ordered
+        ]
         if sum(e / t.period for e, t in zip(serialized, ordered)) > 1.0:
             return False
         screened: List[rta.RtaTask] = []
@@ -260,6 +291,10 @@ class AdmissionController:
             max_lp_l = max(
                 (s.load_cycles for t in lower for s in t.segments), default=0
             )
+            if max_lp_l > 0:
+                # A lower-priority transfer can carry its fault budget
+                # while blocking us.
+                max_lp_l += extra
             n_load = sum(1 for s in task.segments if s.load_cycles > 0)
             candidate = rta.RtaTask(
                 name=task.name,
@@ -281,7 +316,12 @@ class AdmissionController:
         """Admission test: fast oblivious-RTA screen, then full analysis."""
         if self._screen(tasks):
             return True, "rta-oblivious"
-        result = segcache.cached_analyze(TaskSet.of(tasks), self._method)
+        taskset = TaskSet.of(tasks)
+        if self._retry_budget > 0 and self._fault_overhead > 0:
+            taskset = inflate_loads(
+                taskset, self._retry_budget, self._fault_overhead
+            )
+        result = segcache.cached_analyze(taskset, self._method)
         return result.schedulable, "analysis"
 
     # ------------------------------------------------------------------

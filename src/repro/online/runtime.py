@@ -8,19 +8,29 @@ The whole trace then executes as *one* :class:`DynamicSimulator` run
 over the union of every instance ever admitted, which is what the
 soundness invariant is checked against: in a fault-free run, no job of
 any admitted instance may miss its deadline.
+
+The execution may inject external-memory faults (``escalation=`` /
+``recovery=``): afterwards a **health monitor** compares each logical
+task's observed fault rate against the retry budget the admission
+analysis tolerated, and drives over-budget tasks through the regular
+mode-change path (rescale to the largest stretch factor, or removal for
+quarantined tasks) — the observed-fault feedback loop closing admission
+control over the fault model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.dnn.quantization import INT8, Quantization
 from repro.hw.platform import Platform
 from repro.online.admission import AdmissionController, Decision, Instance
-from repro.online.events import RequestTrace
+from repro.online.events import Request, RequestKind, RequestTrace
 from repro.online.modechange import Protocol
 from repro.online.sim import simulate_dynamic
+from repro.robust.escalation import EscalationConfig
+from repro.robust.recovery import RecoveryConfig
 from repro.sched.policies import CpuPolicy
 from repro.sched.simulator import SimConfig, SimResult
 from repro.sched.task import TaskSet
@@ -28,7 +38,13 @@ from repro.sched.task import TaskSet
 
 @dataclass
 class ServeReport:
-    """Outcome of one trace replay (decision log + execution)."""
+    """Outcome of one trace replay (decision log + execution).
+
+    ``health`` is present only when the execution injected faults
+    (``escalation=``): per-logical-task observed fault rates, the
+    tolerated retry budget, and the mode-change actions the health
+    monitor triggered for over-budget or quarantined tasks.
+    """
 
     platform_name: str
     protocol: str
@@ -36,6 +52,7 @@ class ServeReport:
     decisions: List[Decision]
     instances: List[Instance]
     sim: Optional[SimResult]
+    health: Optional[Dict] = field(default=None)
 
     # ------------------------------------------------------------------
     # Decision-log aggregates (deterministic)
@@ -148,6 +165,8 @@ class ServeReport:
                 ),
                 "tasks": stats,
             }
+        if self.health is not None:
+            payload["health"] = self.health
         return payload
 
 
@@ -163,9 +182,12 @@ class OnlineRuntime:
         protocol: Protocol = Protocol.AUTO,
         stretch_factors: Sequence[float] = (1.25, 1.5, 2.0),
         degrade_factor: float = 0.5,
+        retry_budget: int = 0,
+        fault_overhead_cycles: int = 0,
     ) -> None:
         self.platform = platform
         self.protocol = protocol
+        self._stretch = tuple(stretch_factors)
         self._controller_args = dict(
             quant=quant,
             buffers=buffers,
@@ -173,6 +195,8 @@ class OnlineRuntime:
             protocol=protocol,
             stretch_factors=tuple(stretch_factors),
             degrade_factor=degrade_factor,
+            retry_budget=retry_budget,
+            fault_overhead_cycles=fault_overhead_cycles,
         )
 
     def serve(
@@ -180,15 +204,30 @@ class OnlineRuntime:
         trace: RequestTrace,
         simulate: bool = True,
         record_trace: bool = False,
+        escalation: Optional[EscalationConfig] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> ServeReport:
-        """Decide every request, then execute the admitted schedule."""
+        """Decide every request, then execute the admitted schedule.
+
+        With ``escalation`` set the execution injects external-memory
+        faults (optionally recovered through ``recovery``) and the
+        health monitor afterwards feeds observed fault rates back into
+        the admission controller's mode-change path.  Both default to
+        ``None``, leaving decisions and execution bit-identical to the
+        fault-oblivious runtime.
+        """
         controller = AdmissionController(self.platform, **self._controller_args)
         for request in trace:
             controller.handle(request)
         instances = controller.all_instances()
         sim = (
-            self._execute(trace, instances, record_trace) if simulate else None
+            self._execute(trace, instances, record_trace, escalation, recovery)
+            if simulate
+            else None
         )
+        health = None
+        if sim is not None and escalation is not None and not escalation.is_null:
+            health = self._health_monitor(controller, trace, sim, instances)
         return ServeReport(
             platform_name=self.platform.name,
             protocol=self.protocol.value,
@@ -196,6 +235,7 @@ class OnlineRuntime:
             decisions=list(controller.decisions),
             instances=instances,
             sim=sim,
+            health=health,
         )
 
     def _execute(
@@ -203,6 +243,8 @@ class OnlineRuntime:
         trace: RequestTrace,
         instances: Sequence[Instance],
         record_trace: bool,
+        escalation: Optional[EscalationConfig] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> Optional[SimResult]:
         horizon = self.platform.mcu.seconds_to_cycles(trace.duration_s)
         started = [
@@ -228,5 +270,85 @@ class OnlineRuntime:
             dma_arbitration=self.platform.dma.arbitration,
             horizon=horizon,
             record_trace=record_trace,
+            escalation=escalation,
+            recovery=recovery,
         )
         return simulate_dynamic(TaskSet.of(tasks), config, stops)
+
+    def _health_monitor(
+        self,
+        controller: AdmissionController,
+        trace: RequestTrace,
+        sim: SimResult,
+        instances: Sequence[Instance],
+    ) -> Dict:
+        """Feed observed fault rates back into the mode-change path.
+
+        The admission guarantee covers ``retry_budget`` faults per job;
+        a logical task observed above that rate has left the analysed
+        regime, so the monitor reacts through the *regular* controller
+        requests (so the actions land in the decision log with full
+        justifications): quarantined tasks are removed, over-budget
+        tasks are rescaled to the largest stretch factor (degrade), and
+        removed outright if even the stretched rate is rejected.  The
+        synthetic requests are stamped at ``trace.duration_s`` — the
+        moment the observation window closed.
+        """
+        logical_of = {inst.instance: inst.task for inst in instances}
+        jobs: Dict[str, int] = {}
+        faults: Dict[str, int] = {}
+        for name, stats in sim.stats.items():
+            logical = logical_of.get(name)
+            if logical is not None:
+                jobs[logical] = jobs.get(logical, 0) + stats.jobs
+        for event in sim.fault_events:
+            logical = logical_of.get(event.task)
+            if logical is not None:
+                faults[logical] = faults.get(logical, 0) + 1
+        quarantined = {
+            logical_of[name] for name in sim.quarantined if name in logical_of
+        }
+        tolerance = controller.retry_budget
+        now = trace.duration_s
+        report: Dict[str, Dict] = {}
+        for logical in sorted(set(jobs) | set(faults) | quarantined):
+            n_jobs = jobs.get(logical, 0)
+            n_faults = faults.get(logical, 0)
+            # Integer-exact over-budget test: faults-per-job > tolerance.
+            over = n_faults > tolerance * n_jobs
+            resident = controller.resident.get(logical)
+            action = "over-budget" if over else "ok"
+            if logical in quarantined:
+                action = "quarantined"
+                if resident is not None:
+                    controller.handle(
+                        Request(time_s=now, kind=RequestKind.REMOVE, task=logical)
+                    )
+                    action = "removed"
+            elif over and resident is not None:
+                factor = self._stretch[-1]
+                period_s = self.platform.mcu.cycles_to_seconds(
+                    int(round(resident.period * factor))
+                )
+                decision = controller.handle(
+                    Request(
+                        time_s=now,
+                        kind=RequestKind.RESCALE,
+                        task=logical,
+                        period_s=period_s,
+                    )
+                )
+                if decision.outcome == "rescaled":
+                    action = "rescaled"
+                else:
+                    controller.handle(
+                        Request(time_s=now, kind=RequestKind.REMOVE, task=logical)
+                    )
+                    action = "removed"
+            report[logical] = {
+                "jobs": n_jobs,
+                "faults": n_faults,
+                "rate": round(n_faults / n_jobs, 4) if n_jobs else None,
+                "action": action,
+            }
+        return {"tolerance": tolerance, "tasks": report}

@@ -5,24 +5,55 @@ makes it answer "what happens when things go wrong":
 
 * :mod:`repro.robust.faults` — seeded, reproducible fault models (WCET
   overrun, DMA transfer retries, bus-contention jitter).
+* :mod:`repro.robust.escalation` — persistent external-memory fault
+  models (bad flash regions, bus degradation, DMA lockup) and the
+  per-transfer fault-handler state machine (bounded retries with
+  exponential backoff, watchdog timeout, honest budget exhaustion
+  raising :class:`~repro.robust.escalation.FaultEvent`).
+* :mod:`repro.robust.recovery` — the recovery ladder reacting to
+  terminal faults: RETRY → REMAP → XIP_FALLBACK → DEGRADE → QUARANTINE.
 * :mod:`repro.robust.overload` — overload policies (continue / abort at
   deadline / skip next release / degrade to a fallback model variant).
-* :mod:`repro.robust.metrics` — miss ratios, shed load, and degraded-mode
-  residency of fault-injected runs.
+* :mod:`repro.robust.metrics` — miss ratios, shed load, degraded-mode
+  residency, and recovery summaries of fault-injected runs.
 
 Wire the pieces through :class:`repro.sched.simulator.SimConfig`
-(``faults=``, ``overrun=``, ``degrade=``); with a null fault config and
+(``faults=``, ``overrun=``, ``degrade=``, ``escalation=``,
+``recovery=``); with a null fault config, a null escalation config, and
 ``OverrunPolicy.CONTINUE`` the simulator is bit-identical to the nominal
 engine.
 """
 
+from repro.robust.escalation import (
+    BadRegion,
+    BusDegradation,
+    EscalationConfig,
+    FaultEvent,
+    FaultKind,
+    TransferFaultHandler,
+    TransferOutcome,
+    bad_region_span,
+    fault_events_from_json,
+    fault_events_to_json,
+    fault_overhead_cycles,
+    flash_layout,
+)
 from repro.robust.faults import FaultConfig, FaultInjector, InflationModel
+from repro.robust.recovery import (
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryProtocol,
+)
 from repro.robust.metrics import (
     aborted_jobs,
     degraded_residency,
+    mean_recovery_latency,
     miss_ratio,
+    recovery_summary,
     robustness_summary,
+    sacrificed_releases,
     skipped_releases,
+    survival_miss_ratio,
 )
 from repro.robust.overload import (
     DegradeConfig,
@@ -35,6 +66,21 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "InflationModel",
+    "BadRegion",
+    "BusDegradation",
+    "EscalationConfig",
+    "FaultEvent",
+    "FaultKind",
+    "TransferFaultHandler",
+    "TransferOutcome",
+    "bad_region_span",
+    "flash_layout",
+    "fault_events_to_json",
+    "fault_events_from_json",
+    "fault_overhead_cycles",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryProtocol",
     "OverrunPolicy",
     "DegradeConfig",
     "OverloadManager",
@@ -44,4 +90,8 @@ __all__ = [
     "skipped_releases",
     "degraded_residency",
     "robustness_summary",
+    "sacrificed_releases",
+    "survival_miss_ratio",
+    "mean_recovery_latency",
+    "recovery_summary",
 ]

@@ -1,0 +1,471 @@
+"""Persistent external-memory fault models and the transfer fault handler.
+
+:mod:`repro.robust.faults` models *transient* faults: a CRC failure is
+retried and, after the retry budget, the transfer is assumed to succeed.
+That assumption is wrong for the failure modes that actually kill
+external-weight systems — a flash region wearing out (every read from it
+fails CRC, forever), sustained bus degradation (a misbehaving shared
+master stretching every transfer), and DMA-engine lockup (the transfer
+never completes and only a watchdog recovers the engine).  This module
+models those *persistent* faults and replaces silent optimism with an
+explicit per-transfer fault-handler state machine:
+
+* each transfer attempt may fail (persistently for bad regions,
+  stochastically for CRC glitches and lockups);
+* a failed attempt is retried after an exponentially growing backoff
+  slot (``backoff_slot_cycles * 2**i`` before retry ``i + 1``);
+* a locked-up attempt is cut short by a watchdog after
+  ``watchdog_cycles`` instead of hanging the simulation;
+* when the retry budget is exhausted the handler gives up and reports a
+  :class:`FaultEvent` — the cycles are *lost* and the segment's weights
+  are **not** staged.  Recovery is someone else's job (see
+  :mod:`repro.robust.recovery`); the default reaction is to quarantine
+  the task, never to pretend the data arrived.
+
+All stochastic draws come from one dedicated ``random.Random(seed)``
+consumed in simulation-event order, so runs reproduce bit-for-bit.  A
+null configuration (:attr:`EscalationConfig.is_null`) never interferes;
+the simulator then instantiates no handler at all and stays bit-identical
+to the nominal engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.task import TaskSet
+
+
+_FAULT_SCHEMA = "rtmdm-faults/1"
+
+
+class FaultKind(enum.Enum):
+    """Terminal classification of an unrecoverable transfer."""
+
+    RETRY_EXHAUSTED = "retry-exhausted"
+    BAD_REGION = "bad-region"
+    WATCHDOG = "watchdog-timeout"
+
+
+@dataclass(frozen=True)
+class BadRegion:
+    """A half-open byte range ``[start, end)`` of flash that went bad.
+
+    Every read overlapping the region fails CRC deterministically — the
+    model of a worn-out or corrupted erase block.  Addresses follow the
+    deterministic :func:`flash_layout` placement.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"bad region needs 0 <= start <= end, got [{self.start}, {self.end})"
+            )
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Whether ``[lo, hi)`` intersects this region (empty spans never do)."""
+        return lo < self.end and self.start < hi and lo < hi
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"start": self.start, "end": self.end}
+
+
+@dataclass(frozen=True)
+class BusDegradation:
+    """Sustained bus slowdown from ``start_cycle`` onward.
+
+    Models a misbehaving shared master (or a flash die falling back to a
+    slower read mode): every transfer attempt issued at or after
+    ``start_cycle`` takes ``ceil(nominal * factor)`` cycles.
+    """
+
+    start_cycle: int = 0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ValueError(f"start_cycle must be >= 0, got {self.start_cycle}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.factor == 1.0
+
+    def attempt_cycles(self, time: int, nominal: int) -> int:
+        """Cycles one attempt takes when issued at ``time``."""
+        if time >= self.start_cycle and self.factor > 1.0:
+            return math.ceil(nominal * self.factor)
+        return nominal
+
+
+@dataclass(frozen=True)
+class EscalationConfig:
+    """Persistent-fault and fault-handler parameters.
+
+    Attributes:
+        bad_regions: Flash byte ranges whose reads always fail CRC.
+        bus_degradation: Optional sustained bus slowdown.
+        lockup_prob: Probability one attempt locks up the DMA engine
+            (recovered by the watchdog after ``watchdog_cycles``).
+        watchdog_cycles: Watchdog timeout aborting a hung transfer.
+            Must be positive when ``lockup_prob > 0``.
+        crc_fault_prob: Probability one attempt fails CRC transiently
+            (on top of any persistent bad-region failure).
+        max_retries: Retry budget per transfer; the handler makes at
+            most ``max_retries + 1`` attempts.
+        backoff_slot_cycles: Base backoff slot; retry ``i + 1`` waits
+            ``backoff_slot_cycles * 2**i`` cycles after failure ``i``.
+        crc_overhead_cycles: Extra engine-busy cycles charged per failed
+            CRC check (re-reading the checksum block).
+        mirror_bad: When True, mirror copies live in the bad region too
+            (models a correlated failure defeating REMAP).
+        max_faults_per_job: Optional cap on *transient* faults (CRC
+            glitches and lockups) charged to one job — the hypothesis
+            property tests use it to bound injected faults per job.
+            Persistent bad-region failures are never capped (they are
+            deterministic, not drawn).
+        seed: Seed of the handler's dedicated random source.
+    """
+
+    bad_regions: Tuple[BadRegion, ...] = ()
+    bus_degradation: Optional[BusDegradation] = None
+    lockup_prob: float = 0.0
+    watchdog_cycles: int = 0
+    crc_fault_prob: float = 0.0
+    max_retries: int = 3
+    backoff_slot_cycles: int = 0
+    crc_overhead_cycles: int = 0
+    mirror_bad: bool = False
+    max_faults_per_job: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lockup_prob <= 1.0:
+            raise ValueError(f"lockup_prob must be in [0, 1], got {self.lockup_prob}")
+        if not 0.0 <= self.crc_fault_prob <= 1.0:
+            raise ValueError(
+                f"crc_fault_prob must be in [0, 1], got {self.crc_fault_prob}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_slot_cycles < 0:
+            raise ValueError(
+                f"backoff_slot_cycles must be >= 0, got {self.backoff_slot_cycles}"
+            )
+        if self.crc_overhead_cycles < 0:
+            raise ValueError(
+                f"crc_overhead_cycles must be >= 0, got {self.crc_overhead_cycles}"
+            )
+        if self.watchdog_cycles < 0:
+            raise ValueError(
+                f"watchdog_cycles must be >= 0, got {self.watchdog_cycles}"
+            )
+        if self.lockup_prob > 0 and self.watchdog_cycles <= 0:
+            raise ValueError("lockup_prob > 0 requires watchdog_cycles > 0")
+        if self.max_faults_per_job is not None and self.max_faults_per_job < 0:
+            raise ValueError(
+                f"max_faults_per_job must be >= 0, got {self.max_faults_per_job}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True iff this configuration can never perturb a transfer."""
+        degraded = (
+            self.bus_degradation is not None and not self.bus_degradation.is_null
+        )
+        return (
+            not self.bad_regions
+            and not degraded
+            and self.lockup_prob == 0.0
+            and self.crc_fault_prob == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One unrecoverable transfer, as raised by the fault handler.
+
+    Attributes:
+        time: Cycle at which the handler gave up (transfer end).
+        task: Owning task name.
+        job: Job index within the task.
+        segment: Segment index whose staging failed.
+        kind: Terminal classification (see :class:`FaultKind`).
+        attempts: Transfer attempts made (``retries + 1``).
+        lost_cycles: DMA-busy cycles consumed without staging anything.
+    """
+
+    time: int
+    task: str
+    job: int
+    segment: int
+    kind: FaultKind
+    attempts: int
+    lost_cycles: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (round-trips through :meth:`from_dict`)."""
+        return {
+            "time": self.time,
+            "task": self.task,
+            "job": self.job,
+            "segment": self.segment,
+            "kind": self.kind.value,
+            "attempts": self.attempts,
+            "lost_cycles": self.lost_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=int(data["time"]),  # type: ignore[arg-type]
+            task=str(data["task"]),
+            job=int(data["job"]),  # type: ignore[arg-type]
+            segment=int(data["segment"]),  # type: ignore[arg-type]
+            kind=FaultKind(data["kind"]),
+            attempts=int(data["attempts"]),  # type: ignore[arg-type]
+            lost_cycles=int(data["lost_cycles"]),  # type: ignore[arg-type]
+        )
+
+
+def fault_events_to_json(events: List[FaultEvent]) -> str:
+    """Serialize fault events to a versioned JSON document."""
+    return json.dumps(
+        {"schema": _FAULT_SCHEMA, "events": [e.to_dict() for e in events]},
+        indent=2,
+    )
+
+
+def fault_events_from_json(text: str) -> List[FaultEvent]:
+    """Inverse of :func:`fault_events_to_json` (schema-checked)."""
+    data = json.loads(text)
+    schema = data.get("schema")
+    if schema != _FAULT_SCHEMA:
+        raise ValueError(f"expected schema {_FAULT_SCHEMA!r}, got {schema!r}")
+    return [FaultEvent.from_dict(e) for e in data["events"]]
+
+
+class TransferOutcome(NamedTuple):
+    """Result of resolving one transfer through the fault handler.
+
+    ``cycles`` is the total DMA-busy time (attempts, CRC rechecks,
+    watchdog waits, and backoff slots); ``ok`` says whether the data
+    actually arrived.  When ``ok`` is False, ``kind`` names the terminal
+    fault and the segment's weights were **not** staged.
+    """
+
+    cycles: int
+    retries: int
+    ok: bool
+    kind: Optional[FaultKind] = None
+
+
+def flash_layout(taskset: "TaskSet") -> Dict[Tuple[str, int], Tuple[int, int]]:
+    """Deterministic flash placement of every segment's weights.
+
+    Segments are packed back-to-back in task-name order (then segment
+    order) — the layout a trivial linker script would produce.  The
+    footprint of a segment is ``load_bytes`` when the planner recorded
+    it, else ``load_cycles`` as a proxy (the spans only need to be
+    proportional and deterministic).  Zero-footprint segments occupy an
+    empty span and can never overlap a bad region.
+    """
+    layout: Dict[Tuple[str, int], Tuple[int, int]] = {}
+    offset = 0
+    for task in sorted(taskset, key=lambda t: t.name):
+        for idx, seg in enumerate(task.segments):
+            size = seg.load_bytes if seg.load_bytes > 0 else seg.load_cycles
+            layout[(task.name, idx)] = (offset, offset + size)
+            offset += size
+    return layout
+
+
+def flash_footprint(taskset: "TaskSet") -> int:
+    """Total bytes (or cycle-proxy units) the layout occupies."""
+    layout = flash_layout(taskset)
+    return max((end for _, end in layout.values()), default=0)
+
+
+def bad_region_span(
+    taskset: "TaskSet", lo_frac: float, hi_frac: float
+) -> BadRegion:
+    """A :class:`BadRegion` covering ``[lo_frac, hi_frac)`` of the layout.
+
+    Fractions are relative to the total :func:`flash_footprint`, so
+    experiments can sweep "x % of flash went bad" independently of the
+    absolute workload size.
+    """
+    if not 0.0 <= lo_frac <= hi_frac <= 1.0:
+        raise ValueError(
+            f"need 0 <= lo_frac <= hi_frac <= 1, got [{lo_frac}, {hi_frac})"
+        )
+    total = flash_footprint(taskset)
+    return BadRegion(start=int(total * lo_frac), end=int(total * hi_frac))
+
+
+class TransferFaultHandler:
+    """Per-transfer fault-handler state machine.
+
+    The simulator asks :meth:`resolve` for every DMA transfer it issues;
+    the handler walks the retry loop (attempt → CRC check → backoff →
+    retry) against the configured persistent and transient fault models
+    and returns a :class:`TransferOutcome`.  The handler only ever
+    *costs* cycles — it never makes a transfer finish early — and it
+    never lies: an exhausted budget comes back ``ok=False``.
+    """
+
+    def __init__(
+        self,
+        config: EscalationConfig,
+        layout: Optional[Dict[Tuple[str, int], Tuple[int, int]]] = None,
+    ) -> None:
+        self.config = config
+        self.layout = layout or {}
+        self._rng = random.Random(config.seed)
+        self._job_faults: Dict[Tuple[str, int], int] = {}
+        self.transfers = 0
+        self.retries = 0
+        self.faults = 0
+
+    # ------------------------------------------------------------------
+    # Fault-model predicates
+    # ------------------------------------------------------------------
+    def region_is_bad(self, task: str, segment: int) -> bool:
+        """Whether ``(task, segment)``'s primary copy sits in a bad region."""
+        span = self.layout.get((task, segment))
+        if span is None:
+            return False
+        lo, hi = span
+        return any(r.overlaps(lo, hi) for r in self.config.bad_regions)
+
+    def _transient_allowed(self, task: str, job: int) -> bool:
+        cap = self.config.max_faults_per_job
+        if cap is None:
+            return True
+        return self._job_faults.get((task, job), 0) < cap
+
+    def _charge_transient(self, task: str, job: int) -> None:
+        key = (task, job)
+        self._job_faults[key] = self._job_faults.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # The state machine
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        time: int,
+        task: str,
+        job: int,
+        segment: int,
+        nominal: int,
+        source: str = "primary",
+        region_immune: bool = False,
+    ) -> TransferOutcome:
+        """Resolve one transfer of ``nominal`` cycles issued at ``time``.
+
+        ``source`` is ``"primary"`` or ``"mirror"`` (a REMAPped re-fetch);
+        mirror reads only hit bad regions when ``mirror_bad`` is set.
+        ``region_immune`` marks tasks whose weights no longer live in
+        external flash at all (e.g. a degraded variant small enough for
+        internal memory) — persistent region faults then never apply.
+        """
+        if nominal == 0:
+            return TransferOutcome(0, 0, True, None)
+        cfg = self.config
+        self.transfers += 1
+        persistent_bad = False
+        if not region_immune:
+            if source == "mirror":
+                persistent_bad = cfg.mirror_bad and self.region_is_bad(task, segment)
+            else:
+                persistent_bad = self.region_is_bad(task, segment)
+        attempt_cycles = nominal
+        if cfg.bus_degradation is not None:
+            attempt_cycles = cfg.bus_degradation.attempt_cycles(time, nominal)
+        total = 0
+        last_kind: Optional[FaultKind] = None
+        for attempt in range(cfg.max_retries + 1):
+            locked = (
+                cfg.lockup_prob > 0
+                and self._transient_allowed(task, job)
+                and self._rng.random() < cfg.lockup_prob
+            )
+            if locked:
+                # The engine hangs; the watchdog cuts the attempt short.
+                self._charge_transient(task, job)
+                total += cfg.watchdog_cycles
+                last_kind = FaultKind.WATCHDOG
+                failed = True
+            else:
+                total += attempt_cycles
+                if persistent_bad:
+                    total += cfg.crc_overhead_cycles
+                    last_kind = FaultKind.BAD_REGION
+                    failed = True
+                elif (
+                    cfg.crc_fault_prob > 0
+                    and self._transient_allowed(task, job)
+                    and self._rng.random() < cfg.crc_fault_prob
+                ):
+                    self._charge_transient(task, job)
+                    total += cfg.crc_overhead_cycles
+                    last_kind = FaultKind.RETRY_EXHAUSTED
+                    failed = True
+                else:
+                    failed = False
+            if not failed:
+                self.retries += attempt
+                return TransferOutcome(total, attempt, True, None)
+            if attempt < cfg.max_retries:
+                total += cfg.backoff_slot_cycles * (2 ** attempt)
+        self.retries += cfg.max_retries
+        self.faults += 1
+        kind = FaultKind.BAD_REGION if persistent_bad else last_kind
+        assert kind is not None
+        return TransferOutcome(total, cfg.max_retries, False, kind)
+
+
+def fault_overhead_cycles(
+    taskset: "TaskSet",
+    config: EscalationConfig,
+    recovery: Optional[object] = None,
+) -> int:
+    """An upper bound on the extra cycles one fault charges one transfer.
+
+    The fault-aware analysis (:func:`repro.core.analysis.fault_aware_analysis`)
+    inflates per-window DMA demand by ``k_faults * fault_overhead_cycles``;
+    this helper derives a sound per-fault cost from the workload and the
+    handler configuration: the worst single attempt (a full re-read of
+    the largest segment at degraded bus speed plus a CRC recheck, or one
+    watchdog timeout if lockups are possible) plus the largest backoff
+    slot that can precede a retry.  When a recovery config is supplied,
+    the re-fetch cost of a REMAP (mirror read of the largest segment) is
+    folded in too, so the bound also covers remapped re-fetches.
+    """
+    max_load = max((t.max_segment_load for t in taskset), default=0)
+    factor = 1.0
+    if config.bus_degradation is not None:
+        factor = config.bus_degradation.factor
+    worst_read = math.ceil(max_load * factor)
+    if recovery is not None:
+        remap = getattr(recovery, "remap_cycles", None)
+        if callable(remap):
+            worst_read = max(worst_read, math.ceil(remap(max_load) * factor))
+    attempt = worst_read + config.crc_overhead_cycles
+    if config.lockup_prob > 0:
+        attempt = max(attempt, config.watchdog_cycles)
+    backoff = 0
+    if config.max_retries > 0:
+        backoff = config.backoff_slot_cycles * (2 ** (config.max_retries - 1))
+    return attempt + backoff

@@ -14,9 +14,11 @@ fault source:
 * **DMA transfer faults** — a transfer fails with probability
   ``dma_fault_prob`` and is retried up to ``dma_max_retries`` times;
   every retry re-pays the full transfer cycles plus a CRC-recheck
-  overhead.  After the retry budget the transfer is assumed to succeed
-  (a real driver would escalate to a fault handler; the bounded model
-  keeps the cost finite and the simulation total).
+  overhead.  A transfer whose final attempt *also* fails is reported
+  honestly (``exhausted=True``): the cycles were spent but the data did
+  not arrive, and the simulator escalates to the recovery ladder
+  (:mod:`repro.robust.recovery`) — or quarantines the task — instead of
+  assuming success.
 * **External-memory contention jitter** — additive per-transfer latency
   noise ``U{0, .., jitter_cycles}`` modeling unrelated masters on the
   shared QSPI/AHB bus.
@@ -112,7 +114,9 @@ class FaultConfig:
             and self.inflation_factor > 1.0
             and (self.inflation is not InflationModel.SPIKE or self.spike_prob > 0)
         )
-        faults = self.dma_fault_prob > 0 and self.dma_max_retries > 0
+        # dma_fault_prob > 0 perturbs even with a zero retry budget: the
+        # single attempt can fail and surface as a budget exhaustion.
+        faults = self.dma_fault_prob > 0
         return not inflates and not faults and self.jitter_cycles == 0
 
 
@@ -156,26 +160,36 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Transfer-side faults
     # ------------------------------------------------------------------
-    def transfer_cycles(self, nominal: int) -> Tuple[int, int]:
+    def transfer_cycles(self, nominal: int) -> Tuple[int, int, bool]:
         """Actual engine-busy cycles for a transfer of ``nominal`` cycles.
 
-        Returns ``(total_cycles, retries)``.  Zero-byte transfers never
-        touch the DMA and are returned untouched.
+        Returns ``(total_cycles, retries, exhausted)``.  ``exhausted``
+        is True when the final attempt after the retry budget *also*
+        failed: the cycles were spent but the data never arrived, and
+        the caller must escalate (the old model silently assumed
+        success here).  Zero-byte transfers never touch the DMA and are
+        returned untouched.
+
+        Draw-sequence note: each attempt draws exactly one fault
+        variate, so a transfer whose budget is *not* exhausted consumes
+        the same draws as the pre-escalation model — nominal and
+        non-exhausted faulty runs reproduce bit-for-bit.
         """
         if nominal == 0:
-            return 0, 0
+            return 0, 0, False
         cfg = self.config
         total = nominal
         if cfg.jitter_cycles > 0:
             total += self._rng.randrange(cfg.jitter_cycles + 1)
         retries = 0
-        while (
-            cfg.dma_fault_prob > 0
-            and retries < cfg.dma_max_retries
-            and self._rng.random() < cfg.dma_fault_prob
-        ):
-            retries += 1
-            total += nominal + cfg.dma_crc_overhead
+        exhausted = False
+        if cfg.dma_fault_prob > 0:
+            failed = self._rng.random() < cfg.dma_fault_prob
+            while failed and retries < cfg.dma_max_retries:
+                retries += 1
+                total += nominal + cfg.dma_crc_overhead
+                failed = self._rng.random() < cfg.dma_fault_prob
+            exhausted = failed
         self.transfers += 1
         self.retries += retries
-        return total, retries
+        return total, retries, exhausted

@@ -70,3 +70,52 @@ def robustness_summary(result: "SimResult") -> Dict[str, float]:
         "degraded_residency": degraded_residency(result),
         "dma_retries": result.dma_retries,
     }
+
+
+def sacrificed_releases(result: "SimResult") -> int:
+    """Releases suppressed because their task was quarantined."""
+    return sum(s.quarantined_releases for s in result.stats.values())
+
+
+def survival_miss_ratio(result: "SimResult") -> float:
+    """Miss ratio counting quarantined releases as sacrificed jobs.
+
+    :func:`miss_ratio` only divides by jobs actually released, which
+    would make quarantining a task look *better* than recovering it.
+    This variant charges every suppressed release of a quarantined task
+    as a failed job — the honest figure of merit for comparing recovery
+    protocols (EXP-R2).
+    """
+    released = released_jobs(result)
+    sacrificed = sacrificed_releases(result)
+    if released + sacrificed == 0:
+        return 0.0
+    return (failed_jobs(result) + sacrificed) / (released + sacrificed)
+
+
+def mean_recovery_latency(result: "SimResult") -> float:
+    """Mean cycles from a job's first terminal fault to its completion.
+
+    Only jobs that *survived* a fault (via REMAP or XIP_FALLBACK) have a
+    recovery latency; returns 0.0 when no job recovered.
+    """
+    if not result.recovery_latencies:
+        return 0.0
+    return sum(result.recovery_latencies) / len(result.recovery_latencies)
+
+
+def recovery_summary(result: "SimResult") -> Dict[str, float]:
+    """One-row summary of a recovery run (EXP-R2's columns)."""
+    counts = result.recovery_counts
+    return {
+        "released": released_jobs(result),
+        "miss_ratio": miss_ratio(result),
+        "survival_miss_ratio": survival_miss_ratio(result),
+        "faults": len(result.fault_events),
+        "remaps": counts.get("remap", 0),
+        "xip_fallbacks": counts.get("xip-fallback", 0),
+        "degrades": counts.get("degrade", 0),
+        "quarantined_tasks": len(result.quarantined),
+        "sacrificed": sacrificed_releases(result),
+        "mean_recovery_latency": mean_recovery_latency(result),
+    }

@@ -265,6 +265,49 @@ def with_np_blocking(tasks: Sequence[RtaTask]) -> List[RtaTask]:
     return result
 
 
+def fault_aware_wcrt(
+    tasks: Sequence[RtaTask],
+    task: RtaTask,
+    k_faults: int,
+    fault_cost: int,
+    preemptive: bool = False,
+) -> Optional[int]:
+    """WCRT of ``task`` when every job may suffer up to ``k_faults`` faults.
+
+    Each fault (a failed transfer attempt with its retries, CRC
+    rechecks, backoff slots, watchdog waits, or a REMAP re-fetch) costs
+    at most ``fault_cost`` extra cycles of demand on the analysed
+    resource.  The bound charges the full fault budget to *every* job in
+    the window — ``k_faults * fault_cost`` is added to each task's
+    ``exec_cycles`` (its own demand and its interference on others) and
+    to each task's ``blocking`` (a lower-priority fault-handling section
+    can block, too).  Demand, interference, and blocking are monotone in
+    these terms, so the result upper-bounds any execution in which every
+    job experiences at most ``k_faults`` faults of at most ``fault_cost``
+    cycles each.
+    """
+    if k_faults < 0:
+        raise ValueError(f"k_faults must be >= 0, got {k_faults}")
+    if fault_cost < 0:
+        raise ValueError(f"fault_cost must be >= 0, got {fault_cost}")
+    extra = k_faults * fault_cost
+    inflated = [
+        RtaTask(
+            name=t.name,
+            exec_cycles=t.exec_cycles + extra,
+            period=t.period,
+            deadline=t.deadline,
+            priority=t.priority,
+            jitter=t.jitter,
+            blocking=t.blocking + extra,
+        )
+        for t in tasks
+    ]
+    target = next(t for t in inflated if t.name == task.name)
+    analysis = fp_preemptive_wcrt if preemptive else fp_nonpreemptive_wcrt
+    return analysis(inflated, target)
+
+
 def fp_schedulable(
     tasks: Sequence[RtaTask], preemptive: bool = False
 ) -> bool:

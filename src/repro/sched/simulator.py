@@ -21,7 +21,14 @@ through :class:`SimConfig`: a :class:`~repro.robust.faults.FaultConfig`
 perturbs compute/transfer durations from a dedicated seeded source, and
 an :class:`~repro.robust.overload.OverrunPolicy` decides what happens to
 jobs that overrun their deadline (abort, skip the next release, or
-degrade to a fallback segment list).  With no faults and
+degrade to a fallback segment list).  Persistent external-memory faults
+(:mod:`repro.robust.escalation`) and the recovery ladder
+(:mod:`repro.robust.recovery`) hook in the same way (``escalation=``,
+``recovery=``): a transfer whose retry budget is exhausted raises a
+:class:`~repro.robust.escalation.FaultEvent` and the simulator either
+walks the recovery ladder (REMAP → XIP_FALLBACK → DEGRADE → QUARANTINE)
+or, with no recovery configured, quarantines the task — a fault never
+silently succeeds.  With no faults, a null escalation config, and
 ``OverrunPolicy.CONTINUE`` the simulator is bit-identical to the nominal
 engine.
 """
@@ -36,8 +43,17 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.hw.dma import DmaArbitration
+from repro.robust.escalation import (
+    EscalationConfig,
+    FaultEvent,
+    FaultKind,
+    TransferFaultHandler,
+    TransferOutcome,
+    flash_layout,
+)
 from repro.robust.faults import FaultConfig, FaultInjector
 from repro.robust.overload import DegradeConfig, OverloadManager, OverrunPolicy
+from repro.robust.recovery import RecoveryConfig, RecoveryManager
 from repro.sched.policies import CpuPolicy
 from repro.sched.task import PeriodicTask, Segment, TaskSet
 from repro.sched.trace import Trace, TraceEvent
@@ -73,6 +89,7 @@ class _Job:
     load_eligible_since: Optional[int] = None
     finish: Optional[int] = None
     aborted: bool = False
+    fault_since: Optional[int] = None
 
     @property
     def num_segments(self) -> int:
@@ -103,6 +120,7 @@ class TaskStats:
     aborts: int = 0
     skips: int = 0
     degraded_jobs: int = 0
+    quarantined_releases: int = 0
 
     @property
     def jobs(self) -> int:
@@ -131,6 +149,10 @@ class SimResult:
     aborted_on_miss: bool = False
     truncated: bool = False
     dma_retries: int = 0
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    recovery_latencies: List[int] = field(default_factory=list)
+    recovery_counts: Dict[str, int] = field(default_factory=dict)
+    quarantined: Tuple[str, ...] = ()
 
     @property
     def total_misses(self) -> int:
@@ -180,6 +202,18 @@ class SimConfig:
             ``CONTINUE`` is the nominal run-to-completion behavior.
         degrade: Fallback-variant parameters; required when ``overrun``
             is ``DEGRADE``, ignored otherwise.
+        escalation: Optional persistent-fault / fault-handler parameters
+            (bad flash regions, bus degradation, DMA lockup, bounded
+            retries with exponential backoff).  ``None`` or a null
+            config instantiates no handler and leaves the run
+            bit-identical to the nominal engine.  When active it
+            supersedes the transfer-side model of ``faults`` (retries
+            and bus jitter); compute inflation from ``faults`` still
+            applies.
+        recovery: Optional recovery ladder reacting to terminal
+            transfer faults (REMAP → XIP_FALLBACK → DEGRADE →
+            QUARANTINE).  Without it, any terminal fault quarantines
+            the task.  Ignored unless a fault source is active.
     """
 
     policy: CpuPolicy = CpuPolicy.FP_NP
@@ -194,6 +228,8 @@ class SimConfig:
     faults: Optional[FaultConfig] = None
     overrun: OverrunPolicy = OverrunPolicy.CONTINUE
     degrade: Optional[DegradeConfig] = None
+    escalation: Optional[EscalationConfig] = None
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         if self.sporadic_slack < 0:
@@ -250,6 +286,24 @@ class Simulator:
         )
         self._overload = OverloadManager(config.overrun, config.degrade)
         self._skip_next: Dict[str, bool] = {t.name: False for t in taskset}
+        # Persistent-fault escalation + recovery ladder.  Null configs
+        # instantiate nothing, keeping nominal runs bit-identical.
+        self._escalation: Optional[TransferFaultHandler] = (
+            TransferFaultHandler(config.escalation, flash_layout(taskset))
+            if config.escalation is not None and not config.escalation.is_null
+            else None
+        )
+        self._recovery: Optional[RecoveryManager] = (
+            RecoveryManager(config.recovery)
+            if config.recovery is not None
+            and (self._escalation is not None or self._faults is not None)
+            else None
+        )
+        self._dma_fault_pending: Dict[int, TransferOutcome] = {}
+        self._fault_events: List[FaultEvent] = []
+        self._recovery_latencies: List[int] = []
+        self._recovery_counts: Dict[str, int] = {}
+        self._quarantined: set = set()
 
     # ------------------------------------------------------------------
     # Priorities (lower tuple = served first)
@@ -286,6 +340,15 @@ class Simulator:
         return queue[0] if queue else None
 
     def _release(self, time: int, task: PeriodicTask, task_pos: int, index: int) -> None:
+        if task.name in self._quarantined:
+            # QUARANTINE: the task is suspended; its releases are
+            # sacrificed (counted, so miss-ratio accounting stays honest)
+            # but the release cadence keeps ticking.
+            self._stats[task.name].quarantined_releases += 1
+            next_time = time + task.period
+            if next_time < self.config.horizon:
+                self._push(next_time, _RELEASE, (task_pos, index + 1))
+            return
         if self._skip_next[task.name]:
             # SKIP_NEXT: a late predecessor sheds this release entirely;
             # the release schedule itself keeps its cadence.
@@ -298,6 +361,8 @@ class Simulator:
                 )
         else:
             segments = self._overload.segments_for(task)
+            if self._recovery is not None:
+                segments = self._recovery.segments_for(task, segments)
             job = _Job(
                 task=task,
                 segments=segments,
@@ -329,6 +394,9 @@ class Simulator:
         response = time - job.release
         stats = self._stats[job.task.name]
         stats.responses.append(response)
+        if job.fault_since is not None:
+            # Recovery latency: first terminal fault -> job completion.
+            self._recovery_latencies.append(time - job.fault_since)
         missed = time > job.abs_deadline
         if missed:
             stats.misses += 1
@@ -404,14 +472,23 @@ class Simulator:
     # DMA scheduling
     # ------------------------------------------------------------------
     def _advance_zero_loads(self) -> None:
-        """Complete zero-byte loads instantly; they never use the DMA."""
+        """Complete zero-byte and XIP-mode loads instantly (no DMA).
+
+        A segment a prior fault pushed to XIP_FALLBACK executes in
+        place: nothing is staged (the compute-side penalty is charged in
+        :meth:`_start_compute`).
+        """
+        recovery = self._recovery
         for queue in self._queue_list:
             if not queue:
                 continue
             job = queue[0]
-            while (
-                job.load_eligible()
-                and job.segments[job.loads_issued].load_cycles == 0
+            while job.load_eligible() and (
+                job.segments[job.loads_issued].load_cycles == 0
+                or (
+                    recovery is not None
+                    and recovery.is_xip(job.task.name, job.loads_issued)
+                )
             ):
                 job.loads_issued += 1
                 job.loads_done += 1
@@ -444,15 +521,45 @@ class Simulator:
             job = min(candidates, key=self._dma_key)
             segment = job.segments[job.loads_issued]
             transfer_cycles = segment.load_cycles
-            if self._faults is not None:
-                transfer_cycles, retries = self._faults.transfer_cycles(
+            outcome: Optional[TransferOutcome] = None
+            if self._escalation is not None:
+                source = "primary"
+                region_immune = False
+                if self._recovery is not None:
+                    source = self._recovery.source(job.task.name, job.loads_issued)
+                    region_immune = self._recovery.region_immune(job.task.name)
+                    if source == "mirror":
+                        # REMAP: re-fetch from the mirror copy, paying
+                        # the redirect overhead and mirror slowdown.
+                        transfer_cycles = self._recovery.config.remap_cycles(
+                            transfer_cycles
+                        )
+                outcome = self._escalation.resolve(
+                    time,
+                    job.task.name,
+                    job.index,
+                    job.loads_issued,
+                    transfer_cycles,
+                    source=source,
+                    region_immune=region_immune,
+                )
+                transfer_cycles = outcome.cycles
+                self._dma_retries += outcome.retries
+            elif self._faults is not None:
+                transfer_cycles, retries, exhausted = self._faults.transfer_cycles(
                     transfer_cycles
                 )
                 self._dma_retries += retries
+                if exhausted:
+                    outcome = TransferOutcome(
+                        transfer_cycles, retries, False, FaultKind.RETRY_EXHAUSTED
+                    )
             channel = min(
                 c for c in range(self.config.dma_channels)
                 if c not in self._dma_channels
             )
+            if outcome is not None and not outcome.ok:
+                self._dma_fault_pending[channel] = outcome
             self._dma_channels[channel] = job
             job.load_eligible_since = None
             self._dma_busy += transfer_cycles
@@ -473,10 +580,101 @@ class Simulator:
             "DMA completion for a job that is not transferring on this channel"
         )
         del self._dma_channels[channel]
+        outcome = self._dma_fault_pending.pop(channel, None)
         if job.aborted:
             return  # the transfer drained; its data is discarded
+        if outcome is not None and not outcome.ok:
+            self._on_transfer_fault(time, job, outcome)
+            return
         job.loads_issued += 1
         job.loads_done += 1
+
+    def _on_transfer_fault(
+        self, time: int, job: _Job, outcome: TransferOutcome
+    ) -> None:
+        """React to a transfer whose retry budget was exhausted.
+
+        The segment's weights did **not** arrive.  The recovery ladder
+        (if configured) picks the next rung; without one the task is
+        quarantined — the one thing that never happens is pretending
+        the data is there.
+        """
+        segment = job.loads_issued
+        assert outcome.kind is not None
+        self._fault_events.append(
+            FaultEvent(
+                time=time,
+                task=job.task.name,
+                job=job.index,
+                segment=segment,
+                kind=outcome.kind,
+                attempts=outcome.retries + 1,
+                lost_cycles=outcome.cycles,
+            )
+        )
+        if job.fault_since is None:
+            job.fault_since = time
+        if self.trace is not None:
+            self._trace(
+                time=time, duration=0, resource="", kind="fault",
+                task=job.task.name, job=job.index, segment=segment,
+            )
+        if self._recovery is not None:
+            action = self._recovery.on_fault(job.task.name, segment, outcome.kind)
+        else:
+            action = "quarantine"
+        self._recovery_counts[action] = self._recovery_counts.get(action, 0) + 1
+        if action == "remap":
+            # Leave the load un-issued: the next DMA pass re-fetches the
+            # segment, now reading from the mirror copy.
+            if self.trace is not None:
+                self._trace(
+                    time=time, duration=0, resource="", kind="remap",
+                    task=job.task.name, job=job.index, segment=segment,
+                )
+        elif action == "xip-fallback":
+            # The segment executes in place from now on: no staging;
+            # _start_compute charges the XIP penalty instead.
+            job.loads_issued += 1
+            job.loads_done += 1
+            if self.trace is not None:
+                self._trace(
+                    time=time, duration=0, resource="", kind="xip-fallback",
+                    task=job.task.name, job=job.index, segment=segment,
+                )
+        elif action == "degrade":
+            # Abandon this job; future releases run the fallback
+            # variant (assumed to fit in healthy/internal memory).
+            self._abandon_job(time, job, kind="degrade")
+        else:
+            self._quarantine(time, job)
+
+    def _quarantine(self, time: int, job: _Job) -> None:
+        """Suspend ``job``'s task: abandon it and all queued backlog."""
+        name = job.task.name
+        self._quarantined.add(name)
+        self._abandon_job(time, job, kind="quarantine")
+        queue = self._queues[name]
+        while queue:
+            backlog = queue.popleft()
+            backlog.aborted = True
+            self._stats[name].aborts += 1
+
+    def _abandon_job(self, time: int, job: _Job, kind: str) -> None:
+        """Kill ``job`` after an unrecoverable fault (counts as an abort)."""
+        if self._cpu_job is job:
+            self._stop_compute(time, trace_kind=None)
+        job.aborted = True
+        self._stats[job.task.name].aborts += 1
+        if self.trace is not None:
+            self._trace(
+                time=time, duration=0, resource="", kind=kind,
+                task=job.task.name, job=job.index,
+            )
+        queue = self._queues[job.task.name]
+        assert queue and queue[0] is job, "abandoned job must be the task's head job"
+        queue.popleft()
+        self._mode_transition(time, job, missed=True)
 
     # ------------------------------------------------------------------
     # CPU scheduling
@@ -494,6 +692,12 @@ class Simulator:
         segment = job.segments[job.computes_done]
         if job.compute_remaining is None:
             burst = segment.compute_cycles
+            if self._recovery is not None and self._recovery.is_xip(
+                job.task.name, job.computes_done
+            ):
+                # XIP_FALLBACK: the CPU fetches this segment's weights
+                # in place while computing, at XIP timing.
+                burst += self._recovery.config.xip_penalty(segment)
             if self._faults is not None:
                 burst = self._faults.compute_cycles(burst)
             job.compute_remaining = burst
@@ -612,6 +816,10 @@ class Simulator:
             aborted_on_miss=self._aborted,
             truncated=self._truncated,
             dma_retries=self._dma_retries,
+            fault_events=self._fault_events,
+            recovery_latencies=self._recovery_latencies,
+            recovery_counts=self._recovery_counts,
+            quarantined=tuple(sorted(self._quarantined)),
         )
 
 

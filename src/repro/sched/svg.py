@@ -153,6 +153,48 @@ def trace_to_svg(
                 f"<title>{label}: {_esc(event.task)} job {event.job}"
                 f"</title></path>"
             )
+    # Fault-recovery events (repro.robust.escalation / .recovery):
+    # terminal transfer faults as filled red squares on the DMA lane,
+    # quarantines as hatched boxes, REMAP / XIP_FALLBACK as circles.
+    for event in trace.points("fault"):
+        if event.time >= horizon or (event.task, "dma") not in lane_index:
+            continue
+        y = y_of(lane_index[(event.task, "dma")]) + _LANE_H // 2
+        x = x_of(event.time)
+        parts.append(
+            f'<rect x="{x - 4:.2f}" y="{y - 4}" width="8" height="8" '
+            f'fill="#b00" stroke="#600"><title>transfer fault: '
+            f"{_esc(event.task)} job {event.job} seg {event.segment}"
+            f"</title></rect>"
+        )
+    _recovery_marks = (
+        ("remap", "#0072B2", "remapped to mirror copy"),
+        ("xip-fallback", "#E69F00", "fell back to XIP execution"),
+    )
+    for kind, color, label in _recovery_marks:
+        for event in trace.points(kind):
+            if event.time >= horizon or (event.task, "dma") not in lane_index:
+                continue
+            y = y_of(lane_index[(event.task, "dma")]) + _LANE_H // 2
+            x = x_of(event.time)
+            parts.append(
+                f'<circle cx="{x:.2f}" cy="{y}" r="5" fill="none" '
+                f'stroke="{color}" stroke-width="2">'
+                f"<title>{label}: {_esc(event.task)} job {event.job} "
+                f"seg {event.segment}</title></circle>"
+            )
+    for event in trace.points("quarantine"):
+        if event.time >= horizon or (event.task, "cpu") not in lane_index:
+            continue
+        y = y_of(lane_index[(event.task, "cpu")]) + _LANE_H // 2
+        x = x_of(event.time)
+        parts.append(
+            f'<g stroke="#b00" stroke-width="2" fill="none">'
+            f'<rect x="{x - 6:.2f}" y="{y - 6}" width="12" height="12"/>'
+            f'<line x1="{x - 6:.2f}" y1="{y - 6}" x2="{x + 6:.2f}" y2="{y + 6}"/>'
+            f"<title>task quarantined: {_esc(event.task)} job {event.job}"
+            f"</title></g>"
+        )
     _mode_marks = (
         ("degrade", "#D55E00", "switched to fallback variant", 1),
         ("recover", "#009E73", "recovered to full model", -1),

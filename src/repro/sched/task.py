@@ -14,7 +14,7 @@ All durations are integer CPU cycles (see :mod:`repro.hw`).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 
@@ -257,6 +257,77 @@ def inflate_compute(taskset: TaskSet, factor: float) -> TaskSet:
                 xip_bytes=s.xip_bytes,
             )
             for s in task.segments
+        )
+        tasks.append(
+            PeriodicTask(
+                name=task.name,
+                segments=segments,
+                period=task.period,
+                deadline=task.deadline,
+                priority=task.priority,
+                phase=task.phase,
+                buffers=task.buffers,
+            )
+        )
+    return TaskSet.of(tasks)
+
+
+def inflate_loads(
+    taskset: TaskSet, k_faults: int, fault_cost_cycles: int
+) -> TaskSet:
+    """Charge a per-job fault budget to every task's DMA demand.
+
+    Models up to ``k_faults`` transfer faults per job, each costing at
+    most ``fault_cost_cycles`` of extra DMA-busy time (retries, CRC
+    rechecks, backoff slots, watchdog waits, or a REMAP re-fetch — see
+    :func:`repro.robust.escalation.fault_overhead_cycles`).  The budget
+    is charged twice over, to two different segments, because two
+    different analysis terms must each absorb the full budget:
+
+    * the *first* segment, whose load is serial in the pipelined
+      latency (nothing overlaps the initial prefetch), so the isolated
+      latency term grows by the full budget — a charge on an overlapped
+      segment could hide entirely under compute;
+    * the *largest* load segment, so the longest non-preemptive
+      transfer (the lower-priority blocking term) grows by the full
+      budget — the simulator charges a faulty transfer's whole retry
+      loop as one non-preemptive DMA occupancy.
+
+    When the largest load segment *is* the first one, a single charge
+    covers both terms.  Per-window DMA demand grows by at least the
+    budget either way, so analyses of the inflated set
+    (:func:`repro.core.analysis.analyze`) are sound for the faulty
+    system.  Tasks without any load are untouched (nothing to transfer,
+    nothing to fault).
+    """
+    if k_faults < 0:
+        raise ValueError(f"k_faults must be >= 0, got {k_faults}")
+    if fault_cost_cycles < 0:
+        raise ValueError(
+            f"fault_cost_cycles must be >= 0, got {fault_cost_cycles}"
+        )
+    extra = k_faults * fault_cost_cycles
+    if extra == 0:
+        return taskset
+    tasks = []
+    for task in taskset:
+        if task.total_load == 0:
+            tasks.append(task)
+            continue
+        largest = max(
+            range(len(task.segments)),
+            key=lambda i: task.segments[i].load_cycles,
+        )
+        targets = {0, largest}
+        segments = tuple(
+            Segment(
+                name=s.name,
+                load_cycles=s.load_cycles + (extra if i in targets else 0),
+                compute_cycles=s.compute_cycles,
+                load_bytes=s.load_bytes,
+                xip_bytes=s.xip_bytes,
+            )
+            for i, s in enumerate(task.segments)
         )
         tasks.append(
             PeriodicTask(

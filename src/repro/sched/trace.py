@@ -9,7 +9,7 @@ and make simulator bugs visible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,7 +22,9 @@ class TraceEvent:
         resource: ``"cpu"``, ``"dma"`` or ``""`` for point events.
         kind: ``compute | load | release | complete | miss | preempt``,
             plus the overload events ``abort | skip | degrade | recover``
-            (see :mod:`repro.robust.overload`).
+            (see :mod:`repro.robust.overload`) and the fault-recovery
+            events ``fault | remap | xip-fallback | quarantine`` (see
+            :mod:`repro.robust.escalation` / :mod:`repro.robust.recovery`).
         task: Owning task name.
         job: Job index within the task (0-based).
         segment: Segment index within the job, or -1.

@@ -10,7 +10,7 @@ detection a few times per second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.framework import TaskSpec
 from repro.dnn.zoo import build_model

@@ -1,6 +1,5 @@
 """Unit tests for the baseline execution strategies."""
 
-import pytest
 
 from conftest import make_task
 from repro.baselines import sequentialize, single_buffered, whole_job, xip_task

@@ -5,7 +5,6 @@ file pins exact bound values on small examples so refactors that change
 the math are caught immediately.
 """
 
-import pytest
 
 from conftest import make_task
 from repro.core.analysis import AnalysisResult, analyze

@@ -11,7 +11,7 @@ from repro.dnn.layers import (
     Pool,
     split_layer,
 )
-from repro.dnn.models import Model, refine_model
+from repro.dnn.models import refine_model
 from repro.dnn.quantization import INT8
 from repro.dnn.zoo import build_model
 

@@ -8,7 +8,6 @@ from conftest import make_task
 from repro.core.edf import edf_schedulable, edf_utilization_bound
 from repro.core.framework import RtMdm
 from repro.core.placement import (
-    FlashPlacement,
     choose_flash_residents,
     resident_segmentation,
 )

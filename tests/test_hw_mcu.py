@@ -1,6 +1,5 @@
 """Unit tests for the MCU model."""
 
-import math
 
 import pytest
 

@@ -35,6 +35,7 @@ TINY = {
     "EXP-F5": dict(n_sets=3),
     "EXP-F7": dict(n_sets=2, n_phasings=2, utils=(0.5, 0.9)),
     "EXP-R1": dict(n_sets=3, inflations=(1.0, 1.5)),
+    "EXP-R2": dict(n_sets=2, bad_fracs=(0.0, 0.2), retry_budgets=(1,)),
     "EXP-D1": dict(
         n_traces=2, rates_hz=(1.5,), sram_kib=(160, 256), duration_s=8.0
     ),

@@ -1,6 +1,5 @@
 """Tests for ASCII sweep plots and the inspect CLI command."""
 
-import pytest
 
 from repro.cli import main
 from repro.eval.plots import ascii_plot

@@ -1,0 +1,321 @@
+"""Unit tests for the persistent-fault escalation layer
+(repro.robust.escalation): fault models, the per-transfer handler state
+machine, fault-event JSON, and the simulator's quarantine default."""
+
+import json
+
+import pytest
+
+from repro.robust.escalation import (
+    BadRegion,
+    BusDegradation,
+    EscalationConfig,
+    FaultEvent,
+    FaultKind,
+    TransferFaultHandler,
+    bad_region_span,
+    fault_events_from_json,
+    fault_events_to_json,
+    fault_overhead_cycles,
+    flash_footprint,
+    flash_layout,
+)
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+
+def _task(name, pairs, period, priority=0, buffers=2, deadline=None):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline or period,
+        priority=priority,
+        buffers=buffers,
+    )
+
+
+def _taskset():
+    return TaskSet.of([
+        _task("a", [(100, 200), (150, 100)], 2000, 0),
+        _task("b", [(0, 300), (80, 120)], 3000, 1),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Config validation and null detection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    {"lockup_prob": -0.1},
+    {"lockup_prob": 1.5, "watchdog_cycles": 10},
+    {"crc_fault_prob": 2.0},
+    {"max_retries": -1},
+    {"backoff_slot_cycles": -1},
+    {"crc_overhead_cycles": -1},
+    {"watchdog_cycles": -1},
+    {"lockup_prob": 0.1},  # lockup requires a watchdog
+    {"max_faults_per_job": -1},
+])
+def test_escalation_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        EscalationConfig(**kwargs)
+
+
+@pytest.mark.parametrize("cfg,null", [
+    (EscalationConfig(), True),
+    (EscalationConfig(max_retries=0, backoff_slot_cycles=50), True),
+    (EscalationConfig(bad_regions=(BadRegion(0, 10),)), False),
+    (EscalationConfig(bus_degradation=BusDegradation(0, 1.5)), False),
+    (EscalationConfig(bus_degradation=BusDegradation(0, 1.0)), True),
+    (EscalationConfig(crc_fault_prob=0.1), False),
+    (EscalationConfig(lockup_prob=0.1, watchdog_cycles=100), False),
+])
+def test_escalation_is_null(cfg, null):
+    assert cfg.is_null is null
+
+
+def test_bad_region_overlap_semantics():
+    region = BadRegion(100, 200)
+    assert region.overlaps(150, 160)
+    assert region.overlaps(50, 101)
+    assert region.overlaps(199, 300)
+    assert not region.overlaps(200, 300)  # half-open
+    assert not region.overlaps(0, 100)
+    assert not region.overlaps(150, 150)  # empty span never overlaps
+    with pytest.raises(ValueError):
+        BadRegion(10, 5)
+
+
+def test_bus_degradation_applies_after_onset():
+    deg = BusDegradation(start_cycle=1000, factor=2.0)
+    assert deg.attempt_cycles(999, 100) == 100
+    assert deg.attempt_cycles(1000, 100) == 200
+    assert not deg.is_null
+    assert BusDegradation(0, 1.0).is_null
+    with pytest.raises(ValueError):
+        BusDegradation(0, 0.5)  # degradation never speeds reads up
+
+
+# ----------------------------------------------------------------------
+# Flash layout
+# ----------------------------------------------------------------------
+def test_flash_layout_is_contiguous_and_ordered():
+    ts = _taskset()
+    layout = flash_layout(ts)
+    spans = [layout[(t.name, i)] for t in ts for i in range(len(t.segments))]
+    # Packed in task-name order, no gaps, no overlaps.
+    cursor = 0
+    for start, end in sorted(spans):
+        assert start == cursor
+        assert end >= start
+        cursor = end
+    assert cursor == flash_footprint(ts)
+
+
+def test_bad_region_span_is_fractional():
+    ts = _taskset()
+    total = flash_footprint(ts)
+    region = bad_region_span(ts, 0.25, 0.5)
+    assert region.start == int(total * 0.25)
+    assert region.end == int(total * 0.5)
+    with pytest.raises(ValueError):
+        bad_region_span(ts, 0.5, 0.25)
+
+
+# ----------------------------------------------------------------------
+# Handler state machine
+# ----------------------------------------------------------------------
+def test_clean_transfer_costs_nominal():
+    handler = TransferFaultHandler(EscalationConfig())
+    outcome = handler.resolve(0, "a", 0, 0, nominal=500)
+    assert outcome.ok
+    assert outcome.cycles == 500
+    assert outcome.retries == 0
+
+
+def test_bad_region_fails_deterministically():
+    ts = _taskset()
+    cfg = EscalationConfig(
+        bad_regions=(bad_region_span(ts, 0.0, 1.0),),
+        max_retries=2,
+        backoff_slot_cycles=10,
+        crc_overhead_cycles=5,
+    )
+    handler = TransferFaultHandler(cfg, flash_layout(ts))
+    outcome = handler.resolve(0, "a", 0, 0, nominal=100)
+    assert not outcome.ok
+    assert outcome.kind is FaultKind.BAD_REGION
+    assert outcome.retries == 2
+    # 3 attempts with CRC overhead each + backoff slots 10 and 20.
+    assert outcome.cycles == 3 * (100 + 5) + 10 + 20
+    # Identical draws → identical outcome: the bad region is persistent.
+    assert handler.resolve(0, "a", 1, 0, nominal=100) == outcome
+
+
+def test_mirror_source_avoids_bad_region_unless_mirror_bad():
+    ts = _taskset()
+    region = bad_region_span(ts, 0.0, 1.0)
+    layout = flash_layout(ts)
+    clean = TransferFaultHandler(
+        EscalationConfig(bad_regions=(region,)), layout
+    )
+    assert clean.resolve(0, "a", 0, 0, 100, source="mirror").ok
+    mirrored = TransferFaultHandler(
+        EscalationConfig(bad_regions=(region,), mirror_bad=True), layout
+    )
+    assert not mirrored.resolve(0, "a", 0, 0, 100, source="mirror").ok
+
+
+def test_region_immune_task_skips_persistent_faults():
+    ts = _taskset()
+    cfg = EscalationConfig(bad_regions=(bad_region_span(ts, 0.0, 1.0),))
+    handler = TransferFaultHandler(cfg, flash_layout(ts))
+    assert handler.resolve(0, "a", 0, 0, 100, region_immune=True).ok
+    assert not handler.resolve(0, "a", 0, 0, 100).ok
+
+
+def test_watchdog_bounds_lockup_cost():
+    cfg = EscalationConfig(
+        lockup_prob=1.0, watchdog_cycles=400, max_retries=1, seed=5
+    )
+    handler = TransferFaultHandler(cfg)
+    outcome = handler.resolve(0, "a", 0, 0, nominal=10_000)
+    assert not outcome.ok
+    assert outcome.kind is FaultKind.WATCHDOG
+    # Both attempts lock up: charged the watchdog timeout, not the
+    # (much larger) transfer length.
+    assert outcome.cycles == 2 * 400
+
+
+def test_max_faults_per_job_caps_transients():
+    cfg = EscalationConfig(
+        crc_fault_prob=1.0, max_retries=0, max_faults_per_job=1, seed=1
+    )
+    handler = TransferFaultHandler(cfg)
+    first = handler.resolve(0, "a", 0, 0, 100)
+    assert not first.ok  # the one allowed transient fault
+    second = handler.resolve(0, "a", 0, 1, 100)
+    assert second.ok  # cap reached: same job cannot fault again
+    other_job = handler.resolve(0, "a", 1, 0, 100)
+    assert not other_job.ok  # fresh job, fresh budget
+
+
+def test_handler_sequences_are_seed_deterministic():
+    cfg = EscalationConfig(
+        crc_fault_prob=0.4, max_retries=2, backoff_slot_cycles=7,
+        crc_overhead_cycles=3, seed=99,
+    )
+    a, b = TransferFaultHandler(cfg), TransferFaultHandler(cfg)
+    for job in range(40):
+        assert a.resolve(0, "x", job, 0, 250) == b.resolve(0, "x", job, 0, 250)
+    assert (a.transfers, a.retries, a.faults) == (b.transfers, b.retries, b.faults)
+
+
+def test_fault_overhead_upper_bounds_observed_attempt_cost():
+    """The analysis cost bound dominates any single attempt the handler
+    can charge (the per-fault inflation soundness argument)."""
+    ts = _taskset()
+    cfg = EscalationConfig(
+        bad_regions=(bad_region_span(ts, 0.0, 1.0),),
+        bus_degradation=BusDegradation(0, 1.5),
+        crc_fault_prob=1.0,
+        max_retries=3,
+        backoff_slot_cycles=20,
+        crc_overhead_cycles=9,
+        seed=2,
+    )
+    bound = fault_overhead_cycles(ts, cfg)
+    handler = TransferFaultHandler(cfg, flash_layout(ts))
+    worst_load = max(s.load_cycles for t in ts for s in t.segments)
+    outcome = handler.resolve(0, "a", 0, 0, worst_load)
+    # Total cost of the whole retry loop <= (retries + 1) * per-fault bound.
+    assert outcome.cycles <= (outcome.retries + 1) * bound
+
+
+# ----------------------------------------------------------------------
+# FaultEvent JSON
+# ----------------------------------------------------------------------
+def test_fault_event_round_trip():
+    event = FaultEvent(
+        time=1234, task="cam", job=3, segment=1,
+        kind=FaultKind.BAD_REGION, attempts=4, lost_cycles=777,
+    )
+    assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+def test_fault_events_json_round_trip_and_schema():
+    events = [
+        FaultEvent(10, "a", 0, 0, FaultKind.RETRY_EXHAUSTED, 4, 100),
+        FaultEvent(20, "b", 1, 2, FaultKind.WATCHDOG, 2, 800),
+    ]
+    text = fault_events_to_json(events)
+    payload = json.loads(text)
+    assert payload["schema"] == "rtmdm-faults/1"
+    assert fault_events_from_json(text) == events
+
+
+def test_fault_events_from_json_rejects_wrong_schema():
+    with pytest.raises(ValueError):
+        fault_events_from_json(json.dumps({"schema": "bogus/9", "events": []}))
+
+
+def test_simulator_fault_events_are_time_ordered_and_serializable():
+    ts = _taskset()
+    cfg = SimConfig(
+        policy=CpuPolicy.FP_NP,
+        horizon=30_000,
+        escalation=EscalationConfig(
+            crc_fault_prob=0.5, max_retries=1, crc_overhead_cycles=5, seed=3
+        ),
+    )
+    result = simulate(ts, cfg)
+    assert result.fault_events  # p=0.5^2 per transfer: some must exhaust
+    times = [e.time for e in result.fault_events]
+    assert times == sorted(times)
+    round_tripped = fault_events_from_json(
+        fault_events_to_json(result.fault_events)
+    )
+    assert round_tripped == list(result.fault_events)
+
+
+# ----------------------------------------------------------------------
+# Simulator integration: quarantine default (no recovery configured)
+# ----------------------------------------------------------------------
+def test_terminal_fault_without_recovery_quarantines():
+    ts = _taskset()
+    result = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=20_000,
+            escalation=EscalationConfig(
+                bad_regions=(bad_region_span(ts, 0.0, 1.0),), max_retries=1
+            ),
+            record_trace=True,
+        ),
+    )
+    # Both tasks read the all-bad flash; both deterministically quarantine.
+    assert result.quarantined == ("a", "b")
+    assert all(s.responses == [] for s in result.stats.values())
+    assert all(s.quarantined_releases > 0 for s in result.stats.values())
+    assert result.trace.points("quarantine")
+    assert result.trace.points("fault")
+
+
+def test_null_escalation_is_bit_identical_to_nominal():
+    ts = _taskset()
+    nominal = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=30_000))
+    nulled = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP, horizon=30_000,
+            escalation=EscalationConfig(),
+        ),
+    )
+    assert nulled.stats == nominal.stats
+    assert (nulled.cpu_busy, nulled.dma_busy, nulled.end_time) == (
+        nominal.cpu_busy, nominal.dma_busy, nominal.end_time
+    )
+    assert nulled.fault_events == []
+    assert nulled.quarantined == ()

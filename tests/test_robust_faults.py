@@ -32,7 +32,9 @@ def test_config_rejects_bad_values(kwargs):
     (FaultConfig(inflation=InflationModel.FIXED, inflation_factor=1.0), True),
     (FaultConfig(inflation=InflationModel.SPIKE, inflation_factor=3.0,
                  spike_prob=0.0), True),
-    (FaultConfig(dma_fault_prob=0.5, dma_max_retries=0), True),
+    # A zero retry budget no longer makes faults null: the single
+    # attempt can fail and must surface as a budget exhaustion.
+    (FaultConfig(dma_fault_prob=0.5, dma_max_retries=0), False),
     (FaultConfig(inflation=InflationModel.FIXED, inflation_factor=1.5), False),
     (FaultConfig(dma_fault_prob=0.01), False),
     (FaultConfig(jitter_cycles=1), False),
@@ -92,7 +94,7 @@ def test_inflation_never_shrinks_work():
 # ----------------------------------------------------------------------
 def test_zero_byte_transfer_untouched():
     inj = FaultInjector(FaultConfig(dma_fault_prob=1.0, jitter_cycles=100))
-    assert inj.transfer_cycles(0) == (0, 0)
+    assert inj.transfer_cycles(0) == (0, 0, False)
     assert inj.transfers == 0
 
 
@@ -100,19 +102,27 @@ def test_certain_faults_exhaust_retry_budget():
     inj = FaultInjector(
         FaultConfig(dma_fault_prob=1.0, dma_max_retries=3, dma_crc_overhead=4)
     )
-    total, retries = inj.transfer_cycles(100)
+    total, retries, exhausted = inj.transfer_cycles(100)
     assert retries == 3
     assert total == 100 + 3 * (100 + 4)
+    assert exhausted  # the final attempt failed too: no silent success
     assert inj.transfers == 1
     assert inj.retries == 3
+
+
+def test_fault_free_transfer_is_never_exhausted():
+    inj = FaultInjector(FaultConfig(dma_fault_prob=0.0, seed=3))
+    for _ in range(50):
+        assert inj.transfer_cycles(100) == (100, 0, False)
 
 
 def test_jitter_is_bounded_and_additive():
     inj = FaultInjector(FaultConfig(jitter_cycles=10, seed=2))
     seen = set()
     for _ in range(400):
-        total, retries = inj.transfer_cycles(50)
+        total, retries, exhausted = inj.transfer_cycles(50)
         assert retries == 0
+        assert not exhausted
         assert 50 <= total <= 60
         seen.add(total - 50)
     assert seen == set(range(11))  # whole support reached
@@ -166,11 +176,25 @@ def test_simulation_counts_dma_retries():
         SimConfig(horizon=20000,
                   faults=FaultConfig(dma_fault_prob=1.0, dma_max_retries=2)),
     )
-    # Every job issues two transfers, each exhausting its retry budget.
-    assert result.dma_retries == 2 * 2 * len(result.stats["t0"].responses)
+    # Certain faults exhaust the very first transfer's budget; with no
+    # recovery configured the exhaustion is terminal and the task is
+    # quarantined — it must NOT silently complete as if the last retry
+    # had worked.
+    stats = result.stats["t0"]
+    assert stats.responses == []
+    assert stats.aborts == 1
+    assert result.dma_retries == 2
+    assert result.quarantined == ("t0",)
+    assert len(result.fault_events) == 1
+    # All 19 later releases were suppressed by the quarantine and are
+    # accounted as sacrificed, not dropped on the floor.
+    assert stats.quarantined_releases == 19
 
 
 def test_faulty_run_is_never_faster_than_nominal():
+    # Seed 17 exhausts one retry budget near the end of the horizon and
+    # quarantines t0 there; every job completed before that point must
+    # still be pairwise no faster than its nominal counterpart.
     nominal = simulate(_taskset(), SimConfig(horizon=20000))
     faulty = simulate(
         _taskset(),

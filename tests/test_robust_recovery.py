@@ -1,0 +1,389 @@
+"""Tests for the recovery ladder (repro.robust.recovery), its simulator
+integration, the recovery metrics, and the online health monitor."""
+
+import pytest
+
+from repro.hw.presets import get_platform
+from repro.online.events import Request, RequestKind, RequestTrace
+from repro.online.runtime import OnlineRuntime
+from repro.robust.escalation import (
+    EscalationConfig,
+    FaultKind,
+    bad_region_span,
+)
+from repro.robust.metrics import (
+    mean_recovery_latency,
+    recovery_summary,
+    sacrificed_releases,
+    survival_miss_ratio,
+)
+from repro.robust.recovery import (
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryProtocol,
+)
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, simulate
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+
+FULL_LADDER = (
+    RecoveryProtocol.REMAP,
+    RecoveryProtocol.XIP_FALLBACK,
+    RecoveryProtocol.DEGRADE,
+)
+
+
+def _task(name, pairs, period, priority=0, buffers=2, deadline=None):
+    return PeriodicTask(
+        name,
+        tuple(Segment(f"{name}{i}", l, c) for i, (l, c) in enumerate(pairs)),
+        period=period,
+        deadline=deadline or period,
+        priority=priority,
+        buffers=buffers,
+    )
+
+
+def _taskset():
+    return TaskSet.of([
+        _task("a", [(100, 200), (150, 100)], 2000, 0),
+        _task("b", [(0, 300), (80, 120)], 3000, 1),
+    ])
+
+
+def _all_bad(taskset, **kwargs):
+    return EscalationConfig(
+        bad_regions=(bad_region_span(taskset, 0.0, 1.0),),
+        max_retries=1,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# RecoveryConfig
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ladder", [
+    (RecoveryProtocol.RETRY,),  # retry is the handler's job, not a rung
+    (RecoveryProtocol.QUARANTINE,),  # quarantine is implicit, not a rung
+    (RecoveryProtocol.XIP_FALLBACK, RecoveryProtocol.REMAP),  # wrong order
+    (RecoveryProtocol.REMAP, RecoveryProtocol.REMAP),  # duplicates
+])
+def test_config_rejects_bad_ladders(ladder):
+    with pytest.raises(ValueError):
+        RecoveryConfig(ladder=ladder)
+
+
+def test_empty_ladder_quarantines_immediately():
+    mgr = RecoveryManager(RecoveryConfig(ladder=()))
+    assert mgr.on_fault("a", 0, FaultKind.BAD_REGION) == "quarantine"
+    assert mgr.is_quarantined("a")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"remap_overhead_cycles": -1},
+    {"remap_slowdown": 0.5},
+    {"xip_factor": 0.9},
+    {"degrade_factor": 0.0},
+    {"degrade_factor": 1.5},
+])
+def test_config_rejects_bad_costs(kwargs):
+    with pytest.raises(ValueError):
+        RecoveryConfig(**kwargs)
+
+
+def test_for_platform_costs_from_memory_model():
+    platform = get_platform("f746-qspi")
+    config = RecoveryConfig.for_platform(platform)
+    assert config.remap_overhead_cycles == platform.memory.setup_cycles(
+        platform.mcu
+    )
+    assert config.xip_factor == pytest.approx(
+        1.0 / platform.memory.xip_efficiency
+    )
+    # Overrides win.
+    sub = RecoveryConfig.for_platform(
+        platform, ladder=(RecoveryProtocol.REMAP,)
+    )
+    assert sub.ladder == (RecoveryProtocol.REMAP,)
+
+
+def test_remap_and_xip_cost_models():
+    config = RecoveryConfig(remap_overhead_cycles=50, remap_slowdown=1.2)
+    assert config.remap_cycles(100) == 50 + 120
+    assert config.remap_cycles(0) == 0  # nothing to re-fetch
+    seg = Segment("s", 200, 80)
+    assert config.xip_penalty(seg) == 500  # ceil(200 * 2.5)
+
+
+# ----------------------------------------------------------------------
+# RecoveryManager ladder walk
+# ----------------------------------------------------------------------
+def test_manager_walks_full_ladder_in_order():
+    mgr = RecoveryManager(RecoveryConfig(ladder=FULL_LADDER))
+    assert mgr.on_fault("a", 0, FaultKind.BAD_REGION) == "remap"
+    assert mgr.source("a", 0) == "mirror"
+    # Second terminal fault on the remapped segment climbs to XIP.
+    assert mgr.on_fault("a", 0, FaultKind.BAD_REGION) == "xip-fallback"
+    assert mgr.is_xip("a", 0)
+    # Third climbs to degrade; segment modes reset, task becomes immune.
+    assert mgr.on_fault("a", 0, FaultKind.BAD_REGION) == "degrade"
+    assert mgr.is_degraded("a")
+    assert mgr.region_immune("a")
+    assert not mgr.is_xip("a", 0)
+    # The variant is a fresh segmentation in healthy memory: a fault on
+    # it re-enters the ladder at REMAP, but DEGRADE is spent — once
+    # remap and XIP are exhausted again only quarantine remains.
+    assert mgr.on_fault("a", 0, FaultKind.RETRY_EXHAUSTED) == "remap"
+    assert mgr.on_fault("a", 0, FaultKind.RETRY_EXHAUSTED) == "xip-fallback"
+    assert mgr.on_fault("a", 0, FaultKind.RETRY_EXHAUSTED) == "quarantine"
+    assert mgr.is_quarantined("a")
+    # Quarantine is terminal.
+    assert mgr.on_fault("a", 1, FaultKind.BAD_REGION) == "quarantine"
+
+
+def test_manager_skips_disallowed_rungs():
+    mgr = RecoveryManager(
+        RecoveryConfig(ladder=(RecoveryProtocol.XIP_FALLBACK,))
+    )
+    assert mgr.on_fault("a", 1, FaultKind.RETRY_EXHAUSTED) == "xip-fallback"
+    assert mgr.on_fault("a", 1, FaultKind.RETRY_EXHAUSTED) == "quarantine"
+
+
+def test_manager_modes_are_per_segment():
+    mgr = RecoveryManager(RecoveryConfig(ladder=FULL_LADDER))
+    mgr.on_fault("a", 0, FaultKind.BAD_REGION)
+    assert mgr.source("a", 0) == "mirror"
+    assert mgr.source("a", 1) == "primary"  # untouched sibling segment
+
+
+def test_degraded_fallback_variant_is_cached_and_smaller():
+    mgr = RecoveryManager(RecoveryConfig(ladder=(RecoveryProtocol.DEGRADE,)))
+    task = _task("a", [(100, 200), (150, 100)], 2000)
+    mgr.on_fault("a", 0, FaultKind.BAD_REGION)
+    fallback = mgr.fallback_for(task)
+    assert fallback is mgr.fallback_for(task)  # cached
+    assert sum(s.compute_cycles for s in fallback) < sum(
+        s.compute_cycles for s in task.segments
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator integration
+# ----------------------------------------------------------------------
+def test_remap_recovers_all_jobs_without_misses():
+    ts = _taskset()
+    result = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=30_000,
+            escalation=_all_bad(ts),
+            recovery=RecoveryConfig(ladder=(RecoveryProtocol.REMAP,)),
+            record_trace=True,
+        ),
+    )
+    assert result.quarantined == ()
+    assert result.total_misses == 0
+    assert result.recovery_counts.get("remap", 0) > 0
+    assert result.recovery_latencies  # surviving a fault takes extra time
+    assert result.trace.points("remap")
+    # The nominal run is strictly faster: remap costs extra cycles.
+    nominal = simulate(ts, SimConfig(policy=CpuPolicy.FP_NP, horizon=30_000))
+    assert result.dma_busy > nominal.dma_busy
+
+
+def test_remap_is_sticky_one_fault_event_per_segment():
+    ts = _taskset()
+    result = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=30_000,
+            escalation=_all_bad(ts),
+            recovery=RecoveryConfig(ladder=(RecoveryProtocol.REMAP,)),
+        ),
+    )
+    # Once remapped, later jobs read the mirror directly: exactly one
+    # terminal fault per loading segment, ever.
+    loading_segments = sum(
+        1 for t in ts for s in t.segments if s.load_cycles > 0
+    )
+    assert len(result.fault_events) == loading_segments
+
+
+def test_mirror_bad_escalates_past_remap_to_xip():
+    ts = _taskset()
+    result = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=30_000,
+            escalation=_all_bad(ts, mirror_bad=True),
+            recovery=RecoveryConfig(
+                ladder=(RecoveryProtocol.REMAP, RecoveryProtocol.XIP_FALLBACK)
+            ),
+            record_trace=True,
+        ),
+    )
+    assert result.quarantined == ()
+    assert result.recovery_counts.get("xip-fallback", 0) > 0
+    assert result.trace.points("xip-fallback")
+    # XIP executes in place: once every loading segment has fallen back,
+    # steady-state jobs stage nothing but still complete.
+    for stats in result.stats.values():
+        assert stats.jobs > 0
+        assert stats.unfinished == 0
+
+
+def test_degrade_keeps_task_running_on_fallback():
+    ts = _taskset()
+    result = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=30_000,
+            escalation=_all_bad(ts, mirror_bad=True),
+            recovery=RecoveryConfig(ladder=(RecoveryProtocol.DEGRADE,)),
+        ),
+    )
+    assert result.quarantined == ()
+    assert result.recovery_counts.get("degrade", 0) > 0
+    for stats in result.stats.values():
+        assert stats.degraded_jobs > 0
+
+
+def test_recovery_runs_are_deterministic():
+    ts = _taskset()
+    cfg = SimConfig(
+        policy=CpuPolicy.FP_NP,
+        horizon=30_000,
+        escalation=EscalationConfig(
+            crc_fault_prob=0.3, max_retries=1, crc_overhead_cycles=10, seed=11
+        ),
+        recovery=RecoveryConfig(ladder=FULL_LADDER),
+    )
+    a, b = simulate(ts, cfg), simulate(ts, cfg)
+    assert a.stats == b.stats
+    assert a.fault_events == b.fault_events
+    assert a.recovery_counts == b.recovery_counts
+    assert a.recovery_latencies == b.recovery_latencies
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_survival_miss_ratio_charges_sacrificed_releases():
+    ts = _taskset()
+    quarantining = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP, horizon=30_000, escalation=_all_bad(ts)
+        ),
+    )
+    recovering = simulate(
+        ts,
+        SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=30_000,
+            escalation=_all_bad(ts),
+            recovery=RecoveryConfig(ladder=(RecoveryProtocol.REMAP,)),
+        ),
+    )
+    assert sacrificed_releases(quarantining) > 0
+    assert survival_miss_ratio(quarantining) > survival_miss_ratio(recovering)
+    assert survival_miss_ratio(recovering) == 0.0
+    summary = recovery_summary(quarantining)
+    assert summary["quarantined_tasks"] == 2
+    assert summary["sacrificed"] == sacrificed_releases(quarantining)
+    assert mean_recovery_latency(quarantining) == 0.0  # nothing recovered
+
+
+# ----------------------------------------------------------------------
+# Online runtime: fault-injected serve + health monitor
+# ----------------------------------------------------------------------
+PLATFORM = get_platform("f746-qspi")
+
+
+def _trace():
+    return RequestTrace.of([
+        Request(time_s=0.0, kind=RequestKind.ADMIT, task="kws",
+                model="ds-cnn", period_s=0.4),
+        Request(time_s=0.0, kind=RequestKind.ADMIT, task="wake",
+                model="tinyconv", period_s=0.2),
+    ], duration_s=2.0)
+
+
+def test_serve_without_escalation_has_no_health_section():
+    report = OnlineRuntime(PLATFORM).serve(_trace())
+    assert report.health is None
+    assert "health" not in report.to_dict(PLATFORM.mcu)
+
+
+def test_serve_with_null_escalation_is_bit_identical():
+    nominal = OnlineRuntime(PLATFORM).serve(_trace())
+    nulled = OnlineRuntime(PLATFORM).serve(
+        _trace(), escalation=EscalationConfig()
+    )
+    assert nulled.to_dict(PLATFORM.mcu) == nominal.to_dict(PLATFORM.mcu)
+
+
+def test_health_monitor_reports_rates_and_reacts():
+    escalation = EscalationConfig(
+        crc_fault_prob=0.4, max_retries=1, backoff_slot_cycles=100,
+        crc_overhead_cycles=50, seed=3,
+    )
+    runtime = OnlineRuntime(
+        PLATFORM, retry_budget=1, fault_overhead_cycles=500
+    )
+    report = runtime.serve(
+        _trace(),
+        escalation=escalation,
+        recovery=RecoveryConfig.for_platform(PLATFORM),
+    )
+    assert report.health is not None
+    assert report.health["tolerance"] == 1
+    tasks = report.health["tasks"]
+    assert set(tasks) <= {"kws", "wake"}
+    for entry in tasks.values():
+        assert entry["action"] in (
+            "ok", "over-budget", "rescaled", "removed", "quarantined"
+        )
+        if entry["jobs"]:
+            assert entry["rate"] == pytest.approx(
+                entry["faults"] / entry["jobs"], abs=1e-4
+            )
+    # Monitor actions go through the controller: any non-ok action has a
+    # matching synthetic decision stamped at the horizon.
+    reacted = [t for t, e in tasks.items() if e["action"] in ("rescaled", "removed")]
+    synthetic = [d for d in report.decisions if d.time_s == 2.0]
+    assert {d.task for d in synthetic} == set(reacted)
+    payload = report.to_dict(PLATFORM.mcu)
+    assert payload["health"]["tasks"] == tasks
+
+
+def test_health_monitor_within_tolerance_takes_no_action():
+    escalation = EscalationConfig(
+        crc_fault_prob=0.4, max_retries=1, backoff_slot_cycles=100,
+        crc_overhead_cycles=50, seed=3,
+    )
+    # A huge tolerated budget: observed rates stay within the guarantee,
+    # so the monitor only reports.
+    runtime = OnlineRuntime(PLATFORM, retry_budget=50)
+    report = runtime.serve(
+        _trace(),
+        escalation=escalation,
+        recovery=RecoveryConfig.for_platform(PLATFORM),
+    )
+    assert all(
+        entry["action"] == "ok" for entry in report.health["tasks"].values()
+    )
+    assert len(report.decisions) == 2  # no synthetic requests appended
+
+
+def test_retry_budget_validation():
+    with pytest.raises(ValueError):
+        OnlineRuntime(PLATFORM, retry_budget=-1).serve(_trace(), simulate=False)
+    with pytest.raises(ValueError):
+        OnlineRuntime(PLATFORM, fault_overhead_cycles=-5).serve(
+            _trace(), simulate=False
+        )

@@ -20,7 +20,7 @@ import dataclasses
 import pytest
 
 from repro.hw.dma import DmaArbitration
-from repro.robust import FaultConfig, OverrunPolicy
+from repro.robust import EscalationConfig, FaultConfig, OverrunPolicy, RecoveryConfig
 from repro.sched.policies import CpuPolicy
 from repro.sched.simulator import SimConfig, simulate
 from repro.sched.task import PeriodicTask, Segment, TaskSet
@@ -67,10 +67,15 @@ _BASELINES = {
 }
 
 # Configs that must reproduce the pinned numbers exactly.  The second one
-# exercises every robustness hook with the machinery disabled.
+# exercises every robustness hook with the machinery disabled; the third
+# adds the escalation/recovery hooks (PR 4) in their null state.
 _CONFIG_VARIANTS = {
     "default": {},
     "null-robust": {"faults": FaultConfig(), "overrun": OverrunPolicy.CONTINUE},
+    "null-escalation": {
+        "escalation": EscalationConfig(),
+        "recovery": RecoveryConfig(),
+    },
 }
 
 

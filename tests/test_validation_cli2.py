@@ -1,6 +1,5 @@
 """Tests for the validation sweep and the extended CLI commands."""
 
-import pytest
 
 from repro.cli import main
 from repro.eval.validation import ValidationReport, Violation, validate

@@ -7,7 +7,7 @@ import pytest
 from repro.dnn.zoo import list_models
 from repro.hw.presets import get_platform
 from repro.workload.scenarios import SCENARIOS, get_scenario
-from repro.workload.taskset import DEFAULT_MODEL_POOL, generate_case, uunifast
+from repro.workload.taskset import generate_case, uunifast
 
 PLATFORM = get_platform("f746-qspi")
 
