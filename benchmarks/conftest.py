@@ -76,25 +76,55 @@ def bench_experiment(benchmark, exp_id, **kwargs):
     return result
 
 
+def _merge_records(existing, fresh):
+    """Combine prior suite records with this session's, one per exp_id.
+
+    A partial run (``pytest benchmarks/test_f7_miss_ratio.py``) used to
+    overwrite the whole suite file, losing every other experiment's
+    timing.  Instead, records from previous sessions survive unless this
+    session re-ran the same experiment — the latest measurement wins.
+    Kept records stay in their original order; newly-seen experiments
+    append in run order.
+    """
+    latest = {r["exp_id"]: r for r in fresh}
+    merged = []
+    for record in existing:
+        exp_id = record.get("exp_id")
+        merged.append(latest.pop(exp_id, record))
+    for record in fresh:
+        if record["exp_id"] in latest:
+            merged.append(latest.pop(record["exp_id"]))
+    return merged
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write the per-session suite summary (``BENCH_suite.json``).
+    """Write the cross-session suite summary (``BENCH_suite.json``).
 
     Cache counters come from the in-driver deltas recorded by
     :func:`bench_experiment`; with worker processes the drivers merge
     each worker's counters back, so the numbers are exact in both serial
-    and parallel runs.
+    and parallel runs.  Records merge into any existing suite file by
+    ``exp_id`` (latest run wins), so partial benchmark runs refresh only
+    the experiments they measured.
     """
     if not _SUITE_RECORDS:
         return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_suite.json"
+    existing = []
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))["experiments"]
+    except (OSError, ValueError, KeyError):
+        pass  # first run, or a corrupt/legacy file: start fresh
+    records = _merge_records(existing, _SUITE_RECORDS)
     suite = {
         "schema": "rtmdm-bench-suite/1",
         "python": sys.version.split()[0],
         "machine": _platform.machine(),
         "cache_enabled": segcache.is_enabled(),
-        "total_seconds": round(sum(r["seconds"] for r in _SUITE_RECORDS), 3),
-        "experiments": _SUITE_RECORDS,
+        "total_seconds": round(sum(r["seconds"] for r in records), 3),
+        "experiments": records,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_suite.json"
     path.write_text(json.dumps(suite, indent=2) + "\n", encoding="utf-8")
-    print(f"\nbench suite summary -> {path}")
+    print(f"\nbench suite summary -> {path} ({len(_SUITE_RECORDS)} updated, "
+          f"{len(records)} total)")

@@ -1,0 +1,19 @@
+"""Benchmark for EXP-F16: steady-state folding on harmonic sweeps.
+
+Long-horizon miss-ratio measurement over rate-harmonic task sets — the
+configuration where hyperperiod folding pays off most.  The driver's
+``meta`` carries the fold counters (cycles detected, jobs skipped), so
+this benchmark is also what puts folding effectiveness on the suite
+record in ``BENCH_suite.json``.
+"""
+
+from conftest import bench_experiment
+
+
+def test_f16_steady_state(benchmark):
+    result = bench_experiment(benchmark, "EXP-F16", n_sets=2, hyperperiods=24)
+    fold = result.meta.get("fold", {})
+    assert fold.get("folds", 0) > 0, (
+        "no hyperperiod cycles folded on a deterministic harmonic sweep"
+    )
+    assert fold.get("jobs_skipped", 0) > 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.analysis import AnalysisResult, analyze
+from repro.sched.rta import FixpointCache
 from repro.sched.task import TaskSet
 
 
@@ -43,6 +44,12 @@ def audsley(
     above it; repeat upward.  Returns the prioritized task set, or None
     when no assignment makes every task schedulable under ``method``.
     """
+    if analyze_fn is analyze:
+        # Successive trial sets share most of their fixpoint problems
+        # (only the candidate at `level` and the compacted prefix move);
+        # a per-search memo skips the repeated iterations outright.
+        cache = FixpointCache()
+        analyze_fn = lambda ts, m: analyze(ts, m, cache=cache)  # noqa: E731
     names = [t.name for t in taskset]
     unassigned = list(names)
     assigned: dict = {}

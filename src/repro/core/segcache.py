@@ -286,21 +286,36 @@ def clear_all() -> None:
     _pipeline._latency_memo.clear()
 
 
-def snapshot() -> Dict[str, Tuple[int, int]]:
-    """Current ``{cache: (hits, misses)}`` counter values."""
-    return {name: (cache.hits, cache.misses) for name, cache in CACHES.items()}
+def snapshot() -> Dict[str, Tuple[int, ...]]:
+    """Current counter values: ``(hits, misses)`` per plan cache, plus
+    the ``"sim.fold"`` (runs, folds, cycles_skipped, jobs_skipped) and
+    ``"rta.fixpoint"`` (exact_hits, misses, warm_hits) pseudo-entries —
+    one protocol carries every performance counter through the parallel
+    runner's worker deltas.
+    """
+    from repro.sched import rta, simulator
+
+    snap: Dict[str, Tuple[int, ...]] = {
+        name: (cache.hits, cache.misses) for name, cache in CACHES.items()
+    }
+    snap["sim.fold"] = simulator.fold_snapshot()
+    snap["rta.fixpoint"] = rta.fixpoint_snapshot()
+    return snap
 
 
-def delta_since(before: Mapping[str, Tuple[int, int]]) -> Dict[str, Tuple[int, int]]:
+def delta_since(before: Mapping[str, Tuple[int, ...]]) -> Dict[str, Tuple[int, ...]]:
     """Counter increments since a :func:`snapshot`."""
     now = snapshot()
-    return {
-        name: (h - before.get(name, (0, 0))[0], m - before.get(name, (0, 0))[1])
-        for name, (h, m) in now.items()
-    }
+    out: Dict[str, Tuple[int, ...]] = {}
+    for name, vals in now.items():
+        prev = before.get(name, ())
+        out[name] = tuple(
+            v - (prev[i] if i < len(prev) else 0) for i, v in enumerate(vals)
+        )
+    return out
 
 
-def absorb(delta: Mapping[str, Tuple[int, int]]) -> None:
+def absorb(delta: Mapping[str, Tuple[int, ...]]) -> None:
     """Fold a worker process's counter delta into this process's totals.
 
     Serial runs never call this — inline units already bumped the global
@@ -308,21 +323,35 @@ def absorb(delta: Mapping[str, Tuple[int, int]]) -> None:
     results coming back from a process pool, so :func:`snapshot` /
     :func:`delta_since` in the parent stay exact at any worker count.
     """
-    for name, (hits, misses) in delta.items():
-        cache = CACHES.get(name)
-        if cache is not None:
-            cache.add_counts(hits, misses)
+    for name, vals in delta.items():
+        if name == "sim.fold":
+            from repro.sched import simulator
+
+            simulator.fold_absorb(vals)
+        elif name == "rta.fixpoint":
+            from repro.sched import rta
+
+            rta.fixpoint_absorb(vals)
+        else:
+            cache = CACHES.get(name)
+            if cache is not None:
+                cache.add_counts(vals[0], vals[1])
 
 
 def merge_deltas(
-    deltas: Iterable[Mapping[str, Tuple[int, int]]]
-) -> Dict[str, Tuple[int, int]]:
+    deltas: Iterable[Mapping[str, Tuple[int, ...]]]
+) -> Dict[str, Tuple[int, ...]]:
     """Sum per-unit counter deltas (order-independent)."""
-    total: Dict[str, Tuple[int, int]] = {}
+    total: Dict[str, Tuple[int, ...]] = {}
     for delta in deltas:
-        for name, (h, m) in delta.items():
-            th, tm = total.get(name, (0, 0))
-            total[name] = (th + h, tm + m)
+        for name, vals in delta.items():
+            prev = total.get(name, ())
+            width = max(len(prev), len(vals))
+            total[name] = tuple(
+                (prev[i] if i < len(prev) else 0)
+                + (vals[i] if i < len(vals) else 0)
+                for i in range(width)
+            )
     return total
 
 
@@ -335,7 +364,9 @@ def counters(names: Tuple[str, ...] = ("refine", "search")) -> Tuple[int, int]:
 
 def stats() -> Dict[str, Dict[str, int]]:
     """Full per-cache statistics (for BENCH_suite.json and --profile)."""
-    return {
+    from repro.sched import rta, simulator
+
+    out = {
         name: {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -344,6 +375,9 @@ def stats() -> Dict[str, Dict[str, int]]:
         }
         for name, cache in CACHES.items()
     }
+    out["sim.fold"] = simulator.fold_counters()
+    out["rta.fixpoint"] = rta.fixpoint_counters()
+    return out
 
 
 def cache_note(totals: Mapping[str, Tuple[int, int]]) -> str:

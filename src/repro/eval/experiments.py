@@ -10,6 +10,7 @@ fast; pass ``scale=4`` or more for paper-quality curves).
 from __future__ import annotations
 
 import inspect
+import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -32,13 +33,19 @@ from repro.eval.metrics import (
     schedulability_ratio,
     tightness_ratios,
 )
-from repro.eval.parallel import run_units, stable_seed
+from repro.eval.parallel import run_units, simulate_batch, stable_seed
 from repro.eval.reporting import ExperimentResult
 from repro.eval.systems import SYSTEMS, admit, derive_taskset
 from repro.hw.dma import DmaArbitration
 from repro.hw.presets import PLATFORMS, get_platform
 from repro.sched.policies import CpuPolicy
-from repro.sched.simulator import SimConfig, simulate
+from repro.sched.simulator import (
+    SimConfig,
+    fold_delta_since,
+    fold_snapshot,
+    simulate,
+)
+from repro.sched.task import TaskSet
 from repro.workload.scenarios import get_scenario
 from repro.workload.taskset import generate_case
 
@@ -389,23 +396,48 @@ def exp_f6_sched_vs_bandwidth(
 _EVENT_BUDGET = 60_000
 
 
-def _simulate_case(taskset, horizon_jobs: int, phases_rng: Optional[random.Random],
-                   arbitration: DmaArbitration = DmaArbitration.PRIORITY):
+def _case_config(taskset, horizon_jobs: int,
+                 arbitration: DmaArbitration = DmaArbitration.PRIORITY) -> SimConfig:
+    """The sweep simulation config for ``taskset`` (phase-independent)."""
     max_period = max(t.period for t in taskset)
-    if phases_rng is not None:
-        taskset = taskset.with_phases(
-            [phases_rng.randrange(t.period) for t in taskset]
-        )
     # Events per cycle: ~4 per segment per job (release/load/compute/done).
     density = sum(4 * t.num_segments / t.period for t in taskset)
     horizon = min(horizon_jobs * max_period, int(_EVENT_BUDGET / density))
     horizon = max(horizon, 2 * max_period)
-    config = SimConfig(
+    return SimConfig(
         policy=CpuPolicy.FP_NP,
         dma_arbitration=arbitration,
         horizon=horizon,
     )
+
+
+def _simulate_case(taskset, horizon_jobs: int, phases_rng: Optional[random.Random],
+                   arbitration: DmaArbitration = DmaArbitration.PRIORITY):
+    config = _case_config(taskset, horizon_jobs, arbitration)
+    if phases_rng is not None:
+        taskset = taskset.with_phases(
+            [phases_rng.randrange(t.period) for t in taskset]
+        )
     return simulate(taskset, config)
+
+
+def _simulate_case_batch(taskset, horizon_jobs: int,
+                         phase_rngs: Sequence[Optional[random.Random]],
+                         arbitration: DmaArbitration = DmaArbitration.PRIORITY):
+    """Batched :func:`_simulate_case`: one config + shared setup per set.
+
+    Draws each phasing from its rng exactly as the scalar path does, so
+    every returned :class:`SimResult` is bit-identical to the
+    corresponding scalar call.
+    """
+    config = _case_config(taskset, horizon_jobs, arbitration)
+    cases = []
+    for prng in phase_rngs:
+        ts = taskset
+        if prng is not None:
+            ts = taskset.with_phases([prng.randrange(t.period) for t in taskset])
+        cases.append((ts, config))
+    return simulate_batch(cases)
 
 
 def _f7_unit(unit: Tuple) -> Tuple[Optional[Tuple[Dict, int]], Dict]:
@@ -427,10 +459,13 @@ def _f7_unit(unit: Tuple) -> Tuple[Optional[Tuple[Dict, int]], Dict]:
     for system in systems:
         taskset, method = derive_taskset(system, case)
         admitted = segcache.cached_analyze(taskset, method).schedulable
+        phase_rngs = [
+            random.Random(_stable_seed(seed, util, index, system, p))
+            for p in range(n_phasings)
+        ]
+        results = _simulate_case_batch(taskset, horizon_jobs=20, phase_rngs=phase_rngs)
         values = []
-        for p in range(n_phasings):
-            prng = random.Random(_stable_seed(seed, util, index, system, p))
-            result = _simulate_case(taskset, horizon_jobs=20, phases_rng=prng)
+        for result in results:
             values.append(miss_ratio(result))
             if system == "rtmdm" and admitted and result.total_misses:
                 admitted_missed += 1
@@ -506,15 +541,20 @@ def _f8_unit(unit: Tuple) -> Tuple[Optional[Dict[str, List[float]]], Dict]:
     case = generate_case(platform, util, rng)
     if not case.feasible:
         return None, segcache.delta_since(before)
+    admitted = [
+        (method, segcache.cached_analyze(case.taskset, method))
+        for method in METHODS
+    ]
+    admitted = [(m, r) for m, r in admitted if r.schedulable]
+    sims = _simulate_case_batch(
+        case.taskset, horizon_jobs=30,
+        phase_rngs=[
+            random.Random(_stable_seed(seed, util, index, method))
+            for method, _ in admitted
+        ],
+    )
     ratios: Dict[str, List[float]] = {}
-    for method in METHODS:
-        result = segcache.cached_analyze(case.taskset, method)
-        if not result.schedulable:
-            continue
-        sim = _simulate_case(
-            case.taskset, horizon_jobs=30,
-            phases_rng=random.Random(_stable_seed(seed, util, index, method)),
-        )
+    for (method, result), sim in zip(admitted, sims):
         ratios[method] = list(tightness_ratios(sim, result.wcrt))
     return ratios, segcache.delta_since(before)
 
@@ -699,18 +739,18 @@ def exp_f10_dma_policy(
             case = generate_case(platform, util, rng)
             if not case.feasible:
                 continue
-            for arb, sink in (
-                (DmaArbitration.PRIORITY, prio_miss),
-                (DmaArbitration.FIFO, fifo_miss),
-            ):
-                result = _simulate_case(
-                    case.taskset, horizon_jobs=20, phases_rng=None, arbitration=arb
-                )
-                sink.append(miss_ratio(result))
+            # One batched pair covers both the miss-ratio and the
+            # response-time columns: the runs are deterministic (no
+            # phasing rng), so reusing them is bit-identical to the
+            # former repeated scalar calls.
+            rp, rf = simulate_batch([
+                (case.taskset, _case_config(case.taskset, 20, DmaArbitration.PRIORITY)),
+                (case.taskset, _case_config(case.taskset, 20, DmaArbitration.FIFO)),
+            ])
+            prio_miss.append(miss_ratio(rp))
+            fifo_miss.append(miss_ratio(rf))
             # Response-time impact on the highest-priority task.
             top = case.taskset.sorted_by_priority()[0].name
-            rp = _simulate_case(case.taskset, 20, None, DmaArbitration.PRIORITY)
-            rf = _simulate_case(case.taskset, 20, None, DmaArbitration.FIFO)
             if rp.max_response(top) and rf.max_response(top):
                 deltas.append(rf.max_response(top) / rp.max_response(top))
         rows.append(
@@ -1496,14 +1536,14 @@ def _r2_unit(unit: Tuple) -> Tuple[Optional[Dict], Dict]:
     full_recovery = RecoveryConfig.for_platform(platform, ladder=ladders[-1])
     cost = fault_overhead_cycles(taskset, escalation, recovery=full_recovery)
     fa = fault_aware_analysis(taskset, retries, cost)
-    summaries = []
+    cases = []
     for ladder in ladders:
         recovery = (
             None
             if ladder is None
             else RecoveryConfig.for_platform(platform, ladder=ladder)
         )
-        result = simulate(
+        cases.append((
             taskset,
             SimConfig(
                 policy=CpuPolicy.FP_NP,
@@ -1511,8 +1551,8 @@ def _r2_unit(unit: Tuple) -> Tuple[Optional[Dict], Dict]:
                 escalation=escalation,
                 recovery=recovery,
             ),
-        )
-        summaries.append(recovery_summary(result))
+        ))
+    summaries = [recovery_summary(result) for result in simulate_batch(cases)]
     payload = {
         "fa_admit": fa.schedulable,
         "fault_cost": cost,
@@ -1637,3 +1677,147 @@ def exp_r2_recovery(
 
 
 EXPERIMENTS["EXP-R2"] = exp_r2_recovery
+
+
+# ----------------------------------------------------------------------
+# EXP-F16: steady-state folding on harmonic long-horizon sweeps
+# ----------------------------------------------------------------------
+
+
+def _harmonize(taskset):
+    """Quantize periods up to power-of-two multiples of the fastest.
+
+    Random sweep draws have near-co-prime periods whose LCM explodes,
+    so their simulations never see a repeated hyperperiod.  Rounding
+    every period *up* to ``base * 2^k`` keeps deadlines constrained
+    (periods only grow), caps the hyperperiod at ``base * 2^max_k``,
+    and models the rate-harmonic configurations MCU deployments
+    typically choose — the regime where steady-state folding applies.
+    """
+    from dataclasses import replace as _replace
+
+    base = min(t.period for t in taskset)
+    tasks = []
+    for t in taskset:
+        exponent = max(0, math.ceil(math.log2(t.period / base)))
+        tasks.append(_replace(t, period=base << exponent))
+    return TaskSet.of(tasks)
+
+
+def _f16_unit(unit: Tuple) -> Tuple[Optional[Dict], Dict]:
+    """One ``(utilization, set index)`` steady-state unit for EXP-F16.
+
+    Like :func:`_f7_unit` but on the harmonized task set over a horizon
+    of many hyperperiods: the deterministic configs fold their tail
+    cycles arithmetically, and the per-unit fold counters ride back for
+    the experiment's meta block.
+    """
+    from repro.robust.overload import OverrunPolicy
+
+    seed, platform, util, index, systems, hyperperiods = unit
+    before = segcache.snapshot()
+    rng = random.Random(_stable_seed(seed, "f16", util, index))
+    case = generate_case(platform, util, rng)
+    if not case.feasible:
+        return None, segcache.delta_since(before)
+    totals: Dict[str, float] = {}
+    fold_before = fold_snapshot()
+    cases = []
+    for system in systems:
+        taskset, _method = derive_taskset(system, case)
+        harmonic = _harmonize(taskset)
+        h = max(t.period for t in harmonic)  # power-of-two multiples: LCM = max
+        cases.append((harmonic, SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=hyperperiods * h,
+            # Steady state requires bounded state: under CONTINUE an
+            # overloaded baseline's backlog grows every hyperperiod and
+            # no cycle ever forms.  Aborting at the deadline (the abort
+            # still counts as a miss) keeps the state space finite, so
+            # every deterministic run reaches a repeating cycle.
+            overrun=OverrunPolicy.ABORT_AT_DEADLINE,
+        )))
+    for system, result in zip(systems, simulate_batch(cases)):
+        totals[system] = miss_ratio(result)
+    payload = {"totals": totals, "fold": fold_delta_since(fold_before)}
+    return payload, segcache.delta_since(before)
+
+
+def exp_f16_steady_state(
+    platform_key: str = "f746-qspi",
+    utils: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+    n_sets: int = 4,
+    hyperperiods: int = 48,
+    seed: int = 2031,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    **_,
+) -> ExperimentResult:
+    """Long-horizon miss ratio on harmonic period sets (fixed ``n_sets``).
+
+    The steady-state companion to EXP-F7: the same generator draws are
+    period-harmonized so the hyperperiod is tractable, then each system
+    is simulated over ``hyperperiods`` hyperperiods.  Deterministic
+    configs detect their state cycle after a few hyperperiods and fold
+    the remaining horizon arithmetically — rows are bit-identical with
+    folding disabled (``REPRO_SIM_FOLD=0``), just much slower.  Fold
+    counters are reported in ``meta`` (excluded from determinism
+    comparisons, since the unfolded path legitimately reports zero).
+    """
+    platform = get_platform(platform_key)
+    n = max(2, int(n_sets * scale))
+    systems = ("rtmdm", "single-buffer", "sequential")
+    units = [
+        (seed, platform, util, index, systems, hyperperiods)
+        for util in utils
+        for index in range(n)
+    ]
+    results = run_units(
+        _f16_unit, units, jobs=jobs, chunksize=max(1, n // 2), absorb_deltas=True
+    )
+    rows = []
+    deltas: List[Dict] = []
+    folds = cycles_skipped = jobs_skipped = 0
+    it = iter(results)
+    for util in utils:
+        totals: Dict[str, List[float]] = {s: [] for s in systems}
+        for _ in range(n):
+            payload, delta = next(it)
+            deltas.append(delta)
+            if payload is None:
+                continue
+            for system in systems:
+                totals[system].append(payload["totals"][system])
+            _runs, f, c, j = payload["fold"]
+            folds += f
+            cycles_skipped += c
+            jobs_skipped += j
+        row = [util]
+        for system in systems:
+            values = totals[system]
+            row.append(round(sum(values) / len(values), 4) if values else None)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        exp_id="EXP-F16",
+        title=(
+            f"Steady-state miss ratio on harmonic sets "
+            f"({n} sets x {hyperperiods} hyperperiods)"
+        ),
+        columns=("util", *systems),
+        rows=tuple(rows),
+        notes=_with_cache_note(
+            "harmonized periods; deterministic runs fold repeated "
+            "hyperperiod cycles (REPRO_SIM_FOLD=0 disables; rows identical)",
+            deltas,
+        ),
+        meta={
+            "fold": {
+                "folds": folds,
+                "cycles_skipped": cycles_skipped,
+                "jobs_skipped": jobs_skipped,
+            }
+        },
+    )
+
+
+EXPERIMENTS["EXP-F16"] = exp_f16_steady_state

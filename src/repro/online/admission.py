@@ -176,6 +176,10 @@ class AdmissionController:
         # admission.
         self._retry_budget = retry_budget
         self._fault_overhead = fault_overhead_cycles
+        # Screen chains across requests mostly repeat (only the request
+        # under test and tasks below it move); memoized WCRT problems
+        # make re-screens incremental without changing any verdict.
+        self._rta_cache = rta.FixpointCache()
         self._resident: Dict[str, Instance] = {}
         self._retired: List[Instance] = []
         self._reservations: List[Tuple[int, int]] = []
@@ -304,7 +308,12 @@ class AdmissionController:
                 priority=task.priority,
                 blocking=task.num_segments * max_lp_c + n_load * max_lp_l,
             )
-            wcrt = rta.fp_preemptive_wcrt([*screened, candidate], candidate)
+            # Re-screens across requests repeat the unchanged prefix of
+            # this chain verbatim; the memo returns those bounds without
+            # iterating (exact keying keeps the verdicts bit-identical).
+            wcrt = rta.fp_preemptive_wcrt(
+                [*screened, candidate], candidate, cache=self._rta_cache
+            )
             if wcrt is None or wcrt > task.deadline:
                 return False
             screened.append(

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+import os
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -63,6 +65,47 @@ _DMA_DONE = 1
 _CPU_DONE = 2
 _DEADLINE = 3
 
+#: Sentinel boundary meaning "no further fold fingerprinting".
+_FOLD_OFF = 1 << 63
+
+#: Give up fingerprinting after this many non-repeating boundaries: a
+#: system that has not reached steady state by then (e.g. unbounded
+#: backlog growth under overload) is unlikely to, and each fingerprint
+#: costs a full state walk.
+_FOLD_PROBE_LIMIT = 64
+
+# Process-wide fold counters (mirrors the plan-cache counter protocol:
+# snapshot/delta/absorb keep parallel sweeps exact at any worker count).
+_fold_counters = {"runs": 0, "folds": 0, "cycles_skipped": 0, "jobs_skipped": 0}
+
+
+def fold_counters() -> Dict[str, int]:
+    """Process-wide steady-state folding counters."""
+    return dict(_fold_counters)
+
+
+def fold_snapshot() -> Tuple[int, int, int, int]:
+    """Counter values for later :func:`fold_delta_since`."""
+    c = _fold_counters
+    return (c["runs"], c["folds"], c["cycles_skipped"], c["jobs_skipped"])
+
+
+def fold_delta_since(before: Tuple[int, int, int, int]) -> Tuple[int, int, int, int]:
+    """Counter increments since a :func:`fold_snapshot`."""
+    now = fold_snapshot()
+    return tuple(n - b for n, b in zip(now, before))  # type: ignore[return-value]
+
+
+def fold_absorb(delta: Tuple[int, int, int, int]) -> None:
+    """Fold a worker process's counter delta into this process's totals."""
+    for key, inc in zip(("runs", "folds", "cycles_skipped", "jobs_skipped"), delta):
+        _fold_counters[key] += inc
+
+
+def fold_enabled() -> bool:
+    """Whether steady-state folding is enabled (``REPRO_SIM_FOLD=0`` kills it)."""
+    return os.environ.get("REPRO_SIM_FOLD", "1") != "0"
+
 
 @dataclass(slots=True)
 class _Job:
@@ -82,6 +125,13 @@ class _Job:
     index: int
     release: int
     abs_deadline: int
+    # Hot-loop mirrors, frozen at creation: the scheduling passes touch
+    # these at every event, and a plain slot read beats a property or an
+    # attribute chain through ``task``.
+    n_seg: int = 0
+    buffers: int = 0
+    priority: int = 0
+    has_zero_loads: bool = False
     loads_issued: int = 0
     loads_done: int = 0
     computes_done: int = 0
@@ -153,6 +203,12 @@ class SimResult:
     recovery_latencies: List[int] = field(default_factory=list)
     recovery_counts: Dict[str, int] = field(default_factory=dict)
     quarantined: Tuple[str, ...] = ()
+    #: Steady-state folding telemetry: a detected state cycle lets the
+    #: simulator replay whole hyperperiods arithmetically.  Every other
+    #: field of the result is bit-identical to the unfolded run; these
+    #: two only describe how it was obtained.
+    fold_cycles: int = 0
+    fold_jobs_skipped: int = 0
 
     @property
     def total_misses(self) -> int:
@@ -244,10 +300,46 @@ class SimConfig:
             raise ValueError("OverrunPolicy.DEGRADE requires a DegradeConfig")
 
 
+class SharedSetup:
+    """Per-taskset precomputation shared across a batch of simulations.
+
+    :func:`repro.eval.parallel.simulate_batch` builds one of these and
+    hands it to every :class:`Simulator` of the batch, so the period
+    maximum and the (potentially big-int) hyperperiod LCM are computed
+    once per work unit instead of once per run.  Results are identical
+    with or without it.
+    """
+
+    __slots__ = ("max_period", "hyperperiod")
+
+    def __init__(self, taskset: TaskSet) -> None:
+        self.max_period = max(t.period for t in taskset)
+        self.hyperperiod = _capped_lcm([t.period for t in taskset])
+
+
+#: Hyperperiods beyond this are useless for folding (and big-int LCMs
+#: of co-prime periods get expensive); matches sched.rta.HYPERPERIOD_CAP.
+_HYPERPERIOD_CAP = 1 << 62
+
+
+def _capped_lcm(periods: List[int]) -> Optional[int]:
+    result = 1
+    for period in periods:
+        result = math.lcm(result, period)
+        if result > _HYPERPERIOD_CAP:
+            return None
+    return result
+
+
 class Simulator:
     """Event-driven executor for a :class:`~repro.sched.task.TaskSet`."""
 
-    def __init__(self, taskset: TaskSet, config: SimConfig) -> None:
+    def __init__(
+        self,
+        taskset: TaskSet,
+        config: SimConfig,
+        shared: Optional[SharedSetup] = None,
+    ) -> None:
         if config.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {config.horizon}")
         self.taskset = taskset
@@ -275,8 +367,12 @@ class Simulator:
         self._dma_retries = 0
         self._aborted = False
         self._truncated = False
-        self._hard_cap = int(config.horizon * config.hard_cap_factor) + max(
-            t.period for t in taskset
+        self._max_period = (
+            shared.max_period if shared is not None
+            else max(t.period for t in taskset)
+        )
+        self._hard_cap = (
+            int(config.horizon * config.hard_cap_factor) + self._max_period
         )
         self._arrival_rng = random.Random(config.seed)
         self._faults: Optional[FaultInjector] = (
@@ -304,6 +400,43 @@ class Simulator:
         self._recovery_latencies: List[int] = []
         self._recovery_counts: Dict[str, int] = {}
         self._quarantined: set = set()
+        self._stats_list: List[TaskStats] = [
+            self._stats[t.name] for t in self._tasks
+        ]
+        # ----- steady-state folding --------------------------------------
+        # Eligible only for fully deterministic, state-free configurations:
+        # everything the future evolution depends on must be captured by
+        # the boundary fingerprint.  DEGRADE carries OverloadManager mode
+        # state and traces carry absolute times/job indices, so both are
+        # excluded; abort_on_miss can stop a run mid-cycle.
+        self._fold_eligible = (
+            fold_enabled()
+            and not config.record_trace
+            and not config.abort_on_miss
+            and config.sporadic_slack == 0
+            and self._faults is None
+            and self._escalation is None
+            and self._recovery is None
+            and config.overrun is not OverrunPolicy.DEGRADE
+        )
+        self._fold_boundary = _FOLD_OFF
+        self._fold_period = 0
+        if self._fold_eligible:
+            h = (
+                shared.hyperperiod if shared is not None
+                else _capped_lcm([t.period for t in self._tasks])
+            )
+            # Need at least two boundaries inside the horizon for a
+            # fingerprint to repeat, plus headroom to make a fold pay.
+            if h is not None and 2 * h <= config.horizon:
+                self._fold_period = h
+                self._fold_boundary = h
+        self._fold_states: Dict[Tuple, Tuple[int, Tuple]] = {}
+        self._fold_probes = 0
+        self._fold_cycles = 0
+        self._fold_jobs_skipped = 0
+        self._folds = 0
+        self._release_suppressed = False
 
     # ------------------------------------------------------------------
     # Priorities (lower tuple = served first)
@@ -339,7 +472,16 @@ class Simulator:
         queue = self._queues[task_name]
         return queue[0] if queue else None
 
-    def _release(self, time: int, task: PeriodicTask, task_pos: int, index: int) -> None:
+    def _release(
+        self, time: int, task: PeriodicTask, task_pos: int, index: int
+    ) -> bool:
+        """Release one job; True iff a scheduling pass could now act.
+
+        A release into a non-empty queue changes nothing either resource
+        scheduler can see (only queue heads are candidates), so the main
+        loop skips the post-event scheduling pass for it.
+        """
+        changed = False
         if task.name in self._quarantined:
             # QUARANTINE: the task is suspended; its releases are
             # sacrificed (counted, so miss-ratio accounting stays honest)
@@ -348,7 +490,9 @@ class Simulator:
             next_time = time + task.period
             if next_time < self.config.horizon:
                 self._push(next_time, _RELEASE, (task_pos, index + 1))
-            return
+            else:
+                self._release_suppressed = True
+            return False
         if self._skip_next[task.name]:
             # SKIP_NEXT: a late predecessor sheds this release entirely;
             # the release schedule itself keeps its cadence.
@@ -370,10 +514,16 @@ class Simulator:
                 index=index,
                 release=time,
                 abs_deadline=time + task.deadline,
+                n_seg=len(segments),
+                buffers=task.buffers,
+                priority=task.priority,
+                has_zero_loads=any(s.load_cycles == 0 for s in segments),
             )
             if segments is not task.segments:
                 self._stats[task.name].degraded_jobs += 1
-            self._queues[task.name].append(job)
+            queue = self._queues[task.name]
+            changed = not queue  # a new head is scheduler-visible
+            queue.append(job)
             if self.trace is not None:
                 self._trace(
                     time=time, duration=0, resource="", kind="release",
@@ -388,6 +538,9 @@ class Simulator:
                 next_time += self._arrival_rng.randrange(slack + 1)
         if next_time < self.config.horizon:
             self._push(next_time, _RELEASE, (task_pos, index + 1))
+        else:
+            self._release_suppressed = True
+        return changed
 
     def _complete_job(self, time: int, job: _Job) -> None:
         job.finish = time
@@ -440,17 +593,17 @@ class Simulator:
                 job=job.index,
             )
 
-    def _deadline_abort(self, time: int, job: _Job) -> None:
+    def _deadline_abort(self, time: int, job: _Job) -> bool:
         """ABORT_AT_DEADLINE: kill ``job`` the instant its deadline passes."""
         if job.complete or job.aborted:
-            return
+            return False
         if (
             self._cpu_job is job
             and job.compute_remaining is not None
             and self._cpu_start + job.compute_remaining == time
             and job.computes_done + 1 == job.num_segments
         ):
-            return  # its final burst completes at this very instant: on time
+            return False  # its final burst completes at this very instant: on time
         if self._cpu_job is job:
             self._stop_compute(time, trace_kind=None)
         job.aborted = True
@@ -467,6 +620,7 @@ class Simulator:
         # An in-flight DMA transfer drains (non-preemptive hardware);
         # _dma_done frees the channel and discards the data.
         self._mode_transition(time, job, missed=True)
+        return True
 
     # ------------------------------------------------------------------
     # DMA scheduling
@@ -479,16 +633,29 @@ class Simulator:
         :meth:`_start_compute`).
         """
         recovery = self._recovery
+        if recovery is None:
+            # Nominal fast path: only jobs that actually carry a
+            # zero-cycle load (flagged at release) need the inner loop.
+            for queue in self._queue_list:
+                if queue:
+                    job = queue[0]
+                    if job.has_zero_loads:
+                        while (
+                            job.loads_issued < job.n_seg
+                            and job.loads_issued - job.computes_done < job.buffers
+                            and job.segments[job.loads_issued].load_cycles == 0
+                        ):
+                            job.loads_issued += 1
+                            job.loads_done += 1
+                            job.load_eligible_since = None
+            return
         for queue in self._queue_list:
             if not queue:
                 continue
             job = queue[0]
             while job.load_eligible() and (
                 job.segments[job.loads_issued].load_cycles == 0
-                or (
-                    recovery is not None
-                    and recovery.is_xip(job.task.name, job.loads_issued)
-                )
+                or recovery.is_xip(job.task.name, job.loads_issued)
             ):
                 job.loads_issued += 1
                 job.loads_done += 1
@@ -496,29 +663,46 @@ class Simulator:
 
     def _schedule_dma(self, time: int) -> None:
         self._advance_zero_loads()
-        while len(self._dma_channels) < self.config.dma_channels:
+        channels = self._dma_channels
+        n_channels = self.config.dma_channels
+        queue_list = self._queue_list
+        fifo = self._fifo_dma
+        deadline_driven = self._deadline_driven
+        while len(channels) < n_channels:
             # Single-channel runs (the common case) never have another
             # transfer in flight once the loop condition holds.
-            if self._dma_channels:
-                in_flight = set(id(j) for j in self._dma_channels.values())
-            else:
-                in_flight = ()
-            candidates: List[_Job] = []
-            for queue in self._queue_list:
+            in_flight = (
+                set(id(j) for j in channels.values()) if channels else None
+            )
+            job: Optional[_Job] = None
+            best_key = None
+            for queue in queue_list:
                 if not queue:
                     continue
-                job = queue[0]
+                cand = queue[0]
+                issued = cand.loads_issued
                 if (
-                    id(job) in in_flight  # one outstanding transfer per job
-                    or not job.load_eligible()
+                    issued >= cand.n_seg
+                    or issued - cand.computes_done >= cand.buffers
                 ):
-                    continue
-                if job.load_eligible_since is None:
-                    job.load_eligible_since = time
-                candidates.append(job)
-            if not candidates:
+                    continue  # no load pending or staging buffers full
+                if in_flight is not None and id(cand) in in_flight:
+                    continue  # one outstanding transfer per job
+                if cand.load_eligible_since is None:
+                    cand.load_eligible_since = time
+                if fifo:
+                    key = (cand.load_eligible_since, cand.release, cand.task_pos)
+                elif deadline_driven:
+                    key = (
+                        cand.abs_deadline, cand.priority,
+                        cand.release, cand.task_pos,
+                    )
+                else:
+                    key = (cand.priority, cand.release, cand.task_pos)
+                if best_key is None or key < best_key:
+                    job, best_key = cand, key
+            if job is None:
                 return
-            job = min(candidates, key=self._dma_key)
             segment = job.segments[job.loads_issued]
             transfer_cycles = segment.load_cycles
             outcome: Optional[TransferOutcome] = None
@@ -575,19 +759,20 @@ class Simulator:
                 )
             self._push(time + transfer_cycles, _DMA_DONE, (channel, job))
 
-    def _dma_done(self, time: int, channel: int, job: _Job) -> None:
+    def _dma_done(self, time: int, channel: int, job: _Job) -> bool:
         assert self._dma_channels.get(channel) is job, (
             "DMA completion for a job that is not transferring on this channel"
         )
         del self._dma_channels[channel]
         outcome = self._dma_fault_pending.pop(channel, None)
         if job.aborted:
-            return  # the transfer drained; its data is discarded
+            return True  # the transfer drained; the freed channel can restart
         if outcome is not None and not outcome.ok:
             self._on_transfer_fault(time, job, outcome)
-            return
+            return True
         job.loads_issued += 1
         job.loads_done += 1
+        return True
 
     def _on_transfer_fault(
         self, time: int, job: _Job, outcome: TransferOutcome
@@ -733,24 +918,48 @@ class Simulator:
         self._cpu_token += 1  # invalidate the in-flight CPU_DONE event
 
     def _schedule_cpu(self, time: int) -> None:
-        candidates = self._cpu_candidates()
-        if self._cpu_job is None:
-            if candidates:
-                self._start_compute(time, min(candidates, key=self._cpu_key))
+        cpu_job = self._cpu_job
+        if cpu_job is not None and not self._preemptive:
+            return  # non-preemptive: nothing to decide until the burst ends
+        deadline_driven = self._deadline_driven
+        best: Optional[_Job] = None
+        best_key = None
+        for queue in self._queue_list:
+            if queue:
+                job = queue[0]
+                # compute_ready (and implicitly not complete: a complete
+                # job has computes_done == n_seg >= loads_done).
+                if job.computes_done < job.loads_done:
+                    if deadline_driven:
+                        key = (
+                            job.abs_deadline, job.priority,
+                            job.release, job.task_pos,
+                        )
+                    else:
+                        key = (job.priority, job.release, job.task_pos)
+                    if best_key is None or key < best_key:
+                        best, best_key = job, key
+        if best is None:
             return
-        if not self._preemptive:
+        if cpu_job is None:
+            self._start_compute(time, best)
             return
-        others = [c for c in candidates if c is not self._cpu_job]
-        if not others:
-            return
-        best = min(others, key=self._cpu_key)
-        if self._cpu_key(best) < self._cpu_key(self._cpu_job):
+        if best is cpu_job:
+            return  # the running job already outranks every other candidate
+        if deadline_driven:
+            run_key = (
+                cpu_job.abs_deadline, cpu_job.priority,
+                cpu_job.release, cpu_job.task_pos,
+            )
+        else:
+            run_key = (cpu_job.priority, cpu_job.release, cpu_job.task_pos)
+        if best_key < run_key:
             self._stop_compute(time)
             self._start_compute(time, best)
 
-    def _cpu_done(self, time: int, token: int, job: _Job) -> None:
+    def _cpu_done(self, time: int, token: int, job: _Job) -> bool:
         if token != self._cpu_token or self._cpu_job is not job:
-            return  # stale completion from a preempted burst
+            return False  # stale completion from a preempted burst
         duration = time - self._cpu_start
         self._cpu_busy += duration
         if self.trace is not None:
@@ -767,46 +976,239 @@ class Simulator:
         self._cpu_token += 1
         job.compute_remaining = None
         job.computes_done += 1
-        if job.complete:
+        if job.computes_done == job.n_seg:
             self._complete_job(time, job)
+        return True
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def _dispatch(self, time: int, kind: int, payload: object) -> None:
+    # ------------------------------------------------------------------
+    # Steady-state folding
+    # ------------------------------------------------------------------
+    def _stats_mark(self) -> Tuple:
+        """Cumulative output counters (for per-cycle deltas)."""
+        return (
+            tuple(len(s.responses) for s in self._stats_list),
+            tuple(s.misses for s in self._stats_list),
+            tuple(s.aborts for s in self._stats_list),
+            tuple(s.skips for s in self._stats_list),
+            self._cpu_busy,
+            self._dma_busy,
+        )
+
+    def _fingerprint(self, boundary: int) -> Tuple:
+        """Canonical full state relative to ``boundary``.
+
+        Two boundary states with equal fingerprints evolve identically
+        (shifted in time): the fingerprint covers every queue's job
+        progress, CPU/DMA occupancy, the pending heap in pop order with
+        payloads reduced to queue-relative references (job indices and
+        stale tokens are canonicalized away — they are unobservable in a
+        traceless run), and the SKIP_NEXT flags.  Everything else the
+        evolution could read is constant (config, task parameters) or
+        excluded by fold eligibility (fault/recovery/degrade state,
+        arrival randomness).
+        """
+        queues = tuple(
+            tuple(
+                (
+                    job.loads_issued,
+                    job.loads_done,
+                    job.computes_done,
+                    job.compute_remaining,
+                    job.release - boundary,
+                    job.abs_deadline - boundary,
+                    None
+                    if job.load_eligible_since is None
+                    else job.load_eligible_since - boundary,
+                )
+                for job in queue
+            )
+            for queue in self._queue_list
+        )
+        cpu_job = self._cpu_job
+        cpu = (
+            None
+            if cpu_job is None
+            else (cpu_job.task_pos, self._cpu_start - boundary)
+        )
+        dma = tuple(
+            sorted(
+                (ch, -1 if job.aborted else job.task_pos)
+                for ch, job in self._dma_channels.items()
+            )
+        )
+        entries = []
+        for t, seq, kind, payload in sorted(self._heap):
+            if kind == _RELEASE:
+                canon: Tuple = (payload[0],)  # type: ignore[index]
+            elif kind == _DMA_DONE:
+                ch, job = payload  # type: ignore[misc]
+                canon = (ch, -1 if job.aborted else job.task_pos)
+            elif kind == _CPU_DONE:
+                token, job = payload  # type: ignore[misc]
+                if token == self._cpu_token and job is cpu_job:
+                    canon = (1, job.task_pos)
+                else:
+                    canon = (0,)  # stale: pops as a no-op
+            else:  # _DEADLINE
+                job = payload  # type: ignore[assignment]
+                if job.aborted or job.computes_done == job.n_seg:
+                    canon = (-1,)  # dead: pops as a no-op
+                else:
+                    queue = self._queue_list[job.task_pos]
+                    pos = next(i for i, j in enumerate(queue) if j is job)
+                    canon = (job.task_pos, pos)
+            entries.append((t - boundary, kind, canon))
+        return (
+            queues,
+            cpu,
+            dma,
+            tuple(entries),
+            tuple(self._skip_next.values()),
+        )
+
+    def _at_boundary(self, boundary: int) -> int:
+        """Fingerprint the state at a hyperperiod boundary; maybe fold.
+
+        Returns the next boundary to watch (``_FOLD_OFF`` to stop).
+        """
+        if self._release_suppressed:
+            # The horizon cut a release chain: cycles near the end are
+            # no longer translation-invariant, so stop fingerprinting.
+            return _FOLD_OFF
+        self._fold_probes += 1
+        if self._fold_probes > _FOLD_PROBE_LIMIT:
+            return _FOLD_OFF
+        fingerprint = self._fingerprint(boundary)
+        previous = self._fold_states.get(fingerprint)
+        if previous is None:
+            self._fold_states[fingerprint] = (boundary, self._stats_mark())
+            return boundary + self._fold_period
+        return self._fold(previous, boundary)
+
+    def _fold(self, previous: Tuple[int, Tuple], boundary: int) -> int:
+        """Replay whole cycles arithmetically instead of simulating them.
+
+        The state at ``boundary`` matches the recorded state at an
+        earlier boundary, so the run is periodic with period
+        ``boundary - earlier``.  Replaying ``n`` cycles means: extend
+        the output counters by ``n`` copies of the recorded per-cycle
+        delta and shift all live state ``n`` periods into the future.
+        ``n`` is capped so every replayed release (all of which fall
+        before ``cycle end + max_period``) still lands inside the
+        horizon and below the hard cap — the tail past the last whole
+        cycle is simulated normally, which also pins ``end_time``.
+        """
+        start, mark = previous
+        period = boundary - start
+        limit = min(self.config.horizon, self._hard_cap)
+        n = (limit - self._max_period - boundary) // period
+        if n <= 0:
+            return boundary + self._fold_period
+        (
+            (resp0, miss0, abort0, skip0, cpu0, dma0),
+            (resp1, miss1, abort1, skip1, cpu1, dma1),
+        ) = (mark, self._stats_mark())
+        jobs_per_cycle = 0
+        for i, stats in enumerate(self._stats_list):
+            cycle_responses = stats.responses[resp0[i]:resp1[i]]
+            if cycle_responses:
+                stats.responses.extend(cycle_responses * n)
+            stats.misses += n * (miss1[i] - miss0[i])
+            stats.aborts += n * (abort1[i] - abort0[i])
+            stats.skips += n * (skip1[i] - skip0[i])
+            jobs_per_cycle += (
+                len(cycle_responses)
+                + (abort1[i] - abort0[i])
+                + (skip1[i] - skip0[i])
+            )
+        self._cpu_busy += n * (cpu1 - cpu0)
+        self._dma_busy += n * (dma1 - dma0)
+        shift = n * period
+        shifted = set()
+        for queue in self._queue_list:
+            for job in queue:
+                shifted.add(id(job))
+                job.release += shift
+                job.abs_deadline += shift
+                if job.load_eligible_since is not None:
+                    job.load_eligible_since += shift
+        for job in self._dma_channels.values():
+            if id(job) not in shifted:  # aborted mid-transfer: off-queue
+                job.release += shift
+                job.abs_deadline += shift
+        if self._cpu_job is not None:
+            self._cpu_start += shift
+        # A uniform time shift preserves heap order (sequence numbers
+        # break all remaining ties), so no re-heapify is needed.
+        self._heap[:] = [
+            (t + shift, seq, kind, payload)
+            for t, seq, kind, payload in self._heap
+        ]
+        self._folds += 1
+        self._fold_cycles += n
+        self._fold_jobs_skipped += n * jobs_per_cycle
+        return _FOLD_OFF
+
+    def _dispatch(self, time: int, kind: int, payload: object) -> bool:
+        """Process one event; True iff scheduler-visible state changed.
+
+        Releases into backlogged queues and stale completions mutate
+        nothing a scheduling pass could act on, and the passes are
+        idempotent, so the main loop skips the pass for such batches.
+        """
         if kind == _RELEASE:
             pos, index = payload  # type: ignore[misc]
-            self._release(time, self.taskset[pos], pos, index)
-        elif kind == _DMA_DONE:
+            return self._release(time, self.taskset[pos], pos, index)
+        if kind == _DMA_DONE:
             channel, job = payload  # type: ignore[misc]
-            self._dma_done(time, channel, job)
-        elif kind == _CPU_DONE:
+            return self._dma_done(time, channel, job)
+        if kind == _CPU_DONE:
             token, job = payload  # type: ignore[misc]
-            self._cpu_done(time, token, job)
-        else:
-            self._deadline_abort(time, payload)  # type: ignore[arg-type]
+            return self._cpu_done(time, token, job)
+        return self._deadline_abort(time, payload)  # type: ignore[arg-type]
 
     def run(self) -> SimResult:
         """Execute the simulation and return aggregated results."""
         for pos, task in enumerate(self.taskset):
             if task.phase < self.config.horizon:
                 self._push(task.phase, _RELEASE, (pos, 0))
+        heap = self._heap
+        pop = heapq.heappop
+        dispatch = self._dispatch
+        hard_cap = self._hard_cap
+        fold_boundary = self._fold_boundary
         time = 0
-        while self._heap and not self._aborted:
-            time, _, kind, payload = heapq.heappop(self._heap)
-            if time > self._hard_cap:
+        while heap and not self._aborted:
+            if heap[0][0] >= fold_boundary:
+                # All events before the hyperperiod boundary are done:
+                # fingerprint the state (and fold on a repeat) before
+                # crossing into the next cycle.
+                fold_boundary = self._at_boundary(fold_boundary)
+                continue
+            time, _, kind, payload = pop(heap)
+            if time > hard_cap:
                 self._truncated = True
                 break
-            self._dispatch(time, kind, payload)
+            changed = dispatch(time, kind, payload)
             # Drain simultaneous events before making scheduling decisions.
-            while self._heap and self._heap[0][0] == time and not self._aborted:
-                _, _, kind, payload = heapq.heappop(self._heap)
-                self._dispatch(time, kind, payload)
-            if not self._aborted:
+            while heap and heap[0][0] == time and not self._aborted:
+                _, _, kind, payload = pop(heap)
+                if dispatch(time, kind, payload):
+                    changed = True
+            if changed and not self._aborted:
                 self._schedule_dma(time)
                 self._schedule_cpu(time)
         for task in self.taskset:
             self._stats[task.name].unfinished += len(self._queues[task.name])
+        counters = _fold_counters
+        counters["runs"] += 1
+        if self._folds:
+            counters["folds"] += self._folds
+            counters["cycles_skipped"] += self._fold_cycles
+            counters["jobs_skipped"] += self._fold_jobs_skipped
         return SimResult(
             stats=self._stats,
             trace=self.trace,
@@ -820,9 +1222,15 @@ class Simulator:
             recovery_latencies=self._recovery_latencies,
             recovery_counts=self._recovery_counts,
             quarantined=tuple(sorted(self._quarantined)),
+            fold_cycles=self._fold_cycles,
+            fold_jobs_skipped=self._fold_jobs_skipped,
         )
 
 
-def simulate(taskset: TaskSet, config: SimConfig) -> SimResult:
+def simulate(
+    taskset: TaskSet,
+    config: SimConfig,
+    shared: Optional[SharedSetup] = None,
+) -> SimResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(taskset, config).run()
+    return Simulator(taskset, config, shared).run()

@@ -1,0 +1,168 @@
+"""Bit-identity regression matrix for steady-state folding and batching.
+
+Folding replays whole hyperperiods arithmetically once the simulator
+sees a repeated boundary state; batching shares input-derived setup
+across runs.  Neither is allowed to change a single field of any
+:class:`~repro.sched.simulator.SimResult`.  This module pins that down
+as a matrix: fold on/off x batched vs scalar execution x every CPU
+policy x both DMA arbitrations, over random harmonic task sets and the
+scenario zoo's planned deployments.
+
+``fold_cycles``/``fold_jobs_skipped`` are telemetry about *how* the
+result was obtained and are excluded from the fold-on/off comparison
+(a fold-off run legitimately reports zero); every other field must
+match exactly.  Batch-vs-scalar comparisons include them — the shared
+setup must not even change how folding proceeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import random
+
+import pytest
+
+from conftest import random_taskset
+from repro.core.framework import RtMdm
+from repro.hw.dma import DmaArbitration
+from repro.hw.presets import get_platform
+from repro.sched.policies import CpuPolicy
+from repro.sched.simulator import SimConfig, fold_enabled, simulate
+from repro.sched.task import TaskSet
+from repro.eval.parallel import simulate_batch
+from repro.workload.scenarios import get_scenario
+
+MATRIX = sorted(
+    itertools.product(CpuPolicy, DmaArbitration),
+    key=lambda pair: (pair[0].value, pair[1].value),
+)
+
+#: Planned scenario deployments exercised alongside random sets.  Two
+#: suffice for coverage (distinct platforms / task counts) while keeping
+#: the matrix quick; the zoo's remaining scenarios share the same code
+#: paths.
+ZOO = ("doorbell", "wearable")
+
+
+def _harmonic(taskset: TaskSet) -> TaskSet:
+    """Round every period up to ``base * 2**k`` (base = min period).
+
+    Constrained deadlines stay constrained because periods only grow,
+    and the hyperperiod collapses to the maximum period — small enough
+    that a test horizon spans many of them, which is what arms folding.
+    """
+    base = min(t.period for t in taskset)
+    tasks = []
+    for t in taskset:
+        exponent = max(0, math.ceil(math.log2(t.period / base)))
+        tasks.append(dataclasses.replace(t, period=base << exponent))
+    return TaskSet.of(tasks)
+
+
+def _zoo_taskset(key: str) -> TaskSet:
+    scenario = get_scenario(key)
+    rt = RtMdm(get_platform(scenario.platform_key))
+    for spec in scenario.specs():
+        rt.add_task(spec.name, spec.model, spec.period_s, spec.deadline_s)
+    config = rt.configure()
+    assert config.feasible and config.taskset is not None
+    return _harmonic(config.taskset)
+
+
+def _random_harmonic(seed: int) -> TaskSet:
+    rng = random.Random(seed)
+    return _harmonic(
+        random_taskset(rng, n_tasks=rng.randint(2, 4), util_target=0.6)
+    )
+
+
+def _config(taskset: TaskSet, policy: CpuPolicy, arb: DmaArbitration) -> SimConfig:
+    hyper = max(t.period for t in taskset)
+    return SimConfig(
+        policy=policy, dma_arbitration=arb, horizon=16 * hyper
+    )
+
+
+def _essence(result) -> dict:
+    """Every SimResult field except the folding telemetry."""
+    d = dataclasses.asdict(result)
+    d.pop("fold_cycles")
+    d.pop("fold_jobs_skipped")
+    return d
+
+
+@pytest.fixture
+def fold_off(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_FOLD", "0")
+    assert not fold_enabled()
+
+
+@pytest.mark.parametrize("policy,arb", MATRIX)
+def test_fold_identical_to_unfolded_random_sets(policy, arb, monkeypatch):
+    for seed in (1, 2, 3):
+        taskset = _random_harmonic(seed)
+        config = _config(taskset, policy, arb)
+        monkeypatch.setenv("REPRO_SIM_FOLD", "0")
+        unfolded = simulate(taskset, config)
+        monkeypatch.setenv("REPRO_SIM_FOLD", "1")
+        folded = simulate(taskset, config)
+        assert _essence(folded) == _essence(unfolded)
+        assert unfolded.fold_cycles == 0
+
+
+@pytest.mark.parametrize("key", ZOO)
+def test_fold_identical_to_unfolded_scenario_zoo(key, monkeypatch):
+    taskset = _zoo_taskset(key)
+    for policy, arb in MATRIX:
+        config = _config(taskset, policy, arb)
+        monkeypatch.setenv("REPRO_SIM_FOLD", "0")
+        unfolded = simulate(taskset, config)
+        monkeypatch.setenv("REPRO_SIM_FOLD", "1")
+        folded = simulate(taskset, config)
+        assert _essence(folded) == _essence(unfolded)
+
+
+@pytest.mark.parametrize("fold", ["1", "0"])
+def test_batch_identical_to_scalar(fold, monkeypatch):
+    """simulate_batch == [simulate(...)] under both fold settings,
+    including the telemetry fields (shared setup must not perturb
+    folding), across the full policy/arbitration matrix."""
+    monkeypatch.setenv("REPRO_SIM_FOLD", fold)
+    tasksets = [_random_harmonic(s) for s in (4, 5)] + [
+        _zoo_taskset(ZOO[0])
+    ]
+    cases = [
+        (ts, _config(ts, policy, arb))
+        for ts in tasksets
+        for policy, arb in MATRIX
+    ]
+    batched = simulate_batch(cases)
+    scalar = [simulate(ts, cfg) for ts, cfg in cases]
+    assert [dataclasses.asdict(b) for b in batched] == [
+        dataclasses.asdict(s) for s in scalar
+    ]
+
+
+def test_folding_engages_on_harmonic_sets():
+    """The matrix above is only meaningful if folding actually fires;
+    pin that a deterministic harmonic set folds and skips real work."""
+    engaged = 0
+    for seed in (1, 2, 3):
+        taskset = _random_harmonic(seed)
+        result = simulate(
+            taskset, _config(taskset, CpuPolicy.FP_NP, DmaArbitration.PRIORITY)
+        )
+        if result.fold_cycles:
+            assert result.fold_jobs_skipped > 0
+            engaged += 1
+    assert engaged > 0
+
+
+def test_kill_switch_reports_zero_telemetry(fold_off):
+    taskset = _random_harmonic(1)
+    result = simulate(
+        taskset, _config(taskset, CpuPolicy.FP_NP, DmaArbitration.PRIORITY)
+    )
+    assert result.fold_cycles == 0 and result.fold_jobs_skipped == 0
