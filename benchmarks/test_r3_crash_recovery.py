@@ -1,0 +1,15 @@
+"""Benchmark for EXP-R3: crash recovery vs checkpoint interval."""
+
+from conftest import bench_experiment
+
+
+def test_r3_crash_recovery(benchmark):
+    result = bench_experiment(
+        benchmark, "EXP-R3", checkpoint_intervals=(2, 4, 8, 16), duration_s=8.0
+    )
+    # Every crashed-and-recovered run must match the uninterrupted run
+    # bit-for-bit, and recovery must replay only the post-checkpoint
+    # suffix — these are the acceptance gates, not just reporting.
+    for interval, crashes, _, _, replayed_max, _, identical in result.rows:
+        assert identical == crashes
+        assert replayed_max <= interval

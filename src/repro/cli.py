@@ -109,15 +109,16 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 1
     print(f"platform: {config.platform.name}")
     print(f"admitted: {config.admitted} (analysis: {config.analysis.method})")
-    for row in config.report_rows():
-        wcrt = f"{row['wcrt_ms']:.2f}" if row["wcrt_ms"] is not None else "-"
-        print(
-            f"  {row['task']:10s} prio={row['priority']} T={row['period_ms']:.0f}ms "
-            f"segs={row['segments']:3d} sram={row['sram_kib']:.1f}Ki "
-            f"weights={row['weights_in']:8s} "
-            f"lat={row['latency_ms']:.2f}ms wcrt={wcrt}ms "
-            f"{'OK' if row['admitted'] else 'MISS-RISK'}"
-        )
+    if not args.quiet:
+        for row in config.report_rows():
+            wcrt = f"{row['wcrt_ms']:.2f}" if row["wcrt_ms"] is not None else "-"
+            print(
+                f"  {row['task']:10s} prio={row['priority']} T={row['period_ms']:.0f}ms "
+                f"segs={row['segments']:3d} sram={row['sram_kib']:.1f}Ki "
+                f"weights={row['weights_in']:8s} "
+                f"lat={row['latency_ms']:.2f}ms wcrt={wcrt}ms "
+                f"{'OK' if row['admitted'] else 'MISS-RISK'}"
+            )
     if config.placement and config.placement.resident:
         print(
             f"internal flash: {config.placement.flash_used / 1024:.0f} / "
@@ -473,6 +474,9 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         f"cost={cost} cyc/fault): "
         + ("ADMIT" if fa.schedulable else "REJECT")
     )
+    if args.quiet:
+        print(f"survives: {'yes' if ok else 'NO'}")
+        return 0 if ok else 1
     print(
         f"{'ladder':8s} {'jobs':>5s} {'miss%':>7s} {'faults':>6s} "
         f"{'remaps':>6s} {'xip':>5s} {'degr':>5s} {'quar':>5s} "
@@ -508,30 +512,127 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace = RequestTrace.from_json(handle.read())
     else:
         trace = poisson_trace(args.duration, args.rate, seed=args.seed)
+    if args.restore and not args.journal:
+        raise ValueError("--restore requires --journal")
     runtime = OnlineRuntime(platform, protocol=Protocol(args.protocol))
-    report = runtime.serve(trace, simulate=not args.no_sim)
+    durable = None
+    if args.journal:
+        from repro.online.durable import serve_trace_durable
+
+        durable = serve_trace_durable(
+            runtime,
+            trace,
+            args.journal,
+            checkpoint_interval=args.checkpoint_interval,
+            restore=args.restore,
+            simulate=not args.no_sim,
+        )
+        report = durable.report
+    else:
+        report = runtime.serve(trace, simulate=not args.no_sim)
     if args.json:
-        print(json.dumps(report.to_dict(mcu=platform.mcu), indent=2))
+        payload = report.to_dict(mcu=platform.mcu)
+        if durable is not None:
+            payload["durable"] = {
+                "journal": args.journal,
+                "records": durable.journal_records,
+                "checkpoints": durable.checkpoints_written,
+                "invariants": dict(durable.invariants),
+                "gate": durable.gate.to_dict(),
+            }
+            if durable.recovery is not None:
+                payload["durable"]["recovery"] = durable.recovery.to_dict()
+        print(json.dumps(payload, indent=2))
         return 0 if report.sound else 1
     print(f"platform: {platform.name} "
           f"({platform.usable_sram_bytes / 1024:.0f} KiB SRAM)")
     source = args.trace or f"poisson rate={args.rate}/s seed={args.seed}"
     print(f"trace: {source} ({trace.duration_s:g}s, {len(trace)} requests)")
-    for d in report.decisions:
-        extra = f" [{d.mode}]" if d.outcome == "admitted" and d.mode != "full" else ""
-        detail = f" ({d.reason})" if d.outcome in ("rejected", "ignored") else ""
-        proto = f" via {d.protocol}" if d.protocol == "drain" else ""
-        print(f"  t={d.time_s:7.3f}s {d.kind:7s} {d.task:10s} "
-              f"{d.outcome}{extra}{proto}{detail}")
+    if durable is not None and durable.recovery is not None:
+        rec = durable.recovery
+        print(f"recovered from {args.journal}: checkpoint seq {rec.checkpoint_seq}, "
+              f"replayed {rec.decisions_replayed} decisions "
+              f"({rec.records_scanned} records, "
+              f"{rec.truncated_lines} torn lines dropped) "
+              f"in {rec.recovery_us / 1000:.1f} ms")
+    if not args.quiet:
+        for d in report.decisions:
+            extra = f" [{d.mode}]" if d.outcome == "admitted" and d.mode != "full" else ""
+            detail = f" ({d.reason})" if d.outcome in ("rejected", "ignored") else ""
+            proto = f" via {d.protocol}" if d.protocol == "drain" else ""
+            print(f"  t={d.time_s:7.3f}s {d.kind:7s} {d.task:10s} "
+                  f"{d.outcome}{extra}{proto}{detail}")
     print(f"admitted {report.admitted}/{report.admit_requests} "
           f"({report.degraded} degraded), "
           f"rejected {report.rejected_sram} sram / {report.rejected_rta} rta")
+    if durable is not None:
+        checks = sum(durable.invariants.values())
+        print(f"journal: {args.journal} ({durable.journal_records} records, "
+              f"{durable.checkpoints_written} checkpoints); "
+              f"invariants: {checks} checks passed")
     if report.sim is not None:
         verdict = "no misses" if report.sim.no_misses else (
             f"{report.sim.total_misses} MISSES")
         print(f"execution: {verdict} over "
               f"{platform.mcu.cycles_to_ms(report.sim.end_time):.0f} ms")
     return 0 if report.sound else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.online.runtime import OnlineRuntime
+    from repro.robust.chaos import CHAOS_MODES, run_matrix
+    from repro.robust.metrics import chaos_summary
+    from repro.workload.arrivals import poisson_trace
+
+    if args.modes == "all":
+        modes = CHAOS_MODES
+    else:
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    platform = get_platform(args.platform or "f746-qspi")
+    runtime = OnlineRuntime(platform)
+    trace = poisson_trace(args.duration, args.rate, seed=args.seed)
+    report = run_matrix(
+        runtime,
+        trace,
+        modes=modes,
+        crash_stride=args.crash_stride,
+        checkpoint_interval=args.checkpoint_interval,
+        seed=args.seed,
+        journal_dir=args.journal_dir,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    summary = chaos_summary(report)
+    print(f"platform: {platform.name}")
+    print(f"matrix: {report.n_decisions} decisions x {len(modes)} modes "
+          f"(stride {args.crash_stride}, checkpoint every "
+          f"{args.checkpoint_interval}) -> {summary['cells']} cells")
+    if not args.quiet:
+        print(f"{'mode':18s} {'cells':>5s} {'identical':>9s} "
+              f"{'replay max':>10s} {'absorbed':>8s}")
+        for mode in modes:
+            cells = [c for c in report.cells if c.mode == mode]
+            print(
+                f"{mode:18s} {len(cells):5d} "
+                f"{sum(1 for c in cells if c.identical):9d} "
+                f"{max((c.decisions_replayed for c in cells), default=0):10d} "
+                f"{sum(c.duplicates_absorbed for c in cells):8d}"
+            )
+    for cell in report.cells:
+        if not cell.ok:
+            print(f"FAIL {cell.mode} crash_at={cell.crash_at}: "
+                  f"identical={cell.identical} "
+                  f"replayed={cell.decisions_replayed} "
+                  f"(checkpoint seq {cell.checkpoint_seq})")
+    checks = sum(report.invariants.values())
+    print(f"invariants: {checks} checks "
+          f"({', '.join(sorted(report.invariants))})")
+    verdict = "OK" if report.ok else "FAILED"
+    print(f"chaos matrix: {verdict} "
+          f"({summary['identical_cells']}/{summary['cells']} bit-identical, "
+          f"max replay {summary['max_replayed']})")
+    return 0 if report.ok else 1
 
 
 def _run_exp_ids(args: argparse.Namespace, ids: List[str]) -> None:
@@ -594,6 +695,36 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _typed_errors() -> tuple:
+    """Exception types reported as one-line typed errors (exit code 2).
+
+    Everything here is a *user-facing* failure — a bad trace file, a
+    damaged journal, a config mismatch on restore, an invalid flag
+    combination — not a bug, so the CLI prints ``error: <Type>: <msg>``
+    on stderr instead of a traceback.  Imported lazily so ``rtmdm
+    models`` doesn't pay for the online stack.
+    """
+    from repro.online.admission import CheckpointError
+    from repro.online.durable import (
+        InvariantViolation,
+        JournalError,
+        StreamError,
+    )
+    from repro.online.events import TraceFormatError
+
+    return (
+        TraceFormatError,
+        JournalError,
+        CheckpointError,
+        StreamError,
+        InvariantViolation,
+        FileNotFoundError,
+        IsADirectoryError,
+        PermissionError,
+        ValueError,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``rtmdm`` script)."""
     parser = argparse.ArgumentParser(
@@ -612,6 +743,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     plan.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
     plan.add_argument("--flash", action="store_true",
                       help="place small models in internal flash")
+    plan.add_argument("--quiet", action="store_true",
+                      help="suppress the per-task table; verdict only")
     plan.add_argument("--json", action="store_true",
                       help="machine-readable plan report on stdout")
     plan.set_defaults(fn=_cmd_plan)
@@ -651,9 +784,50 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default="auto", help="mode-change protocol")
     serve.add_argument("--no-sim", action="store_true",
                        help="decisions only; skip the fault-free execution")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="write-ahead decision journal "
+                       "(rtmdm-journal/1); enables crash-tolerant serving")
+    serve.add_argument("--checkpoint-interval", type=int, default=16,
+                       dest="checkpoint_interval", metavar="N",
+                       help="checkpoint controller state every N decisions "
+                       "(journaled serving only; default: 16)")
+    serve.add_argument("--restore", action="store_true",
+                       help="recover controller state from --journal "
+                       "(checkpoint + suffix replay) before serving")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the per-decision log; summary only")
     serve.add_argument("--json", action="store_true",
                        help="machine-readable event log on stdout")
     serve.set_defaults(fn=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash/chaos-injection matrix over the durable serving layer",
+    )
+    chaos.add_argument("--platform", choices=sorted(PLATFORMS), default=None)
+    chaos.add_argument("--rate", type=float, default=1.5,
+                       help="mean ADMIT arrival rate in requests/s")
+    chaos.add_argument("--duration", type=float, default=5.0,
+                       help="trace horizon in seconds")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--modes", default="all",
+                       help="comma-separated perturbation modes, or 'all' "
+                       "(none, duplicate, reorder, drop, skew, "
+                       "truncate-journal, corrupt-journal)")
+    chaos.add_argument("--crash-stride", type=int, default=1,
+                       dest="crash_stride", metavar="K",
+                       help="crash at every K-th decision index (1 = all)")
+    chaos.add_argument("--checkpoint-interval", type=int, default=8,
+                       dest="checkpoint_interval", metavar="N")
+    chaos.add_argument("--journal-dir", default=None, dest="journal_dir",
+                       metavar="DIR", help="keep per-cell journals here "
+                       "(default: fresh temp dir)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress the per-mode table; verdict only")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable matrix report on stdout "
+                       "(schema rtmdm-chaos/1)")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     energy = sub.add_parser("energy", help="energy budget of a scenario")
     energy.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",
@@ -729,6 +903,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          choices=(*_RECOVER_LADDERS, "all"), default="all",
                          help="recovery ladder to simulate (default: all)")
     recover.add_argument("--seed", type=int, default=1)
+    recover.add_argument("--quiet", action="store_true",
+                         help="suppress the per-ladder table; verdict only")
     recover.add_argument("--json", action="store_true",
                          help="machine-readable report on stdout "
                          "(schema rtmdm-recover/1)")
@@ -762,7 +938,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     exp.set_defaults(fn=_cmd_exp)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except _typed_errors() as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

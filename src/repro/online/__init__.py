@@ -25,24 +25,73 @@ whole system provably stays schedulable:
   :mod:`repro.robust.recovery`); a post-run health monitor compares
   observed fault rates against the admitted retry budget and drives
   over-budget tasks through the mode-change path.
+* :mod:`repro.online.durable` — crash tolerance for the serve loop: a
+  CRC-tagged write-ahead decision journal, controller checkpoint /
+  restore with suffix-only replay, an ingress gate normalizing
+  at-least-once delivery, and an inline runtime invariant monitor.
 """
 
-from repro.online.admission import AdmissionController, Decision, Instance
-from repro.online.events import Request, RequestKind, RequestTrace
-from repro.online.modechange import Protocol, idle_instant_bound
+from repro.online.admission import (
+    AdmissionController,
+    CheckpointError,
+    Decision,
+    Instance,
+)
+from repro.online.durable import (
+    DecisionJournal,
+    DurableServeResult,
+    Envelope,
+    IngressGate,
+    InjectedCrash,
+    InvariantMonitor,
+    InvariantViolation,
+    JournalError,
+    RecoveryReport,
+    StreamError,
+    envelope_stream,
+    recover,
+    scan_journal,
+    serve_durable,
+    serve_trace_durable,
+)
+from repro.online.events import (
+    Request,
+    RequestKind,
+    RequestTrace,
+    TraceFormatError,
+)
+from repro.online.modechange import Protocol, drain_start, idle_instant_bound
 from repro.online.runtime import OnlineRuntime, ServeReport
 from repro.online.sim import DynamicSimulator
 
 __all__ = [
     "AdmissionController",
+    "CheckpointError",
     "Decision",
+    "DecisionJournal",
+    "DurableServeResult",
     "DynamicSimulator",
+    "Envelope",
+    "IngressGate",
+    "InjectedCrash",
     "Instance",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "JournalError",
     "OnlineRuntime",
     "Protocol",
+    "RecoveryReport",
     "Request",
     "RequestKind",
     "RequestTrace",
     "ServeReport",
+    "StreamError",
+    "TraceFormatError",
+    "drain_start",
+    "envelope_stream",
     "idle_instant_bound",
+    "recover",
+    "scan_journal",
+    "serve_durable",
+    "serve_trace_durable",
 ]

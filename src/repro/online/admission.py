@@ -49,7 +49,7 @@ from repro.core.segmentation import SegmentationError
 from repro.dnn.quantization import INT8, Quantization
 from repro.hw.platform import Platform
 from repro.online.events import Request, RequestKind
-from repro.online.modechange import Protocol, idle_instant_bound
+from repro.online.modechange import Protocol, drain_start
 from repro.robust.overload import degraded_variant
 from repro.sched import rta
 from repro.sched.task import PeriodicTask, Segment, TaskSet, inflate_loads
@@ -86,6 +86,52 @@ class Instance:
             priority=priority,
             phase=phase,
             buffers=self.buffers,
+        )
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (checkpoint payloads, chaos comparisons).
+
+        Segments are embedded in full, so a restored instance never
+        consults the plan cache — checkpoints are plan-cache-independent
+        by construction.
+        """
+        return {
+            "instance": self.instance,
+            "task": self.task,
+            "model": self.model,
+            "segments": [
+                {
+                    "name": s.name,
+                    "load_cycles": s.load_cycles,
+                    "compute_cycles": s.compute_cycles,
+                    "load_bytes": s.load_bytes,
+                    "xip_bytes": s.xip_bytes,
+                }
+                for s in self.segments
+            ],
+            "period": self.period,
+            "deadline": self.deadline,
+            "buffers": self.buffers,
+            "sram_bytes": self.sram_bytes,
+            "mode": self.mode,
+            "start_cycle": self.start_cycle,
+            "stop_cycle": self.stop_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Instance":
+        return cls(
+            instance=d["instance"],
+            task=d["task"],
+            model=d["model"],
+            segments=tuple(Segment(**s) for s in d["segments"]),
+            period=d["period"],
+            deadline=d["deadline"],
+            buffers=d["buffers"],
+            sram_bytes=d["sram_bytes"],
+            mode=d["mode"],
+            start_cycle=d["start_cycle"],
+            stop_cycle=d["stop_cycle"],
         )
 
 
@@ -134,6 +180,21 @@ class Decision:
             "sram_bytes": self.sram_bytes,
             "start_cycle": self.start_cycle,
         }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Decision":
+        """Rebuild a decision from :meth:`to_dict` output.
+
+        ``latency_us`` is intentionally not round-tripped (it is
+        wall-clock, excluded from the serialized form); restored
+        decisions carry ``0.0`` there, which keeps the *serialized*
+        decision log bit-identical across checkpoint/restore.
+        """
+        return cls(**d)
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint payload cannot be restored into this controller."""
 
 
 class AdmissionController:
@@ -190,6 +251,11 @@ class AdmissionController:
     # State views
     # ------------------------------------------------------------------
     @property
+    def platform(self) -> Platform:
+        """The platform this controller admits against."""
+        return self._platform
+
+    @property
     def resident(self) -> Dict[str, Instance]:
         """Live instances by logical task name (read-only view)."""
         return dict(self._resident)
@@ -204,19 +270,111 @@ class AdmissionController:
         live = sorted(self._resident.values(), key=lambda i: i.instance)
         return self._retired + live
 
+    def reserved_sram(self, at_cycle: int) -> int:
+        """Total SRAM held at ``at_cycle``: resident + draining buffers.
+
+        Pure query (no reservation pruning) — the invariant monitor calls
+        it between decisions without perturbing controller state.
+        """
+        used = sum(i.sram_bytes for i in self._resident.values())
+        used += sum(b for until, b in self._reservations if until > at_cycle)
+        return used
+
     def free_sram(self, at_cycle: int) -> int:
         """Unreserved SRAM at ``at_cycle`` (draining buffers still held)."""
         self._reservations = [
             (until, b) for until, b in self._reservations if until > at_cycle
         ]
-        used = sum(i.sram_bytes for i in self._resident.values())
-        used += sum(b for _, b in self._reservations)
-        return self._platform.usable_sram_bytes - used
+        return self._platform.usable_sram_bytes - self.reserved_sram(at_cycle)
 
     def _instance_name(self, logical: str) -> str:
         count = self._counters.get(logical, 0) + 1
         self._counters[logical] = count
         return logical if count == 1 else f"{logical}#{count}"
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def config_echo(self) -> Dict:
+        """The decision-relevant configuration, for checkpoint validation.
+
+        Two controllers with equal echoes make identical decisions on
+        identical request streams, so restoring across a mismatch would
+        silently break replay determinism — :meth:`restore` rejects it.
+        """
+        return {
+            "platform": self._platform.name,
+            "sram_bytes": self._platform.usable_sram_bytes,
+            "quant": self._quant.name,
+            "buffers": self._buffers,
+            "method": self._method,
+            "protocol": self._protocol.value,
+            "stretch": list(self._stretch),
+            "degrade_factor": self._degrade_factor,
+            "retry_budget": self._retry_budget,
+            "fault_overhead_cycles": self._fault_overhead,
+        }
+
+    def snapshot(self) -> Dict:
+        """Full decision-relevant state as plain JSON-serializable data.
+
+        Captures resident and retired instances (segments embedded, so
+        no plan-cache dependency), SRAM drain reservations, instance-name
+        counters (degradation-ladder / re-admission positions), and the
+        decision log.  ``restore()`` of this payload into a controller
+        with the same configuration is state-equivalent: every later
+        request gets a bit-identical decision.
+        """
+        return {
+            "schema": "rtmdm-checkpoint/1",
+            "config": self.config_echo(),
+            "counters": dict(self._counters),
+            "resident": [
+                self._resident[task].to_dict() for task in self._resident
+            ],
+            "retired": [inst.to_dict() for inst in self._retired],
+            "reservations": [[until, b] for until, b in self._reservations],
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Replace this controller's state with a :meth:`snapshot` payload.
+
+        Raises:
+            CheckpointError: unknown schema, or the payload was taken
+                under a different decision-relevant configuration.
+        """
+        schema = state.get("schema")
+        if schema != "rtmdm-checkpoint/1":
+            raise CheckpointError(f"unknown checkpoint schema {schema!r}")
+        echo = self.config_echo()
+        recorded = state.get("config", {})
+        if recorded != echo:
+            diff = {
+                k: (recorded.get(k), echo.get(k))
+                for k in set(recorded) | set(echo)
+                if recorded.get(k) != echo.get(k)
+            }
+            raise CheckpointError(
+                f"checkpoint was taken under a different configuration: "
+                f"{diff} (recorded vs restoring)"
+            )
+        try:
+            resident = [Instance.from_dict(d) for d in state["resident"]]
+            retired = [Instance.from_dict(d) for d in state["retired"]]
+            reservations = [
+                (int(until), int(b)) for until, b in state["reservations"]
+            ]
+            decisions = [Decision.from_dict(d) for d in state["decisions"]]
+            counters = {str(k): int(v) for k, v in state["counters"].items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
+        self._resident = {inst.task: inst for inst in resident}
+        self._retired = retired
+        self._reservations = reservations
+        self._counters = counters
+        self.decisions = decisions
+        self._rta_cache = rta.FixpointCache()  # cold memo; verdicts identical
 
     # ------------------------------------------------------------------
     # Planning and schedulability
@@ -469,11 +627,11 @@ class AdmissionController:
         finite idle-instant bound exists.
         """
         if self._protocol is Protocol.DRAIN and self._resident:
-            bound = idle_instant_bound(
-                [i.to_periodic() for i in self._resident.values()]
+            start = drain_start(
+                t, [i.to_periodic() for i in self._resident.values()]
             )
-            if bound is not None:
-                return t + bound, "drain"
+            if start is not None:
+                return start, "drain"
         return t, "immediate"
 
     def _remove(self, request: Request, t: int) -> Decision:
@@ -542,10 +700,10 @@ class AdmissionController:
                     model=old.model,
                     reason="rta-transition: transitional union unschedulable",
                 )
-        bound = idle_instant_bound(
-            [i.to_periodic() for i in self._resident.values()]
+        start = drain_start(
+            t, [i.to_periodic() for i in self._resident.values()]
         )
-        if bound is None:
+        if start is None:
             return self._decision(
                 request,
                 outcome="rejected",
@@ -564,7 +722,6 @@ class AdmissionController:
                 model=old.model,
                 reason="rta: new rate unschedulable even after drain",
             )
-        start = t + bound
         self._switch_instance(request.task, old, new, t, start)
         return self._decision(
             request,

@@ -5,6 +5,13 @@ sequence of :class:`Request` events over a bounded horizon.  Traces are
 plain data with a JSON round-trip so they can be generated
 (:mod:`repro.workload.arrivals`), saved, replayed (``rtmdm serve``) and
 diffed across runs.
+
+Parsing is strict: a malformed trace raises :class:`TraceFormatError`
+(a typed error carrying the offending line number and request index)
+instead of leaking ``KeyError``/``ValueError`` tracebacks into callers.
+The on-disk format carries an explicit ``version`` field
+(:data:`TRACE_FORMAT_VERSION`); unknown versions and unknown schemas are
+rejected up front so future format changes fail loudly.
 """
 
 from __future__ import annotations
@@ -12,7 +19,39 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Trace file schema tag and format version (``rtmdm-trace/1``).
+TRACE_SCHEMA = "rtmdm-trace/1"
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A request trace (or one request dict) failed strict validation.
+
+    Attributes:
+        line: 1-based line number in the source text where the offending
+            request starts (``None`` when the text is unavailable, e.g.
+            when validating an already-parsed dict).
+        index: 0-based index of the offending request in the trace
+            (``None`` for document-level errors).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        where = []
+        if index is not None:
+            where.append(f"request #{index}")
+        if line is not None:
+            where.append(f"line {line}")
+        prefix = f"[{', '.join(where)}] " if where else ""
+        super().__init__(f"{prefix}{message}")
+        self.line = line
+        self.index = index
 
 
 class RequestKind(enum.Enum):
@@ -76,15 +115,49 @@ class Request:
         return d
 
     @classmethod
-    def from_dict(cls, d: Dict) -> "Request":
-        return cls(
-            time_s=float(d["time_s"]),
-            kind=RequestKind(d["kind"]),
-            task=str(d["task"]),
-            model=str(d.get("model", "")),
-            period_s=float(d.get("period_s", 0.0)),
-            deadline_s=float(d.get("deadline_s", 0.0)),
-        )
+    def from_dict(
+        cls,
+        d: Dict,
+        line: Optional[int] = None,
+        index: Optional[int] = None,
+    ) -> "Request":
+        """Strictly validate and build one request.
+
+        Raises:
+            TraceFormatError: the dict is not an object, misses a
+                required field, names an unknown :class:`RequestKind`,
+                has a non-numeric timing field, or fails the request's
+                own semantic validation.
+        """
+        if not isinstance(d, dict):
+            raise TraceFormatError(
+                f"request must be a JSON object, got {type(d).__name__}",
+                line=line, index=index,
+            )
+        for field in ("time_s", "kind", "task"):
+            if field not in d:
+                raise TraceFormatError(
+                    f"missing required field {field!r}", line=line, index=index
+                )
+        try:
+            kind = RequestKind(d["kind"])
+        except ValueError:
+            known = ", ".join(k.value for k in RequestKind)
+            raise TraceFormatError(
+                f"unknown request kind {d['kind']!r} (known: {known})",
+                line=line, index=index,
+            ) from None
+        try:
+            return cls(
+                time_s=float(d["time_s"]),
+                kind=kind,
+                task=str(d["task"]),
+                model=str(d.get("model", "")),
+                period_s=float(d.get("period_s", 0.0)),
+                deadline_s=float(d.get("deadline_s", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(str(exc), line=line, index=index) from exc
 
 
 @dataclass(frozen=True)
@@ -127,7 +200,8 @@ class RequestTrace:
 
     def to_json(self) -> str:
         payload = {
-            "schema": "rtmdm-trace/1",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_FORMAT_VERSION,
             "duration_s": self.duration_s,
             "requests": [r.to_dict() for r in self.requests],
         }
@@ -135,8 +209,88 @@ class RequestTrace:
 
     @classmethod
     def from_json(cls, text: str) -> "RequestTrace":
-        payload = json.loads(text)
+        """Parse a trace file, rejecting malformed input with typed errors.
+
+        Raises:
+            TraceFormatError: unparseable JSON (with the decoder's line
+                number), wrong/unknown schema or format version, missing
+                document fields, or any invalid request (with its line
+                number and index).
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"invalid JSON: {exc.msg}", line=exc.lineno
+            ) from exc
+        if not isinstance(payload, dict):
+            raise TraceFormatError(
+                f"trace document must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        schema = payload.get("schema", TRACE_SCHEMA)
+        if schema != TRACE_SCHEMA:
+            raise TraceFormatError(
+                f"unknown trace schema {schema!r} (expected {TRACE_SCHEMA!r})"
+            )
+        version = payload.get("version", TRACE_FORMAT_VERSION)
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version!r} "
+                f"(this build reads version {TRACE_FORMAT_VERSION})"
+            )
+        for field in ("duration_s", "requests"):
+            if field not in payload:
+                raise TraceFormatError(f"missing required field {field!r}")
+        if not isinstance(payload["requests"], list):
+            raise TraceFormatError(
+                f"'requests' must be a JSON array, got "
+                f"{type(payload['requests']).__name__}"
+            )
+        lines = _request_lines(text, len(payload["requests"]))
         requests: List[Request] = [
-            Request.from_dict(d) for d in payload["requests"]
+            Request.from_dict(d, line=lines.get(i), index=i)
+            for i, d in enumerate(payload["requests"])
         ]
-        return cls.of(requests, float(payload["duration_s"]))
+        try:
+            duration = float(payload["duration_s"])
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"'duration_s' must be a number, got "
+                f"{payload['duration_s']!r}"
+            ) from exc
+        try:
+            return cls.of(requests, duration)
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+
+
+def _request_lines(text: str, count: int) -> Dict[int, int]:
+    """Map request index -> 1-based source line of its opening brace.
+
+    Walks the raw text with :meth:`json.JSONDecoder.raw_decode` from the
+    start of the ``"requests"`` array, so error messages can point at the
+    exact line of a bad request.  Best-effort: returns partial (or empty)
+    maps for texts it cannot walk — callers fall back to index-only
+    messages.
+    """
+    lines: Dict[int, int] = {}
+    anchor = text.find('"requests"')
+    if anchor < 0:
+        return lines
+    start = text.find("[", anchor)
+    if start < 0:
+        return lines
+    decoder = json.JSONDecoder()
+    pos = start + 1
+    for index in range(count):
+        while pos < len(text) and text[pos] in " \t\r\n,":
+            pos += 1
+        if pos >= len(text) or text[pos] == "]":
+            break
+        lines[index] = text.count("\n", 0, pos) + 1
+        try:
+            _, pos = decoder.raw_decode(text, pos)
+        except json.JSONDecodeError:
+            break
+    return lines

@@ -69,6 +69,20 @@ def serialized_utilization(tasks: Sequence[PeriodicTask]) -> float:
     return sum((t.total_compute + t.total_load) / t.period for t in tasks)
 
 
+def drain_start(now: int, tasks: Sequence[PeriodicTask]) -> Optional[int]:
+    """Earliest provably-safe switch cycle behind an idle instant.
+
+    Convenience over :func:`idle_instant_bound`: the returned cycle is
+    absolute (``now + bound``), which is what both the admit and the
+    rescale drain paths commit as the incoming instance's start cycle.
+    Returns ``None`` when no finite bound exists — the caller must then
+    either fall back to an immediate switch (sound for admits) or reject
+    the change (rescales).
+    """
+    bound = idle_instant_bound(tasks)
+    return None if bound is None else now + bound
+
+
 def idle_instant_bound(tasks: Sequence[PeriodicTask]) -> Optional[int]:
     """Upper bound on cycles until the system is provably idle once.
 

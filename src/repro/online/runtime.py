@@ -199,6 +199,16 @@ class OnlineRuntime:
             fault_overhead_cycles=fault_overhead_cycles,
         )
 
+    def controller(self) -> AdmissionController:
+        """A fresh admission controller with this runtime's configuration.
+
+        The factory :mod:`repro.online.durable` hands to journal
+        recovery: a recovered controller must be configured exactly like
+        the one that wrote the journal, and this is the single place
+        both come from.
+        """
+        return AdmissionController(self.platform, **self._controller_args)
+
     def serve(
         self,
         trace: RequestTrace,
@@ -206,6 +216,7 @@ class OnlineRuntime:
         record_trace: bool = False,
         escalation: Optional[EscalationConfig] = None,
         recovery: Optional[RecoveryConfig] = None,
+        monitor: bool = False,
     ) -> ServeReport:
         """Decide every request, then execute the admitted schedule.
 
@@ -215,23 +226,59 @@ class OnlineRuntime:
         the admission controller's mode-change path.  Both default to
         ``None``, leaving decisions and execution bit-identical to the
         fault-oblivious runtime.
+
+        ``monitor=True`` runs the :class:`repro.online.durable.
+        InvariantMonitor` inline after every decision; violations raise
+        immediately (fail-loud) instead of surfacing as downstream
+        simulation misses.
         """
-        controller = AdmissionController(self.platform, **self._controller_args)
+        from repro.online.durable import InvariantMonitor
+
+        controller = self.controller()
+        mon = InvariantMonitor(controller) if monitor else None
         for request in trace:
             controller.handle(request)
+            if mon is not None:
+                mon.check(self.platform.mcu.seconds_to_cycles(request.time_s))
+        return self.report(
+            controller,
+            trace.duration_s,
+            simulate=simulate,
+            record_trace=record_trace,
+            escalation=escalation,
+            recovery=recovery,
+        )
+
+    def report(
+        self,
+        controller: AdmissionController,
+        duration_s: float,
+        simulate: bool = True,
+        record_trace: bool = False,
+        escalation: Optional[EscalationConfig] = None,
+        recovery: Optional[RecoveryConfig] = None,
+    ) -> ServeReport:
+        """Package a decided controller into a :class:`ServeReport`.
+
+        Split out of :meth:`serve` so the durable serving path (which
+        owns its own decision loop: journal, ingress gate, crash hooks)
+        produces reports through the exact same code.
+        """
         instances = controller.all_instances()
         sim = (
-            self._execute(trace, instances, record_trace, escalation, recovery)
+            self._execute(
+                duration_s, instances, record_trace, escalation, recovery
+            )
             if simulate
             else None
         )
         health = None
         if sim is not None and escalation is not None and not escalation.is_null:
-            health = self._health_monitor(controller, trace, sim, instances)
+            health = self._health_monitor(controller, duration_s, sim, instances)
         return ServeReport(
             platform_name=self.platform.name,
             protocol=self.protocol.value,
-            duration_s=trace.duration_s,
+            duration_s=duration_s,
             decisions=list(controller.decisions),
             instances=instances,
             sim=sim,
@@ -240,13 +287,13 @@ class OnlineRuntime:
 
     def _execute(
         self,
-        trace: RequestTrace,
+        duration_s: float,
         instances: Sequence[Instance],
         record_trace: bool,
         escalation: Optional[EscalationConfig] = None,
         recovery: Optional[RecoveryConfig] = None,
     ) -> Optional[SimResult]:
-        horizon = self.platform.mcu.seconds_to_cycles(trace.duration_s)
+        horizon = self.platform.mcu.seconds_to_cycles(duration_s)
         started = [
             i
             for i in instances
@@ -278,7 +325,7 @@ class OnlineRuntime:
     def _health_monitor(
         self,
         controller: AdmissionController,
-        trace: RequestTrace,
+        duration_s: float,
         sim: SimResult,
         instances: Sequence[Instance],
     ) -> Dict:
@@ -291,8 +338,8 @@ class OnlineRuntime:
         justifications): quarantined tasks are removed, over-budget
         tasks are rescaled to the largest stretch factor (degrade), and
         removed outright if even the stretched rate is rejected.  The
-        synthetic requests are stamped at ``trace.duration_s`` — the
-        moment the observation window closed.
+        synthetic requests are stamped at ``duration_s`` — the moment
+        the observation window closed.
         """
         logical_of = {inst.instance: inst.task for inst in instances}
         jobs: Dict[str, int] = {}
@@ -309,7 +356,7 @@ class OnlineRuntime:
             logical_of[name] for name in sim.quarantined if name in logical_of
         }
         tolerance = controller.retry_budget
-        now = trace.duration_s
+        now = duration_s
         report: Dict[str, Dict] = {}
         for logical in sorted(set(jobs) | set(faults) | quarantined):
             n_jobs = jobs.get(logical, 0)

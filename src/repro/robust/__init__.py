@@ -16,6 +16,12 @@ makes it answer "what happens when things go wrong":
   deadline / skip next release / degrade to a fallback model variant).
 * :mod:`repro.robust.metrics` — miss ratios, shed load, degraded-mode
   residency, and recovery summaries of fault-injected runs.
+* :mod:`repro.robust.chaos` — crash/chaos-injection matrix over the
+  durable serving layer (:mod:`repro.online.durable`): seeded controller
+  crashes at every decision index, journal truncation/corruption, and
+  adversarial delivery, each asserting bit-identical recovery.  Imported
+  lazily (not re-exported here) because it depends on
+  :mod:`repro.online`, which this package must not import at load time.
 
 Wire the pieces through :class:`repro.sched.simulator.SimConfig`
 (``faults=``, ``overrun=``, ``degrade=``, ``escalation=``,
@@ -46,6 +52,7 @@ from repro.robust.recovery import (
 )
 from repro.robust.metrics import (
     aborted_jobs,
+    chaos_summary,
     degraded_residency,
     mean_recovery_latency,
     miss_ratio,
@@ -94,4 +101,5 @@ __all__ = [
     "survival_miss_ratio",
     "mean_recovery_latency",
     "recovery_summary",
+    "chaos_summary",
 ]

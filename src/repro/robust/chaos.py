@@ -1,0 +1,393 @@
+"""Chaos-injection harness for the crash-tolerant serving layer.
+
+Drives :mod:`repro.online.durable` through everything the real world
+throws at a single-controller admission service — and asserts that none
+of it can change a single decision:
+
+* **Controller crashes** at every decision index (the
+  :class:`~repro.online.durable.InjectedCrash` hook fires after the
+  intent record is journaled, before the decision commits — the worst
+  possible point).
+* **Journal damage**: torn tails (truncation mid-record) and flipped
+  bytes (CRC-detected corruption), both forcing recovery back to an
+  earlier durable prefix.
+* **Adversarial delivery**: duplicated, reordered, and
+  dropped-then-retransmitted envelopes (at-least-once transport), plus
+  transport clock skew — all absorbed by the ingress gate.
+
+Every cell of the matrix recovers from the journal, re-offers the whole
+perturbed stream, and compares the final decision log and admitted task
+set **bit-for-bit** against the uninterrupted baseline, while also
+asserting the recovery replayed only the journal suffix past the last
+checkpoint.  Determinism note: all randomness is seeded per cell, so a
+failing cell reproduces exactly from ``(seed, mode, crash_at)``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.online.durable import (
+    Envelope,
+    InjectedCrash,
+    envelope_stream,
+    serve_durable,
+)
+from repro.online.events import RequestTrace
+from repro.online.runtime import OnlineRuntime
+from repro.workload.arrivals import poisson_trace
+
+#: Delivery/journal perturbation modes the matrix sweeps.  ``none`` is
+#: the control column; the journal-damage modes deliver canonically but
+#: damage the journal tail after the crash.
+CHAOS_MODES: Tuple[str, ...] = (
+    "none",
+    "duplicate",
+    "reorder",
+    "drop",
+    "skew",
+    "truncate-journal",
+    "corrupt-journal",
+)
+
+#: Modes that damage the journal file itself (recovery may fall back
+#: past the newest checkpoint, so the suffix-only replay bound does not
+#: apply to them).
+JOURNAL_DAMAGE_MODES: Tuple[str, ...] = ("truncate-journal", "corrupt-journal")
+
+
+# ----------------------------------------------------------------------
+# Delivery-stream perturbations
+# ----------------------------------------------------------------------
+
+
+def perturb_envelopes(
+    envelopes: Sequence[Envelope],
+    mode: str,
+    seed: int,
+    holdback: int = 16,
+) -> List[Envelope]:
+    """One adversarially-delivered version of a canonical stream.
+
+    All displacement is bounded by ``holdback // 2``, so the ingress
+    gate's bounded-holdback buffer (sized ``holdback``) provably absorbs
+    the perturbation without a :class:`~repro.online.durable.StreamError`.
+    """
+    rng = random.Random(seed)
+    shift = max(1, holdback // 2)
+    if mode in ("none",) + JOURNAL_DAMAGE_MODES:
+        return list(envelopes)
+    if mode == "duplicate":
+        # ~1/3 of deliveries repeat a few slots later (at-least-once).
+        out: List[Tuple[float, int, Envelope]] = []
+        for pos, env in enumerate(envelopes):
+            out.append((float(pos), 0, env))
+            if rng.random() < 0.34:
+                out.append((pos + rng.uniform(0.5, shift), 1, env))
+        out.sort(key=lambda item: (item[0], item[1]))
+        return [env for _, _, env in out]
+    if mode == "reorder":
+        # Bounded random displacement; stable sort keeps ties canonical.
+        keyed = [
+            (
+                pos + (rng.uniform(0.0, shift) if rng.random() < 0.5 else 0.0),
+                pos,
+                env,
+            )
+            for pos, env in enumerate(envelopes)
+        ]
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return [env for _, _, env in keyed]
+    if mode == "drop":
+        # First delivery lost; the retransmit lands a few slots later,
+        # and a second (duplicate) retransmit follows — the full
+        # at-least-once failure mode.
+        out = []
+        for pos, env in enumerate(envelopes):
+            if rng.random() < 0.25:
+                delay = rng.uniform(1.0, shift)
+                out.append((pos + delay, 0, env))
+                out.append((pos + delay + rng.uniform(0.5, shift / 2), 1, env))
+            else:
+                out.append((float(pos), 0, env))
+        out.sort(key=lambda item: (item[0], item[1]))
+        return [env for _, _, env in out]
+    if mode == "skew":
+        # Transport clocks drift; delivery order and request bodies are
+        # untouched, so the gate must ignore arrival timestamps.
+        return [
+            Envelope(
+                seq=env.seq,
+                request_id=env.request_id,
+                request=env.request,
+                arrival_s=max(0.0, env.arrival_s + rng.uniform(-1.5, 1.5)),
+            )
+            for env in envelopes
+        ]
+    raise ValueError(f"unknown chaos mode {mode!r} (known: {CHAOS_MODES})")
+
+
+def damage_journal(path: str, mode: str, seed: int) -> int:
+    """Damage a journal tail; returns the number of bytes affected.
+
+    Truncation chops mid-record (a torn final write); corruption XORs
+    one byte in the tail region (never the header line), which the CRC
+    check must catch.  Both leave a shorter *valid* prefix for recovery.
+    """
+    rng = random.Random(seed)
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        first_line_end = handle.readline().__len__()
+    tail_room = size - first_line_end
+    if tail_room <= 1:
+        return 0
+    if mode == "truncate-journal":
+        cut = min(tail_room - 1, rng.randint(1, 120))
+        os.truncate(path, size - cut)
+        return cut
+    if mode == "corrupt-journal":
+        offset = size - rng.randint(2, min(120, tail_room))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        return 1
+    raise ValueError(f"{mode!r} is not a journal-damage mode")
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One ``(mode, crash index)`` experiment's verdict."""
+
+    mode: str
+    crash_at: int
+    identical: bool
+    replay_bounded: bool
+    decisions_replayed: int
+    checkpoint_seq: int
+    truncated_lines: int
+    commits_repaired: int
+    duplicates_absorbed: int
+    max_buffered: int
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and self.replay_bounded
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "crash_at": self.crash_at,
+            "identical": self.identical,
+            "replay_bounded": self.replay_bounded,
+            "decisions_replayed": self.decisions_replayed,
+            "checkpoint_seq": self.checkpoint_seq,
+            "truncated_lines": self.truncated_lines,
+            "commits_repaired": self.commits_repaired,
+            "duplicates_absorbed": self.duplicates_absorbed,
+            "max_buffered": self.max_buffered,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one full chaos matrix run."""
+
+    platform_name: str
+    seed: int
+    checkpoint_interval: int
+    n_decisions: int
+    cells: List[ChaosCell] = field(default_factory=list)
+    invariants: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every cell bit-identical with a suffix-bounded replay."""
+        return bool(self.cells) and all(cell.ok for cell in self.cells)
+
+    @property
+    def identical_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.identical)
+
+    @property
+    def max_replayed(self) -> int:
+        return max((cell.decisions_replayed for cell in self.cells), default=0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "rtmdm-chaos/1",
+            "platform": self.platform_name,
+            "seed": self.seed,
+            "checkpoint_interval": self.checkpoint_interval,
+            "n_decisions": self.n_decisions,
+            "ok": self.ok,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "identical_cells": self.identical_cells,
+            "max_replayed": self.max_replayed,
+            "invariants": dict(self.invariants),
+        }
+
+
+def _baseline(
+    runtime: OnlineRuntime, trace: RequestTrace
+) -> Tuple[List[Dict], List[Dict]]:
+    """The uninterrupted run's decision log and final instance set."""
+    report = runtime.serve(trace, simulate=False)
+    return (
+        [d.to_dict() for d in report.decisions],
+        [inst.to_dict() for inst in report.instances],
+    )
+
+
+def run_cell(
+    runtime: OnlineRuntime,
+    trace: RequestTrace,
+    baseline: Tuple[List[Dict], List[Dict]],
+    mode: str,
+    crash_at: int,
+    journal_path: str,
+    checkpoint_interval: int = 8,
+    holdback: int = 16,
+    seed: int = 1,
+    monitor: bool = True,
+) -> ChaosCell:
+    """Crash at ``crash_at`` under ``mode``, recover, and compare."""
+    cell_seed = seed * 1_000_003 + crash_at * 131 + CHAOS_MODES.index(mode)
+    envelopes = perturb_envelopes(
+        envelope_stream(trace), mode, cell_seed, holdback=holdback
+    )
+    try:
+        serve_durable(
+            runtime,
+            envelopes,
+            trace.duration_s,
+            journal_path,
+            checkpoint_interval=checkpoint_interval,
+            holdback=holdback,
+            monitor=monitor,
+            crash_at=crash_at,
+        )
+    except InjectedCrash:
+        pass
+    if mode in JOURNAL_DAMAGE_MODES:
+        damage_journal(journal_path, mode, cell_seed)
+    recovered = serve_durable(
+        runtime,
+        envelopes,
+        trace.duration_s,
+        journal_path,
+        checkpoint_interval=checkpoint_interval,
+        holdback=holdback,
+        monitor=monitor,
+        restore=True,
+    )
+    decisions = [d.to_dict() for d in recovered.report.decisions]
+    instances = [inst.to_dict() for inst in recovered.report.instances]
+    identical = decisions == baseline[0] and instances == baseline[1]
+    recovery = recovered.recovery
+    bounded = (
+        mode in JOURNAL_DAMAGE_MODES
+        or recovery.decisions_replayed <= checkpoint_interval
+    )
+    return ChaosCell(
+        mode=mode,
+        crash_at=crash_at,
+        identical=identical,
+        replay_bounded=bounded,
+        decisions_replayed=recovery.decisions_replayed,
+        checkpoint_seq=recovery.checkpoint_seq,
+        truncated_lines=recovery.truncated_lines,
+        commits_repaired=recovery.commits_repaired,
+        duplicates_absorbed=recovered.gate.duplicates + recovered.gate.stale,
+        max_buffered=recovered.gate.max_buffered,
+    )
+
+
+def run_matrix(
+    runtime: OnlineRuntime,
+    trace: RequestTrace,
+    modes: Sequence[str] = CHAOS_MODES,
+    crash_stride: int = 1,
+    checkpoint_interval: int = 8,
+    holdback: int = 16,
+    seed: int = 1,
+    monitor: bool = True,
+    journal_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Run the full crash-index × perturbation-mode matrix.
+
+    ``crash_stride`` thins the crash-index axis for smoke runs (CI uses
+    a stride; the acceptance matrix runs stride 1).  All journals live
+    under ``journal_dir`` (a fresh temp dir by default), one file per
+    cell, left on disk for post-mortems when a cell fails.
+    """
+    for mode in modes:
+        if mode not in CHAOS_MODES:
+            raise ValueError(f"unknown chaos mode {mode!r} (known: {CHAOS_MODES})")
+    if crash_stride < 1:
+        raise ValueError(f"crash_stride must be >= 1, got {crash_stride}")
+    base = _baseline(runtime, trace)
+    n = len(base[0])
+    report = ChaosReport(
+        platform_name=runtime.platform.name,
+        seed=seed,
+        checkpoint_interval=checkpoint_interval,
+        n_decisions=n,
+    )
+    if journal_dir is None:
+        journal_dir = tempfile.mkdtemp(prefix="rtmdm-chaos-")
+    invariants: Dict[str, int] = {}
+    for mode in modes:
+        for crash_at in range(0, max(n, 1), crash_stride):
+            path = os.path.join(journal_dir, f"{mode}-{crash_at:04d}.jsonl")
+            cell = run_cell(
+                runtime,
+                trace,
+                base,
+                mode,
+                crash_at,
+                path,
+                checkpoint_interval=checkpoint_interval,
+                holdback=holdback,
+                seed=seed,
+                monitor=monitor,
+            )
+            report.cells.append(cell)
+    # Aggregate invariant-check counts from one final monitored pass so
+    # the report can prove no check was skipped during the matrix.
+    if monitor:
+        from repro.online.durable import InvariantMonitor
+
+        controller = runtime.controller()
+        mon = InvariantMonitor(controller)
+        for request in trace:
+            controller.handle(request)
+            mon.check(runtime.platform.mcu.seconds_to_cycles(request.time_s))
+        invariants = dict(mon.counts)
+    report.invariants = invariants
+    return report
+
+
+def quick_matrix(
+    platform_key: str = "f746-qspi",
+    duration_s: float = 5.0,
+    rate_hz: float = 1.5,
+    seed: int = 1,
+    **kwargs,
+) -> ChaosReport:
+    """A seeded end-to-end matrix over a generated trace (CLI / smoke)."""
+    from repro.hw.presets import get_platform
+
+    runtime = OnlineRuntime(get_platform(platform_key))
+    trace = poisson_trace(duration_s, rate_hz, seed=seed)
+    return run_matrix(runtime, trace, seed=seed, **kwargs)

@@ -119,3 +119,27 @@ def recovery_summary(result: "SimResult") -> Dict[str, float]:
         "sacrificed": sacrificed_releases(result),
         "mean_recovery_latency": mean_recovery_latency(result),
     }
+
+
+def chaos_summary(report) -> Dict[str, float]:
+    """One-row summary of a chaos matrix run (EXP-R3's columns).
+
+    Takes a :class:`repro.robust.chaos.ChaosReport` (duck-typed to keep
+    this module import-cycle-free); the key figure of merit is
+    ``identical_ratio`` — the fraction of crash/perturbation cells whose
+    recovered decision log and final task set matched the uninterrupted
+    run bit-for-bit (must be 1.0).
+    """
+    cells = report.cells
+    replayed = [cell.decisions_replayed for cell in cells]
+    return {
+        "cells": len(cells),
+        "identical_cells": report.identical_cells,
+        "identical_ratio": (report.identical_cells / len(cells)) if cells else 0.0,
+        "max_replayed": report.max_replayed,
+        "mean_replayed": (sum(replayed) / len(replayed)) if replayed else 0.0,
+        "truncated_lines": sum(cell.truncated_lines for cell in cells),
+        "commits_repaired": sum(cell.commits_repaired for cell in cells),
+        "duplicates_absorbed": sum(cell.duplicates_absorbed for cell in cells),
+        "invariant_checks": sum(report.invariants.values()),
+    }

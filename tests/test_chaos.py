@@ -1,0 +1,148 @@
+"""Tests for the chaos-injection harness (``repro.robust.chaos``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import segcache
+from repro.hw.presets import get_platform
+from repro.online.durable import envelope_stream
+from repro.online.runtime import OnlineRuntime
+from repro.robust.chaos import (
+    CHAOS_MODES,
+    JOURNAL_DAMAGE_MODES,
+    damage_journal,
+    perturb_envelopes,
+    run_matrix,
+)
+from repro.robust.metrics import chaos_summary
+from repro.workload.arrivals import poisson_trace
+
+PLATFORM = get_platform("f746-qspi")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    segcache.clear_all()
+    yield
+    segcache.clear_all()
+
+
+def _trace(duration_s=4.0, rate_hz=1.5, seed=7):
+    return poisson_trace(duration_s, rate_hz, seed=seed)
+
+
+class TestPerturbations:
+    def test_same_multiset_of_canonical_requests(self):
+        envelopes = envelope_stream(_trace())
+        canonical = sorted(e.seq for e in envelopes)
+        for mode in ("duplicate", "reorder", "drop", "skew"):
+            perturbed = perturb_envelopes(envelopes, mode, seed=3, holdback=16)
+            # Nothing is ever lost for good: every canonical sequence
+            # number still appears at least once.
+            assert sorted(set(e.seq for e in perturbed)) == canonical
+
+    def test_displacement_bounded_by_half_holdback(self):
+        envelopes = envelope_stream(_trace(duration_s=8.0))
+        for mode in ("reorder", "drop", "duplicate"):
+            perturbed = perturb_envelopes(envelopes, mode, seed=5, holdback=16)
+            first_pos = {}
+            for pos, env in enumerate(perturbed):
+                first_pos.setdefault(env.seq, pos)
+            for seq, pos in first_pos.items():
+                # Everything needed before seq sits at most holdback
+                # away, so the gate's buffer provably suffices.
+                assert abs(pos - seq) <= 16
+
+    def test_skew_touches_only_arrival_timestamps(self):
+        envelopes = envelope_stream(_trace())
+        skewed = perturb_envelopes(envelopes, "skew", seed=9)
+        assert [e.seq for e in skewed] == [e.seq for e in envelopes]
+        assert [e.request for e in skewed] == [e.request for e in envelopes]
+        assert any(
+            a.arrival_s != b.arrival_s for a, b in zip(skewed, envelopes)
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            perturb_envelopes([], "meteor-strike", seed=1)
+
+    def test_journal_damage_modes_deliver_canonically(self):
+        envelopes = envelope_stream(_trace())
+        for mode in JOURNAL_DAMAGE_MODES:
+            assert perturb_envelopes(envelopes, mode, seed=1) == list(envelopes)
+
+
+class TestDamage:
+    def test_truncate_shrinks_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("header-line\n" + "x" * 400 + "\n")
+        before = path.stat().st_size
+        cut = damage_journal(str(path), "truncate-journal", seed=2)
+        assert cut > 0
+        assert path.stat().st_size == before - cut
+
+    def test_corrupt_flips_one_tail_byte(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        content = "header-line\n" + "x" * 400 + "\n"
+        path.write_text(content)
+        assert damage_journal(str(path), "corrupt-journal", seed=2) == 1
+        damaged = path.read_bytes()
+        assert len(damaged) == len(content)
+        assert damaged[:12] == b"header-line\n"  # header untouched
+        assert damaged != content.encode()
+
+
+class TestMatrix:
+    def test_reduced_matrix_is_bit_identical(self, tmp_path):
+        runtime = OnlineRuntime(PLATFORM)
+        trace = _trace()
+        report = run_matrix(
+            runtime,
+            trace,
+            modes=CHAOS_MODES,
+            crash_stride=5,
+            checkpoint_interval=4,
+            seed=3,
+            journal_dir=str(tmp_path),
+        )
+        assert report.ok, [c.to_dict() for c in report.cells if not c.ok]
+        assert report.n_decisions > 0
+        # Suffix-only replay: undamaged-journal cells never replay more
+        # than one checkpoint interval's worth of decisions.
+        for cell in report.cells:
+            if cell.mode not in JOURNAL_DAMAGE_MODES:
+                assert cell.decisions_replayed <= 4
+        # The delivery-perturbation columns actually exercised the gate.
+        absorbed = sum(
+            c.duplicates_absorbed
+            for c in report.cells
+            if c.mode in ("duplicate", "drop")
+        )
+        assert absorbed > 0
+        # The matrix proves every invariant ran (CI gates on this).
+        assert all(count > 0 for count in report.invariants.values())
+        summary = chaos_summary(report)
+        assert summary["identical_ratio"] == 1.0
+        assert summary["cells"] == len(report.cells)
+
+    def test_matrix_report_round_trips_to_dict(self, tmp_path):
+        runtime = OnlineRuntime(PLATFORM)
+        report = run_matrix(
+            runtime,
+            _trace(duration_s=2.0),
+            modes=("none", "truncate-journal"),
+            crash_stride=4,
+            journal_dir=str(tmp_path),
+        )
+        payload = report.to_dict()
+        assert payload["schema"] == "rtmdm-chaos/1"
+        assert payload["ok"] is True
+        assert len(payload["cells"]) == len(report.cells)
+
+    def test_bad_arguments_rejected(self, tmp_path):
+        runtime = OnlineRuntime(PLATFORM)
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            run_matrix(runtime, _trace(), modes=("bogus",))
+        with pytest.raises(ValueError, match="crash_stride"):
+            run_matrix(runtime, _trace(), crash_stride=0)

@@ -151,3 +151,118 @@ class TestServe:
         payload = json.loads(capsys.readouterr().out)
         assert payload["protocol"] == "drain"
         assert "sim" not in payload
+
+
+class TestDurableServe:
+    def test_journal_then_restore(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        args = ["serve", "--rate", "1.5", "--duration", "4.0", "--seed", "7",
+                "--journal", journal, "--checkpoint-interval", "4", "--no-sim"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out and "invariants" in out
+        assert main(args + ["--restore"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from" in out and "replayed" in out
+
+    def test_json_carries_durable_section(self, capsys, tmp_path):
+        import json
+
+        journal = str(tmp_path / "j.jsonl")
+        assert main(
+            ["serve", "--rate", "1.5", "--duration", "4.0", "--seed", "7",
+             "--journal", journal, "--no-sim", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        durable = payload["durable"]
+        assert durable["records"] > 0
+        assert set(durable["invariants"]) == {
+            "sram-capacity", "admitted-screen", "modechange-accounting",
+            "decision-log",
+        }
+        assert durable["gate"]["emitted"] == payload["requests"]
+
+    def test_restore_without_journal_is_typed_error(self, capsys):
+        assert main(["serve", "--restore", "--no-sim"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ValueError:")
+        assert "--journal" in err
+
+    def test_quiet_suppresses_decision_log(self, capsys):
+        assert main(
+            ["serve", "--rate", "1.5", "--duration", "4.0", "--no-sim",
+             "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "t=" not in out  # no per-decision lines
+
+
+class TestTypedErrors:
+    def test_missing_trace_file(self, capsys):
+        assert main(["serve", "--trace", "/no/such/file.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: FileNotFoundError:")
+        assert "\n" == err[err.index("\n"):]  # a single line, no traceback
+
+    def test_malformed_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "bogus"}', encoding="utf-8")
+        assert main(["serve", "--trace", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: TraceFormatError:")
+
+    def test_damaged_journal_on_restore(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("not-a-journal\n", encoding="utf-8")
+        assert main(
+            ["serve", "--journal", str(path), "--restore", "--no-sim"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: JournalError:")
+
+
+class TestChaosCommand:
+    def test_reduced_matrix_smoke(self, capsys):
+        assert main(
+            ["chaos", "--duration", "2.5", "--rate", "1.5", "--seed", "7",
+             "--crash-stride", "4", "--modes", "none,duplicate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos matrix: OK" in out
+        assert "bit-identical" in out
+        assert "invariants:" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["chaos", "--duration", "2.0", "--seed", "7", "--crash-stride",
+             "5", "--modes", "truncate-journal", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-chaos/1"
+        assert payload["ok"] is True
+        assert payload["cells"]
+
+    def test_unknown_mode_is_typed_error(self, capsys):
+        assert main(["chaos", "--modes", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ValueError:")
+
+
+class TestQuietFlag:
+    def test_plan_quiet(self, capsys):
+        assert main(["plan", "doorbell", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted: True" in out
+        assert "prio=" not in out  # table suppressed
+
+    def test_recover_quiet(self, capsys):
+        assert main(
+            ["recover", "doorbell", "--duration", "2.0", "--quiet",
+             "--bad-frac", "0.0"]
+        ) in (0, 1)
+        out = capsys.readouterr().out
+        assert "survives:" in out
+        assert "ladder" not in out  # table suppressed

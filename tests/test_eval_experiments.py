@@ -66,7 +66,7 @@ def test_registry_complete():
         "EXP-T1", "EXP-T2", "EXP-F3", "EXP-F4", "EXP-F5", "EXP-F6",
         "EXP-F7", "EXP-F8", "EXP-T3", "EXP-F9", "EXP-F10", "EXP-F11",
         "EXP-F12", "EXP-F13", "EXP-F14", "EXP-F15", "EXP-F16", "EXP-R1", "EXP-R2",
-        "EXP-D1",
+        "EXP-R3", "EXP-D1",
     }
 
 
@@ -80,6 +80,19 @@ def test_d1_tiny_sound_with_latency_meta():
     assert row["admit_req"] > 0
     assert 0.0 <= row["admit_ratio"] <= 1.0
     assert result.meta["decision_latency_us"]["n"] == row["requests"]
+
+
+def test_r3_tiny_recovery_identical_and_bounded():
+    result = run_experiment(
+        "EXP-R3", checkpoint_intervals=(2, 8), n_crash_points=2,
+        duration_s=5.0, jobs=1,
+    )
+    assert len(result.rows) == 2
+    for row in result.rows:
+        r = dict(zip(result.columns, row))
+        assert r["identical"] == r["crashes"]  # bit-identical recovery
+        assert r["replayed_max"] <= r["ckpt_interval"]
+    assert result.meta["recovery_latency_us"]["n"] == 4
 
 
 def test_f13_tiny():

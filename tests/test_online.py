@@ -333,3 +333,164 @@ class TestSoundnessInvariant:
             totals["sram"] += report.rejected_sram
             totals["rta"] += report.rejected_rta
         assert all(v > 0 for v in totals.values()), totals
+
+
+class TestRescaleTransitions:
+    """RESCALE transitional-union edge cases (mode-change accounting)."""
+
+    def _monitor_ok(self, ctrl, time_s):
+        from repro.online.durable import InvariantMonitor
+
+        InvariantMonitor(ctrl).check(PLATFORM.mcu.seconds_to_cycles(time_s))
+
+    def test_zero_stretch_rescale_to_same_period(self):
+        """A RESCALE to the current period is a no-op rate-wise but still
+        a full instance switch: the transitional union contains the task
+        twice at the same rate and must pass without special-casing."""
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "kws", model="ds-cnn", period_s=0.4))
+        old = ctrl.resident["kws"]
+        d = ctrl.handle(_rescale(1.0, "kws", period_s=0.4))
+        assert d.outcome == "rescaled"
+        new = ctrl.resident["kws"]
+        assert new.instance == "kws#2"
+        assert new.period == old.period
+        retired = [i for i in ctrl.all_instances() if i.stop_cycle is not None]
+        assert [i.instance for i in retired] == ["kws"]
+        assert new.start_cycle >= retired[0].stop_cycle
+        self._monitor_ok(ctrl, 1.0)
+
+    def test_back_to_back_rescales_chain_cleanly(self):
+        """Two RESCALEs on the same task before the first drain window
+        closes: each switch must retire its predecessor, keep start/stop
+        ordered along the chain, and hold both drain reservations."""
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "kws", model="ds-cnn", period_s=0.4))
+        d1 = ctrl.handle(_rescale(0.5, "kws", period_s=0.8))
+        d2 = ctrl.handle(_rescale(0.6, "kws", period_s=0.3))
+        assert d1.outcome == d2.outcome == "rescaled"
+        assert ctrl.resident["kws"].instance == "kws#3"
+        chain = [i for i in ctrl.all_instances() if i.task == "kws"]
+        chain.sort(key=lambda i: i.start_cycle)
+        for prev, nxt in zip(chain, chain[1:]):
+            assert prev.stop_cycle is not None
+            assert nxt.start_cycle >= prev.stop_cycle
+        # Both retired instances still hold their drain reservations.
+        t = PLATFORM.mcu.seconds_to_cycles(0.6)
+        draining = ctrl.reserved_sram(t) - sum(
+            i.sram_bytes for i in ctrl.resident.values()
+        )
+        assert draining >= sum(
+            i.sram_bytes for i in chain if i.stop_cycle is not None
+        )
+        self._monitor_ok(ctrl, 0.6)
+
+    def test_rescale_racing_remove(self):
+        """REMOVE arriving between a drained RESCALE's decision and its
+        delayed start must retire the not-yet-started successor without
+        corrupting the accounting, and free the SRAM only after both
+        drain windows close."""
+        ctrl = AdmissionController(PLATFORM, protocol=Protocol.DRAIN)
+        ctrl.handle(_admit(0.0, "a", model="ds-cnn", period_s=0.4))
+        ctrl.handle(_admit(0.1, "b", model="lenet5", period_s=0.2))
+        d = ctrl.handle(_rescale(1.0, "a", period_s=0.8))
+        assert d.outcome == "rescaled"
+        assert d.protocol == "drain"
+        start = d.start_cycle
+        assert start > PLATFORM.mcu.seconds_to_cycles(1.0)
+        removed_at = PLATFORM.mcu.seconds_to_cycles(1.001)
+        d = ctrl.handle(_remove(1.001, "a"))
+        assert d.outcome == "removed"
+        assert "a" not in ctrl.resident
+        # The whole chain is stopped; nothing of "a" survives as live.
+        chain = [i for i in ctrl.all_instances() if i.task == "a"]
+        assert all(i.stop_cycle is not None for i in chain)
+        # The successor's buffers stay reserved through its own drain
+        # window even though it never released a job.
+        assert ctrl.reserved_sram(removed_at) > sum(
+            i.sram_bytes for i in ctrl.resident.values()
+        )
+        self._monitor_ok(ctrl, 1.001)
+        # Far past every drain window all of "a"'s SRAM is back.
+        horizon = PLATFORM.mcu.seconds_to_cycles(60.0)
+        assert ctrl.reserved_sram(horizon) == sum(
+            i.sram_bytes for i in ctrl.resident.values()
+        )
+
+    def test_rescale_after_remove_is_ignored(self):
+        """The inverse race: the REMOVE wins outright, so the late
+        RESCALE must be a no-op, not a resurrection."""
+        ctrl = AdmissionController(PLATFORM)
+        ctrl.handle(_admit(0.0, "kws", model="ds-cnn", period_s=0.4))
+        ctrl.handle(_remove(1.0, "kws"))
+        d = ctrl.handle(_rescale(1.1, "kws", period_s=0.2))
+        assert d.outcome == "ignored"
+        assert d.reason == "not-resident"
+        assert "kws" not in ctrl.resident
+        self._monitor_ok(ctrl, 1.1)
+
+
+class TestTraceFormat:
+    """Hardened JSON round-trip (satellite of the durable-serving work)."""
+
+    def test_round_trip_carries_schema_and_version(self):
+        from repro.online.events import TRACE_FORMAT_VERSION, TRACE_SCHEMA
+        import json as _json
+
+        trace = RequestTrace.of([_admit(0.5, "kws")], duration_s=2.0)
+        payload = _json.loads(trace.to_json())
+        assert payload["schema"] == TRACE_SCHEMA
+        assert payload["version"] == TRACE_FORMAT_VERSION
+        assert RequestTrace.from_json(trace.to_json()).requests == trace.requests
+
+    def test_unknown_schema_and_version_rejected(self):
+        from repro.online.events import TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="schema"):
+            RequestTrace.from_json('{"schema": "bogus/9"}')
+        with pytest.raises(TraceFormatError, match="version"):
+            RequestTrace.from_json(
+                '{"schema": "rtmdm-trace/1", "version": 99}'
+            )
+
+    def test_unknown_kind_lists_known_kinds_with_location(self):
+        from repro.online.events import TraceFormatError
+
+        text = (
+            '{\n'
+            '  "schema": "rtmdm-trace/1",\n'
+            '  "version": 1,\n'
+            '  "duration_s": 2.0,\n'
+            '  "requests": [\n'
+            '    {"time_s": 0.1, "kind": "admit", "task": "a",'
+            ' "model": "tinyconv", "period_s": 0.2},\n'
+            '    {"time_s": 0.5, "kind": "explode", "task": "b"}\n'
+            '  ]\n'
+            '}\n'
+        )
+        with pytest.raises(TraceFormatError) as excinfo:
+            RequestTrace.from_json(text)
+        error = excinfo.value
+        assert "explode" in str(error)
+        assert "admit, remove, rescale" in str(error)
+        assert error.index == 1
+        assert error.line == 7  # points at the bad request's line
+
+    def test_missing_fields_and_bad_json(self):
+        from repro.online.events import TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="missing required"):
+            RequestTrace.from_json('{"schema": "rtmdm-trace/1"}')
+        with pytest.raises(TraceFormatError) as excinfo:
+            RequestTrace.from_json('{"schema": "rtmdm-trace/1",\n  broken')
+        assert excinfo.value.line == 2
+
+    def test_request_level_semantic_error_is_typed(self):
+        from repro.online.events import Request, TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="period_s"):
+            Request.from_dict(
+                {"time_s": 0.1, "kind": "rescale", "task": "a"}, index=3
+            )
+        with pytest.raises(TraceFormatError, match="request #3"):
+            Request.from_dict({"time_s": 0.1, "kind": "admit"}, index=3)

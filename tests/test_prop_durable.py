@@ -1,0 +1,112 @@
+"""Property-based tests for crash recovery (``repro.online.durable``).
+
+The load-bearing property of the whole durable layer: **for any crash
+point, any checkpoint interval and any bounded delivery perturbation,
+journal-replay recovery reproduces the uninterrupted decision log
+bit-for-bit and replays only the post-checkpoint suffix.**
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import segcache
+from repro.hw.presets import get_platform
+from repro.online.durable import (
+    InjectedCrash,
+    envelope_stream,
+    serve_durable,
+)
+from repro.online.runtime import OnlineRuntime
+from repro.robust.chaos import perturb_envelopes
+from repro.workload.arrivals import poisson_trace
+
+PLATFORM = get_platform("f746-qspi")
+
+# One fixed trace for every example: hypothesis explores the crash/
+# checkpoint/perturbation space, not the workload space (EXP-D1 and the
+# soundness tests already sweep workloads).  Building it once keeps the
+# plan cache warm across examples.
+_TRACE = poisson_trace(5.0, 1.8, seed=11)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_caches():
+    segcache.clear_all()
+    yield
+    segcache.clear_all()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    runtime = OnlineRuntime(PLATFORM)
+    report = runtime.serve(_TRACE, simulate=False)
+    return (
+        [d.to_dict() for d in report.decisions],
+        [i.to_dict() for i in report.instances],
+    )
+
+
+@given(
+    crash_at=st.integers(0, 40),
+    checkpoint_interval=st.integers(1, 24),
+    fsync_interval=st.integers(1, 12),
+    mode=st.sampled_from(("none", "duplicate", "reorder", "drop", "skew")),
+    perturb_seed=st.integers(0, 1_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_crash_point_recovers_bit_identical(
+    baseline, tmp_path_factory, crash_at, checkpoint_interval,
+    fsync_interval, mode, perturb_seed,
+):
+    path = str(tmp_path_factory.mktemp("prop") / "journal.jsonl")
+    runtime = OnlineRuntime(PLATFORM)
+    envelopes = perturb_envelopes(
+        envelope_stream(_TRACE), mode, perturb_seed, holdback=16
+    )
+    crashed = True
+    try:
+        serve_durable(
+            runtime,
+            envelopes,
+            _TRACE.duration_s,
+            path,
+            checkpoint_interval=checkpoint_interval,
+            fsync_interval=fsync_interval,
+            holdback=16,
+            crash_at=crash_at,
+        )
+        crashed = False  # crash index past the stream: nothing injected
+    except InjectedCrash as crash:
+        assert crash.seq == crash_at
+    result = serve_durable(
+        runtime,
+        envelopes,
+        _TRACE.duration_s,
+        path,
+        checkpoint_interval=checkpoint_interval,
+        fsync_interval=fsync_interval,
+        holdback=16,
+        restore=True,
+    )
+    assert [d.to_dict() for d in result.report.decisions] == baseline[0]
+    assert [i.to_dict() for i in result.report.instances] == baseline[1]
+    recovery = result.recovery
+    assert recovery.decisions_replayed <= checkpoint_interval
+    if crashed:
+        # The journal holds intents 0..crash_at; everything past the
+        # last checkpoint (at the largest multiple of the interval
+        # <= crash_at) replays, nothing more.
+        expected = (
+            crash_at + 1
+            - (crash_at // checkpoint_interval) * checkpoint_interval
+        )
+        assert recovery.decisions_replayed == expected
+    assert recovery.truncated_lines == 0
+    # The recovered run monitored every decision it processed inline
+    # (recovery replay itself is covered by the commit verification;
+    # with no crash the whole stream is stale redelivery).
+    fresh = len(baseline[0]) - (crash_at + 1) if crashed else 0
+    assert all(count == fresh for count in result.invariants.values())
