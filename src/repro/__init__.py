@@ -29,6 +29,43 @@ from repro.dnn.quantization import FLOAT32, INT8
 from repro.dnn.zoo import build_model, list_models
 from repro.hw.presets import get_platform
 
+_NUMPY_FLOOR = (1, 22)
+
+
+def _require_numpy() -> None:
+    """Fail fast, with a clear message, when numpy is absent or too old.
+
+    The vectorized RTA engine (:mod:`repro.sched.vecrta`) needs numpy's
+    exact int64 array semantics, introduced well before 1.22; the floor
+    simply pins the oldest version the engine is tested against.
+    ``REPRO_VEC_RTA=0`` disables the engine at runtime but numpy remains
+    a hard dependency — analysis results must not silently depend on
+    which optional packages happen to be importable.
+    """
+    floor = ".".join(str(part) for part in _NUMPY_FLOOR)
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - depends on env
+        raise ImportError(
+            f"repro requires numpy >= {floor} for the vectorized RTA engine "
+            "(repro.sched.vecrta); install it with "
+            f"`pip install 'numpy>={floor}'`."
+        ) from exc
+    try:
+        version = tuple(
+            int(part) for part in numpy.__version__.split(".")[:2]
+        )
+    except ValueError:  # pragma: no cover - pre-release version strings
+        return
+    if version < _NUMPY_FLOOR:  # pragma: no cover - depends on env
+        raise ImportError(
+            f"repro requires numpy >= {floor}, found {numpy.__version__}; "
+            f"upgrade with `pip install 'numpy>={floor}'`."
+        )
+
+
+_require_numpy()
+
 __version__ = "0.1.0"
 
 __all__ = [

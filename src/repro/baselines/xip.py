@@ -20,16 +20,17 @@ from repro.hw.platform import Platform
 from repro.sched.task import PeriodicTask, Segment
 
 
-def xip_task(
+def xip_segments(
     name: str,
     model: Model,
     platform: Platform,
-    period: int,
-    deadline: Optional[int] = None,
-    priority: int = 0,
     quant: Quantization = INT8,
-) -> PeriodicTask:
-    """Build the XIP version of a model as a periodic task (cycles)."""
+) -> tuple:
+    """Per-layer XIP segments of ``model`` (zero load legs), memoized.
+
+    Shared by :func:`xip_task` and the fused struct-of-arrays packer in
+    :mod:`repro.eval.systems`, so both derive from the same cache entry.
+    """
 
     def build() -> tuple:
         return tuple(
@@ -43,7 +44,20 @@ def xip_task(
             for layer in model.layers
         )
 
-    segments = segcache.cached_xip_segments(name, model, platform, quant, build)
+    return segcache.cached_xip_segments(name, model, platform, quant, build)
+
+
+def xip_task(
+    name: str,
+    model: Model,
+    platform: Platform,
+    period: int,
+    deadline: Optional[int] = None,
+    priority: int = 0,
+    quant: Quantization = INT8,
+) -> PeriodicTask:
+    """Build the XIP version of a model as a periodic task (cycles)."""
+    segments = xip_segments(name, model, platform, quant)
     return PeriodicTask(
         name=name,
         segments=segments,

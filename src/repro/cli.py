@@ -672,6 +672,16 @@ def _print_runtime_counters() -> None:
         f"  exact_hits={fp.get('exact_hits', 0)} misses={fp.get('misses', 0)} "
         f"warm_starts={fp.get('warm_hits', 0)} hit_rate={hit_rate:.1%}"
     )
+    from repro.sched import vecrta
+
+    prof = vecrta.profile()
+    print(
+        "--- vectorized rta engine ---\n"
+        f"  batches={fp.get('vec_batches', 0)} rows={fp.get('vec_rows', 0)} "
+        f"stand_downs={fp.get('vec_stand_downs', 0)}\n"
+        f"  pack={prof['pack_s']:.3f}s array-iterate={prof['solve_s']:.3f}s "
+        f"unpack={prof['unpack_s']:.3f}s"
+    )
 
 
 def _cmd_exp(args: argparse.Namespace) -> int:

@@ -481,3 +481,65 @@ def sensitivity_margin(
             hi = mid
             cache.discard()
     return lo
+
+
+def sensitivity_margin_batch(
+    tasksets: Sequence[TaskSet],
+    method: str = "rtmdm",
+    upper: float = 16.0,
+    tolerance: float = 1e-3,
+) -> List[Optional[float]]:
+    """Batched :func:`sensitivity_margin` over many task sets.
+
+    Runs every set's binary search in lock-step: at each step all still-
+    active sets' inflated probes go through one vectorized batch analysis
+    (:func:`repro.sched.vecrta.analyze_taskset_batch`; scalar fallback
+    when the engine is off).  Each set sees exactly the probe sequence
+    the scalar search would issue — midpoints depend only on that set's
+    own lo/hi floats and verdicts are bit-identical — so returned
+    margins equal ``[sensitivity_margin(ts, ...) for ts in tasksets]``.
+    """
+    if upper < 1.0:
+        raise ValueError(f"upper must be >= 1, got {upper}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    from repro.sched import vecrta
+
+    tasksets = list(tasksets)
+    cache = FixpointCache()
+    margins: List[Optional[float]] = [None] * len(tasksets)
+
+    def probe(pairs):
+        return vecrta.analyze_taskset_batch(pairs, cache=cache)
+
+    base = probe([(ts, method) for ts in tasksets])
+    admitted = [i for i, res in enumerate(base) if res.schedulable]
+    top = probe([(inflate_compute(tasksets[i], upper), method) for i in admitted])
+    bounds: Dict[int, Tuple[float, float]] = {}
+    for i, res in zip(admitted, top):
+        if res.schedulable:
+            margins[i] = upper
+        elif upper - 1.0 > tolerance:
+            bounds[i] = (1.0, upper)
+        else:
+            margins[i] = 1.0
+    active = sorted(bounds)
+    while active:
+        mids = {i: (bounds[i][0] + bounds[i][1]) / 2 for i in active}
+        step = probe(
+            [(inflate_compute(tasksets[i], mids[i]), method) for i in active]
+        )
+        remaining = []
+        for i, res in zip(active, step):
+            lo, hi = bounds[i]
+            if res.schedulable:
+                lo = mids[i]
+            else:
+                hi = mids[i]
+            if hi - lo > tolerance:
+                bounds[i] = (lo, hi)
+                remaining.append(i)
+            else:
+                margins[i] = lo
+        active = remaining
+    return margins

@@ -86,6 +86,64 @@ def audsley(
     return final
 
 
+def audsley_batch(
+    taskset: TaskSet, method: str = "rtmdm"
+) -> Optional[TaskSet]:
+    """:func:`audsley` with each level's candidates analyzed as one batch.
+
+    At every priority level all remaining candidates' trial sets go
+    through one vectorized batch analysis
+    (:func:`repro.sched.vecrta.analyze_taskset_batch`; scalar fallback
+    when the engine is off) instead of sequential scalar calls, and the
+    first candidate in sorted order that passes is placed — the same
+    task the scalar search commits to, so the returned assignment (or
+    None) is identical.  Trades some extra analyses (candidates past the
+    first hit) for one array solve per level.
+    """
+    from repro.sched import vecrta
+
+    cache = FixpointCache()
+    names = [t.name for t in taskset]
+    unassigned = list(names)
+    assigned: dict = {}
+    for level in range(len(names) - 1, -1, -1):
+        candidates = sorted(unassigned)
+        trials = []
+        for candidate in candidates:
+            trial = {}
+            next_high = 0
+            for name in names:
+                if name == candidate:
+                    trial[name] = level
+                elif name in assigned:
+                    trial[name] = assigned[name]
+                else:
+                    trial[name] = next_high
+                    next_high += 1
+            trials.append(
+                TaskSet.of(t.with_priority(trial[t.name]) for t in taskset)
+            )
+        results = vecrta.analyze_taskset_batch(
+            [(trial_set, method) for trial_set in trials], cache=cache
+        )
+        placed = None
+        for candidate, trial_set, result in zip(candidates, trials, results):
+            bound = result.wcrt[candidate]
+            if bound is not None and bound <= trial_set.by_name(candidate).deadline:
+                placed = candidate
+                break
+        if placed is None:
+            return None
+        assigned[placed] = level
+        unassigned.remove(placed)
+    final = TaskSet.of(t.with_priority(assigned[t.name]) for t in taskset)
+    final_result = vecrta.analyze_taskset_batch([(final, method)], cache=cache)[0]
+    if not final_result.schedulable:
+        # Same corner-case recheck as the scalar search.
+        return None
+    return final
+
+
 def assign_priorities(
     taskset: TaskSet, strategy: str = "dm+audsley", method: str = "rtmdm"
 ) -> Optional[TaskSet]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import inspect
 import math
 import random
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import segcache
@@ -35,7 +36,7 @@ from repro.eval.metrics import (
 )
 from repro.eval.parallel import run_units, simulate_batch, stable_seed
 from repro.eval.reporting import ExperimentResult
-from repro.eval.systems import SYSTEMS, admit, derive_taskset
+from repro.eval.systems import SYSTEMS, admit, admit_batch, derive_taskset
 from repro.hw.dma import DmaArbitration
 from repro.hw.presets import PLATFORMS, get_platform
 from repro.sched.policies import CpuPolicy
@@ -203,20 +204,33 @@ def exp_f3_single_dnn_latency(
 # ----------------------------------------------------------------------
 
 
-def _sweep_admission_unit(unit: Tuple) -> Tuple[Tuple[bool, ...], Dict]:
-    """One ``(set index, sweep point)`` admission work unit.
+def _sweep_admission_unit(unit: Tuple) -> Tuple[Tuple, Dict]:
+    """One ``(set index, all sweep points)`` admission work row.
 
     Module-level and fed only picklable inputs so it can run in a pool
-    worker; returns the per-system verdicts plus the plan-cache counter
-    delta it caused (worker caches are per-process, so deltas must travel
-    back with the payload to make merged totals exact).
+    worker.  The whole row goes through :func:`admit_batch` as one
+    struct-of-arrays batch (the vectorized RTA fast path; scalar
+    fallback when numpy is absent or ``REPRO_VEC_RTA=0``), so each unit
+    carries every point of one set index.  Each point draws from a
+    fresh ``Random`` with the same per-index seed — the paired-draw
+    contract — exactly as the historic one-point-per-unit worker did.
+
+    Returns ``((verdict rows, generation seconds, analysis seconds),
+    cache delta)``; the delta travels back with the payload because
+    worker caches are per-process, so merged totals stay exact.
     """
-    seed, x_label, index, platform, util, systems = unit
+    seed, x_label, index, points, systems = unit
     before = segcache.snapshot()
-    rng = random.Random(_stable_seed(seed, x_label, index))
-    case = generate_case(platform, util, rng)
-    verdicts = tuple(admit(system, case) for system in systems)
-    return verdicts, segcache.delta_since(before)
+    start = time.perf_counter()
+    cases = []
+    for _, platform, util in points:
+        rng = random.Random(_stable_seed(seed, x_label, index))
+        cases.append(generate_case(platform, util, rng))
+    gen_s = time.perf_counter() - start
+    start = time.perf_counter()
+    row = admit_batch(cases, systems)
+    analysis_s = time.perf_counter() - start
+    return (tuple(row), gen_s, analysis_s), segcache.delta_since(before)
 
 
 def _sched_sweep(
@@ -228,7 +242,7 @@ def _sched_sweep(
     seed: int,
     systems: Sequence[str] = SYSTEMS,
     jobs: Optional[int] = None,
-) -> Tuple[List[Tuple], List[Dict]]:
+) -> Tuple[List[Tuple], List[Dict], Dict[str, float]]:
     """Shared machinery: schedulability ratio of each system per x value.
 
     Draws are **paired across x values**: set index ``i`` uses the same
@@ -236,43 +250,43 @@ def _sched_sweep(
     bandwidth sweeps) each point evaluates the *same* workloads and the
     curves are directly comparable.
 
-    Work decomposes into one unit per ``(set index, x value)`` — the
-    exact serial iteration — dispatched via
-    :func:`repro.eval.parallel.run_units`.  Units are ordered index-major
-    with one full sweep-row per pool chunk, so a worker scans all x
-    values of a set consecutively and keeps the plan cache's
-    paired-draw locality.  Merging walks units in the same order, so
-    verdict lists (and hence every ratio) are bit-identical to the
-    serial path.
+    Work decomposes into one unit per set index covering *all* x values
+    — a full sweep row — dispatched via
+    :func:`repro.eval.parallel.run_units`.  Row granularity feeds the
+    vectorized batch admission an entire row of cases at once while
+    keeping the plan cache's paired-draw locality within a worker.
+    Merging walks units in the serial order, so verdict lists (and
+    hence every ratio) are bit-identical to the serial path.
 
-    Returns the result rows plus the per-unit cache-counter deltas.
+    Returns the result rows, the per-unit cache-counter deltas, and a
+    wall-clock split ``{"generate_s", "analysis_s"}`` summed over units
+    (timing only — never folded into result rows).
     """
-    points = list(zip(x_values, platforms, total_utils))
+    points = tuple(zip(x_values, platforms, total_utils))
     systems = tuple(systems)
     units = [
-        (seed, x_label, index, platform, util, systems)
-        for index in range(n_sets)
-        for (_, platform, util) in points
+        (seed, x_label, index, points, systems) for index in range(n_sets)
     ]
     results = run_units(
-        _sweep_admission_unit, units, jobs=jobs, chunksize=max(1, len(points)),
+        _sweep_admission_unit, units, jobs=jobs, chunksize=1,
         absorb_deltas=True,
-        # Leading full rows run in-process so forked workers inherit a
-        # warm plan cache instead of cold ones.  Misses are spread across
-        # the whole sweep (each set draws fresh model/budget combos), so
+        # Leading rows run in-process so forked workers inherit a warm
+        # plan cache instead of cold ones.  Misses are spread across the
+        # whole sweep (each set draws fresh model/budget combos), so
         # every entry created before the fork is one duplicated miss per
         # worker avoided; 16 rows balances that against serial fraction.
-        warm_prefix=16 * len(points),
+        warm_prefix=16,
     )
     verdicts: Dict[object, Dict[str, List[bool]]] = {
         x: {s: [] for s in systems} for x in x_values
     }
     deltas: List[Dict] = []
-    it = iter(results)
-    for _ in range(n_sets):
-        for x, _, _ in points:
-            unit_verdicts, delta = next(it)
-            deltas.append(delta)
+    timing = {"generate_s": 0.0, "analysis_s": 0.0}
+    for (row, gen_s, analysis_s), delta in results:
+        deltas.append(delta)
+        timing["generate_s"] += gen_s
+        timing["analysis_s"] += analysis_s
+        for (x, _, _), unit_verdicts in zip(points, row):
             for system, verdict in zip(systems, unit_verdicts):
                 verdicts[x][system].append(verdict)
     rows = []
@@ -280,7 +294,18 @@ def _sched_sweep(
         rows.append(
             (x, *(round(schedulability_ratio(verdicts[x][s]), 3) for s in systems))
         )
-    return rows, deltas
+    return rows, deltas, timing
+
+
+def _sweep_meta(
+    timing: Dict[str, float], deltas: Sequence[Dict[str, Tuple[int, ...]]]
+) -> Dict:
+    """Machine-readable sweep extras: wall-clock split + vec counters."""
+    fixpoint = segcache.merge_deltas(deltas).get("rta.fixpoint", ())
+    meta: Dict = {key: round(value, 6) for key, value in timing.items()}
+    for offset, name in ((3, "vec_batches"), (4, "vec_rows"), (5, "vec_stand_downs")):
+        meta[name] = fixpoint[offset] if len(fixpoint) > offset else 0
+    return meta
 
 
 def exp_f4_sched_vs_util(
@@ -295,7 +320,7 @@ def exp_f4_sched_vs_util(
     """Schedulability ratio vs total CPU utilization."""
     platform = get_platform(platform_key)
     n = max(4, int(n_sets * scale))
-    rows, deltas = _sched_sweep(
+    rows, deltas, timing = _sched_sweep(
         platforms=[platform] * len(utils),
         x_values=list(utils),
         x_label="util",
@@ -313,6 +338,7 @@ def exp_f4_sched_vs_util(
             "admission by each system's offline analysis; DM priorities throughout",
             deltas,
         ),
+        meta=_sweep_meta(timing, deltas),
     )
 
 
@@ -330,7 +356,7 @@ def exp_f5_sched_vs_sram(
     base = get_platform(platform_key)
     platforms = [base.with_sram_bytes(k * KIB) for k in sram_kib]
     n = max(4, int(n_sets * scale))
-    rows, deltas = _sched_sweep(
+    rows, deltas, timing = _sched_sweep(
         platforms=platforms,
         x_values=list(sram_kib),
         x_label="sram",
@@ -348,6 +374,7 @@ def exp_f5_sched_vs_sram(
             "XIP needs no staging buffers, so it flattens at low SRAM where staging systems die",
             deltas,
         ),
+        meta=_sweep_meta(timing, deltas),
     )
 
 
@@ -365,7 +392,7 @@ def exp_f6_sched_vs_bandwidth(
     base = get_platform(platform_key)
     platforms = [base.with_bandwidth_factor(f) for f in factors]
     n = max(4, int(n_sets * scale))
-    rows, deltas = _sched_sweep(
+    rows, deltas, timing = _sched_sweep(
         platforms=platforms,
         x_values=list(factors),
         x_label="bw",
@@ -383,6 +410,7 @@ def exp_f6_sched_vs_bandwidth(
             "factor 1.0 = 48 MB/s QSPI; at high bandwidth overlap matters less",
             deltas,
         ),
+        meta=_sweep_meta(timing, deltas),
     )
 
 
@@ -1993,3 +2021,140 @@ def exp_f16_steady_state(
 
 
 EXPERIMENTS["EXP-F16"] = exp_f16_steady_state
+
+
+# ----------------------------------------------------------------------
+# Mass-schedulability throughput (EXP-F17)
+# ----------------------------------------------------------------------
+
+
+def _f17_tasksets(n_sets: int, tasks_per_set: int, seed: int) -> List:
+    """Synthesized segmented task sets for the RTA throughput benchmark.
+
+    Segments are drawn directly (no segmentation search, no platform
+    model) so the benchmark isolates pure analysis throughput: every
+    cycle spent here is packing or fixpoint iteration, not planning.
+    Deadline-monotonic priorities; constrained deadlines.
+    """
+    from repro.sched.task import PeriodicTask, Segment
+
+    sets = []
+    for index in range(n_sets):
+        rng = random.Random(_stable_seed(seed, "f17", index))
+        tasks = []
+        for k in range(tasks_per_set):
+            n_seg = rng.randint(2, 8)
+            segments = tuple(
+                Segment(
+                    name=f"t{k}/s{j}",
+                    load_cycles=rng.choice((0, rng.randint(1_000, 40_000))),
+                    compute_cycles=rng.randint(5_000, 120_000),
+                )
+                for j in range(n_seg)
+            )
+            work = sum(s.load_cycles + s.compute_cycles for s in segments)
+            # Per-task utilization ~U(1/(3n), 1/(0.5n)): summed over n
+            # tasks the set's total serialized utilization is centred
+            # near 0.9, so the population mixes admitted and rejected
+            # sets instead of saturating one verdict.
+            period = int(work * tasks_per_set * rng.uniform(0.5, 3.0))
+            deadline = max(1, int(period * rng.uniform(0.7, 1.0)))
+            tasks.append(PeriodicTask(
+                name=f"t{k}",
+                segments=segments,
+                period=period,
+                deadline=deadline,
+                priority=0,
+                buffers=rng.randint(1, 3),
+            ))
+        ordered = sorted(tasks, key=lambda t: (t.deadline, t.name))
+        sets.append(TaskSet.of(
+            t.with_priority(rank) for rank, t in enumerate(ordered)
+        ))
+    return sets
+
+
+def exp_f17_rta_throughput(
+    n_sets: int = 400,
+    tasks_per_set: int = 6,
+    seed: int = 2032,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Mass-schedulability throughput: scalar vs vectorized RTA engine.
+
+    Analyzes ``n_sets`` synthesized task sets under the full method
+    family (``oblivious``/``overlap``/``holistic``/``rtmdm`` — the
+    EXP-F8-style tightness matrix) three ways: per-case scalar
+    ``analyze`` (the oracle), one struct-of-arrays vectorized batch,
+    and the vectorized batch sharing a
+    :class:`~repro.sched.rta.FixpointCache` (the ``rtmdm`` pass repeats
+    the ``overlap``/``holistic`` rows verbatim, so the cache mode shows
+    the memo's effect on a realistic repeat structure).  Reports task
+    sets analyzed per second for each mode.
+
+    Rows are deterministic (verdict counts, bit-identity against the
+    scalar oracle, whether the vector engine actually engaged); the
+    wall-clock throughputs live in ``meta`` only, like every timing
+    measurement in the suite.
+    """
+    from repro.sched import rta, vecrta
+    from repro.sched.rta import FixpointCache
+
+    n = max(8, int(n_sets * scale))
+    sets = _f17_tasksets(n, tasks_per_set, seed)
+    cases = [
+        (taskset, method)
+        for taskset in sets
+        for method in ("oblivious", "overlap", "holistic", "rtmdm")
+    ]
+
+    start = time.perf_counter()
+    scalar = [analyze(taskset, method) for taskset, method in cases]
+    scalar_s = time.perf_counter() - start
+
+    modes = []  # (label, results, elapsed, engaged)
+    for label, cache in (("vectorized", None), ("vectorized+cache", FixpointCache())):
+        before = rta.fixpoint_snapshot()
+        start = time.perf_counter()
+        results = vecrta.analyze_taskset_batch(cases, cache=cache)
+        elapsed = time.perf_counter() - start
+        delta = rta.fixpoint_delta_since(before)
+        engaged = int(delta[3] > 0 if len(delta) > 3 else 0)
+        modes.append((label, results, elapsed, engaged))
+
+    def wcrt_maps(results):
+        return [res.wcrt for res in results]
+
+    # One verdict per set: its rtmdm analysis (last of each family).
+    schedulable = sum(1 for res in scalar[3::4] if res.schedulable)
+    rows = [("scalar", n, schedulable, 1, 0)]
+    meta: Dict = {
+        "tasks_per_set": tasks_per_set,
+        "scalar_s": round(scalar_s, 6),
+        "scalar_sets_per_s": round(n / scalar_s, 1) if scalar_s else None,
+    }
+    oracle = wcrt_maps(scalar)
+    for label, results, elapsed, engaged in modes:
+        identical = int(wcrt_maps(results) == oracle)
+        rows.append((
+            label, n, sum(1 for res in results[3::4] if res.schedulable),
+            identical, engaged,
+        ))
+        key = label.replace("+", "_")
+        meta[f"{key}_s"] = round(elapsed, 6)
+        meta[f"{key}_sets_per_s"] = round(n / elapsed, 1) if elapsed else None
+    return ExperimentResult(
+        exp_id="EXP-F17",
+        title=f"Mass-schedulability throughput ({n} sets x {tasks_per_set} tasks)",
+        columns=("mode", "sets", "schedulable", "identical", "vec_engaged"),
+        rows=tuple(rows),
+        notes=(
+            "synthesized segmented sets (no planning); identical=1 means "
+            "bit-identical WCRT maps vs the scalar oracle; throughput in meta"
+        ),
+        meta=meta,
+    )
+
+
+EXPERIMENTS["EXP-F17"] = exp_f17_rta_throughput

@@ -110,9 +110,19 @@ def analyze_batch(
     iterating.  Results are bit-identical to scalar ``analyze`` calls
     (exact-key memoization only — no warm starts, which need a caller
     guaranteeing monotone call order).
+
+    When the vectorized engine is available (numpy importable and
+    ``REPRO_VEC_RTA`` unset/1), the whole batch is packed into one
+    struct-of-arrays solve via :func:`repro.sched.vecrta.analyze_taskset_batch`
+    — same results, same cache protocol, one array iteration per
+    fixpoint step across all sets.
     """
     if cache is None:
         cache = FixpointCache()
+    from repro.sched import vecrta
+
+    if vecrta.enabled():
+        return vecrta.analyze_taskset_batch(cases, cache=cache)
     return [analyze(taskset, method, cache=cache) for taskset, method in cases]
 
 

@@ -432,47 +432,20 @@ class AdmissionController:
         job's length (``fp_nonpreemptive_wcrt``'s docstring warns about
         exactly this misuse).
         """
-        ordered = sorted(tasks, key=lambda t: t.priority)
-        # Fault-aware inflation: a retry budget of k adds k * cost extra
-        # DMA demand per job of every loading task.  One charge suffices
-        # here: the serialized exec term already counts every load at
-        # full length, so the fault work cannot hide under compute the
-        # way it can in the pipelined latency term (which is why
-        # sched.task.inflate_loads charges first and largest segments).
-        extra = self._retry_budget * self._fault_overhead
-        serialized = [
-            t.total_compute + t.total_load + (extra if t.total_load > 0 else 0)
-            for t in ordered
-        ]
-        if sum(e / t.period for e, t in zip(serialized, ordered)) > 1.0:
+        built = _screen_candidates(
+            tasks, self._retry_budget, self._fault_overhead
+        )
+        if built is None:
             return False
         screened: List[rta.RtaTask] = []
-        for index, task in enumerate(ordered):
-            lower = ordered[index + 1:]
-            max_lp_c = max((t.max_segment_compute for t in lower), default=0)
-            max_lp_l = max(
-                (s.load_cycles for t in lower for s in t.segments), default=0
-            )
-            if max_lp_l > 0:
-                # A lower-priority transfer can carry its fault budget
-                # while blocking us.
-                max_lp_l += extra
-            n_load = sum(1 for s in task.segments if s.load_cycles > 0)
-            candidate = rta.RtaTask(
-                name=task.name,
-                exec_cycles=serialized[index],
-                period=task.period,
-                deadline=task.deadline,
-                priority=task.priority,
-                blocking=task.num_segments * max_lp_c + n_load * max_lp_l,
-            )
+        for candidate in built:
             # Re-screens across requests repeat the unchanged prefix of
             # this chain verbatim; the memo returns those bounds without
             # iterating (exact keying keeps the verdicts bit-identical).
             wcrt = rta.fp_preemptive_wcrt(
                 [*screened, candidate], candidate, cache=self._rta_cache
             )
-            if wcrt is None or wcrt > task.deadline:
+            if wcrt is None or wcrt > candidate.deadline:
                 return False
             screened.append(
                 replace(candidate, jitter=max(0, wcrt - candidate.exec_cycles))
@@ -744,3 +717,107 @@ class AdmissionController:
             (max(stop + old.deadline, start), old.sram_bytes)
         )
         self._resident[logical] = replace(new, start_cycle=start)
+
+
+# ----------------------------------------------------------------------
+# Class-level RTA screen primitives (shared by the per-request screen and
+# the vectorized mass screen)
+# ----------------------------------------------------------------------
+
+
+def _screen_candidates(
+    tasks: Sequence[PeriodicTask], retry_budget: int, fault_overhead: int
+) -> Optional[List[rta.RtaTask]]:
+    """Priority-ordered oblivious-screen candidates, or None on overload.
+
+    Static portion of the screen cascade: serialized per-job demand and
+    segment-granular blocking per level (only the chained jitter evolves
+    as levels resolve).  Returns None when serialized utilization already
+    exceeds 1 — the screen's trivial rejection.
+    """
+    ordered = sorted(tasks, key=lambda t: t.priority)
+    # Fault-aware inflation: a retry budget of k adds k * cost extra
+    # DMA demand per job of every loading task.  One charge suffices
+    # here: the serialized exec term already counts every load at
+    # full length, so the fault work cannot hide under compute the
+    # way it can in the pipelined latency term (which is why
+    # sched.task.inflate_loads charges first and largest segments).
+    extra = retry_budget * fault_overhead
+    serialized = [
+        t.total_compute + t.total_load + (extra if t.total_load > 0 else 0)
+        for t in ordered
+    ]
+    if sum(e / t.period for e, t in zip(serialized, ordered)) > 1.0:
+        return None
+    candidates: List[rta.RtaTask] = []
+    for index, task in enumerate(ordered):
+        lower = ordered[index + 1:]
+        max_lp_c = max((t.max_segment_compute for t in lower), default=0)
+        max_lp_l = max(
+            (s.load_cycles for t in lower for s in t.segments), default=0
+        )
+        if max_lp_l > 0:
+            # A lower-priority transfer can carry its fault budget
+            # while blocking us.
+            max_lp_l += extra
+        n_load = sum(1 for s in task.segments if s.load_cycles > 0)
+        candidates.append(rta.RtaTask(
+            name=task.name,
+            exec_cycles=serialized[index],
+            period=task.period,
+            deadline=task.deadline,
+            priority=task.priority,
+            blocking=task.num_segments * max_lp_c + n_load * max_lp_l,
+        ))
+    return candidates
+
+
+def mass_screen(
+    task_lists: Sequence[Sequence[PeriodicTask]],
+    retry_budget: int = 0,
+    fault_overhead: int = 0,
+) -> List[bool]:
+    """Vectorized class-level RTA screen over many candidate rankings.
+
+    The fleet-scale entry point: each candidate list runs the same
+    suspension-oblivious cascade as ``Controller._screen``, but all
+    lists advance level-by-level in lock-step with every live list's
+    fixpoint at the current level solved in one
+    :func:`repro.sched.vecrta.fp_wcrt_batch` array pass (scalar fallback
+    when the engine is off).  The chained jitter of each list feeds its
+    own next level exactly as in the scalar cascade, so every verdict is
+    bit-identical to screening the lists one at a time.
+    """
+    from repro.sched import vecrta
+
+    verdicts = [False] * len(task_lists)
+    # (list index, candidates, screened-so-far) for cascades still alive.
+    live: List[Tuple[int, List[rta.RtaTask], List[rta.RtaTask]]] = []
+    for index, tasks in enumerate(task_lists):
+        candidates = _screen_candidates(tasks, retry_budget, fault_overhead)
+        if candidates is None:
+            continue
+        if not candidates:
+            verdicts[index] = True
+            continue
+        live.append((index, candidates, []))
+    while live:
+        problems = []
+        for _, candidates, screened in live:
+            candidate = candidates[len(screened)]
+            problems.append(([*screened, candidate], candidate))
+        wcrts = vecrta.fp_wcrt_batch(problems, preemptive=True)
+        advanced: List[Tuple[int, List[rta.RtaTask], List[rta.RtaTask]]] = []
+        for (index, candidates, screened), wcrt in zip(live, wcrts):
+            candidate = candidates[len(screened)]
+            if wcrt is None or wcrt > candidate.deadline:
+                continue
+            screened.append(
+                replace(candidate, jitter=max(0, wcrt - candidate.exec_cycles))
+            )
+            if len(screened) == len(candidates):
+                verdicts[index] = True
+            else:
+                advanced.append((index, candidates, screened))
+        live = advanced
+    return verdicts

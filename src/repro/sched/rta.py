@@ -147,8 +147,16 @@ CACHE_MISS = object()
 
 # Process-wide fixpoint counters (the per-instance counters roll up here
 # so sweeps can report an aggregate warm-start hit rate; parallel runs
-# ship worker deltas back through the plan-cache counter protocol).
-_fixpoint_counters = {"exact_hits": 0, "misses": 0, "warm_hits": 0}
+# ship worker deltas back through the plan-cache counter protocol).  The
+# ``vec_*`` entries come from :mod:`repro.sched.vecrta`: batched array
+# solves (``vec_batches``), fixpoint rows solved inside them
+# (``vec_rows``), and cases where the vector engine handed a problem
+# back to the scalar oracle (``vec_stand_downs``).
+_FIXPOINT_KEYS = (
+    "exact_hits", "misses", "warm_hits",
+    "vec_batches", "vec_rows", "vec_stand_downs",
+)
+_fixpoint_counters = {key: 0 for key in _FIXPOINT_KEYS}
 
 
 def fixpoint_counters() -> Dict[str, int]:
@@ -156,21 +164,25 @@ def fixpoint_counters() -> Dict[str, int]:
     return dict(_fixpoint_counters)
 
 
-def fixpoint_snapshot() -> Tuple[int, int, int]:
+def fixpoint_snapshot() -> Tuple[int, ...]:
     """Counter values for later :func:`fixpoint_delta_since`."""
     c = _fixpoint_counters
-    return (c["exact_hits"], c["misses"], c["warm_hits"])
+    return tuple(c[key] for key in _FIXPOINT_KEYS)
 
 
-def fixpoint_delta_since(before: Tuple[int, int, int]) -> Tuple[int, int, int]:
+def fixpoint_delta_since(before: Tuple[int, ...]) -> Tuple[int, ...]:
     """Counter increments since a :func:`fixpoint_snapshot`."""
     now = fixpoint_snapshot()
-    return tuple(n - b for n, b in zip(now, before))  # type: ignore[return-value]
+    return tuple(n - b for n, b in zip(now, before))
 
 
-def fixpoint_absorb(delta: Tuple[int, int, int]) -> None:
-    """Fold a worker process's counter delta into this process's totals."""
-    for key, inc in zip(("exact_hits", "misses", "warm_hits"), delta):
+def fixpoint_absorb(delta: Tuple[int, ...]) -> None:
+    """Fold a worker process's counter delta into this process's totals.
+
+    Width-tolerant: deltas recorded before the vectorized engine existed
+    are three wide and absorb into the first three keys.
+    """
+    for key, inc in zip(_FIXPOINT_KEYS, delta):
         _fixpoint_counters[key] += inc
 
 

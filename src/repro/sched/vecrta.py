@@ -1,0 +1,738 @@
+"""Vectorized response-time analysis: numpy-batched fixpoint iteration.
+
+The scalar analyses in :mod:`repro.core.analysis` and
+:mod:`repro.sched.rta` solve one fixpoint at a time; a sweep solves
+hundreds of thousands.  This module packs *many* fixpoint problems into
+struct-of-arrays (SoA) buffers and iterates the recurrences for all of
+them simultaneously per array step, with a per-row convergence mask.
+
+Layout
+    A :class:`ChainBatch` holds jitter-chained analysis cascades — one
+    chain per (task set, analysis flavor).  Rows at the same priority
+    *level* share their interferer count, so each level is one dense
+    ``(rows, level)`` problem: interference ``I``, periods ``T``, and
+    chained jitters ``J`` as ``int64`` matrices, plus ``base = own +
+    blocking`` and ``cap`` vectors.  The solver iterates
+
+        ``w <- base + sum_j ceil((w + J_j) / T_j) * I_j``
+
+    over the whole matrix, masking out rows that converged (``demand ==
+    w``) or exceeded their cap (``demand > cap`` → the scalar's ``None``
+    verdict).  Level ``k + 1`` packs only the chains still alive, with
+    jitters chained from level ``k``'s bounds exactly as the scalar does.
+
+Exactness
+    The analysis-engine path mirrors ``core.analysis._fixpoint``: pure
+    ``int64`` arithmetic with integer ceil division ``-((w + J) // -T)``
+    — no float drift.  The :func:`fp_wcrt_batch` path mirrors
+    ``sched.rta``'s *float* ceil/floor semantics (``int(math.ceil((w +
+    J) / T))``): all quantities are proven ``< 2**52`` before packing,
+    where int64→float64 conversion is exact and IEEE division matches
+    CPython's correctly-rounded big-int ``/``, so results are
+    bit-identical to the scalar oracle.
+
+Stand-down
+    The engine refuses problems it cannot solve exactly — demand
+    ceilings near int64 range, float-exactness violations, non-positive
+    periods — by raising :class:`StandDown`; callers fall back to the
+    scalar oracle for those cases (counted in ``vec_stand_downs``).
+    ``REPRO_VEC_RTA=0`` is the global kill switch: every entry point
+    then delegates wholesale to the scalar path.
+
+Telemetry rides the existing fixpoint-counter protocol
+(:func:`repro.sched.rta.fixpoint_counters`): ``vec_batches`` array
+solves, ``vec_rows`` rows solved inside them, ``vec_stand_downs``
+scalar fallbacks.  Wall-clock split between packing, array iteration,
+and unpacking accumulates in :func:`profile` for ``rtmdm exp
+--profile``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised only on minimal installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.sched import rta
+
+#: Environment kill switch: set to ``0`` to force the scalar oracle.
+ENV_VAR = "REPRO_VEC_RTA"
+
+#: Demand ceilings at or above this stand down (int64 headroom).
+_INT64_LIMIT = 1 << 62
+
+#: Float-semantics path: every intermediate must stay below this so
+#: int64→float64 conversion is exact and division single-rounds.
+_FLOAT_EXACT = 1 << 52
+
+#: Hard iteration guard; the per-chain demand ceilings make genuine
+#: divergence hit the cap first, so tripping this is a logic error.
+_ITER_GUARD = 1_000_000
+
+
+class StandDown(Exception):
+    """The vector engine cannot solve this problem exactly; use scalar."""
+
+
+def available() -> bool:
+    """Whether numpy is importable (the engine's only dependency)."""
+    return _np is not None
+
+
+def enabled() -> bool:
+    """Whether the vectorized path is active (numpy + kill switch)."""
+    return _np is not None and os.environ.get(ENV_VAR, "1").strip() != "0"
+
+
+# ----------------------------------------------------------------------
+# Telemetry: counters ride the rta fixpoint protocol; times accumulate
+# locally for the CLI profile report.
+# ----------------------------------------------------------------------
+
+_PROFILE = {"pack_s": 0.0, "solve_s": 0.0, "unpack_s": 0.0}
+
+
+def profile() -> Dict[str, float]:
+    """Accumulated pack/solve/unpack wall-clock split (seconds)."""
+    return dict(_PROFILE)
+
+
+def reset_profile() -> None:
+    """Zero the pack/solve/unpack accumulators."""
+    for key in _PROFILE:
+        _PROFILE[key] = 0.0
+
+
+def _count_batch(n_rows: int) -> None:
+    rta._fixpoint_counters["vec_batches"] += 1
+    rta._fixpoint_counters["vec_rows"] += n_rows
+
+
+def _count_stand_down() -> None:
+    rta._fixpoint_counters["vec_stand_downs"] += 1
+
+
+# ----------------------------------------------------------------------
+# Core masked solver (exact integer semantics)
+# ----------------------------------------------------------------------
+
+
+def _solve_rows_exact(base, caps, inter, periods, jitters):
+    """Least fixpoints of ``w = base + sum ceil((w + J)/T) * I`` per row.
+
+    All arrays ``int64``; ``inter``/``periods``/``jitters`` are ``(R,
+    k)`` with ``k >= 1``.  Returns ``(w, ok)``: rows with ``ok`` False
+    exceeded their cap (the scalar returns ``None`` there).  Integer
+    ceil division throughout — no float drift.
+    """
+    w = base.copy()
+    n_rows = int(base.shape[0])
+    ok = _np.ones(n_rows, dtype=bool)
+    active = _np.ones(n_rows, dtype=bool)
+    _count_batch(n_rows)
+    for _ in range(_ITER_GUARD):
+        q = -((w[:, None] + jitters) // -periods)
+        demand = base + (q * inter).sum(axis=1)
+        over = active & (demand > caps)
+        conv = active & ~over & (demand == w)
+        ok &= ~over
+        active &= ~(over | conv)
+        if not active.any():
+            return w, ok
+        w = _np.where(active, demand, w)
+    raise StandDown("fixpoint iteration guard tripped")
+
+
+# ----------------------------------------------------------------------
+# Chain batch: jitter-chained cascades in struct-of-arrays form
+# ----------------------------------------------------------------------
+
+
+class _Chain:
+    """One analysis cascade (all levels of one task set, one flavor)."""
+
+    __slots__ = (
+        "kind", "n", "periods", "deadlines",
+        "own", "blocking", "inter",                      # simple
+        "tl", "tc", "lat", "bl_l", "bl_c", "bl_both",    # holistic
+        "gated", "both_inter",
+        "jit", "dma_j", "cpu_j", "both_j",
+        "bounds", "dead",
+    )
+
+    def __init__(self, kind: str, n: int, periods, deadlines) -> None:
+        self.kind = kind
+        self.n = n
+        self.periods = periods
+        self.deadlines = deadlines
+        self.jit: List[int] = []
+        self.dma_j: List[int] = []
+        self.cpu_j: List[int] = []
+        self.both_j: List[int] = []
+        self.bounds: List[Optional[int]] = []
+        self.dead = False
+
+
+def _check_chain(own_max, blocking_max, inter, periods, deadlines) -> None:
+    """Reject chains the int64 solver cannot handle exactly."""
+    if not deadlines:
+        return
+    if min(periods) <= 0:
+        raise StandDown("non-positive period")
+    if own_max < 0 or blocking_max < 0 or min(inter, default=0) < 0:
+        raise StandDown("negative demand term")
+    if min(deadlines) <= 0:
+        raise StandDown("non-positive deadline")
+    # Iterates start at base <= cap and jitters are bounded by earlier
+    # bounds (<= max deadline), so every computed demand is at most:
+    d_max = max(deadlines)
+    ceiling = own_max + blocking_max
+    for i, t in zip(inter, periods):
+        ceiling += ((2 * d_max) // t + 1) * i
+    if ceiling >= _INT64_LIMIT:
+        raise StandDown("demand ceiling exceeds int64 headroom")
+
+
+class ChainBatch:
+    """Many jitter-chained fixpoint cascades, solved level-by-level.
+
+    Build chains with :meth:`add_simple` (single-resource cascades:
+    oblivious/overlap flavors) and :meth:`add_holistic` (two-stage
+    DMA+CPU decomposition with per-level gating fallback), then call
+    :meth:`solve` once and read each chain's bounds back with
+    :meth:`bounds`.  Results are bit-identical to running the scalar
+    recurrences per chain.
+    """
+
+    def __init__(self) -> None:
+        self._chains: List[_Chain] = []
+        self._solved = False
+
+    def add_simple(self, own, blocking, inter, periods, deadlines, check=True) -> int:
+        """Add one single-resource cascade; returns its handle.
+
+        All arguments are equal-length sequences of Python ints ordered
+        highest priority first: per-level own demand, blocking,
+        interference contribution, period, and deadline (the cap).
+        ``check=False`` skips the per-chain magnitude screen — only for
+        callers that ran an equivalent screen over the whole case.
+        """
+        own, blocking, inter = list(own), list(blocking), list(inter)
+        periods, deadlines = list(periods), list(deadlines)
+        if check:
+            _check_chain(
+                max(own, default=0), max(blocking, default=0),
+                inter, periods, deadlines,
+            )
+        chain = _Chain("s", len(own), periods, deadlines)
+        chain.own, chain.blocking, chain.inter = own, blocking, inter
+        self._chains.append(chain)
+        return len(self._chains) - 1
+
+    def add_holistic(
+        self, total_l, total_c, latency, block_l, block_c, block_both,
+        gated, periods, deadlines, check=True,
+    ) -> int:
+        """Add one two-stage cascade; returns its handle.
+
+        Buffered levels (``gated[k]`` False) solve DMA and CPU stage
+        fixpoints and sum them; gated levels solve a single combined
+        fixpoint on the pipeline latency, exactly as
+        ``core.analysis._analyze_holistic`` does.  ``check`` as in
+        :meth:`add_simple`.
+        """
+        total_l, total_c, latency = list(total_l), list(total_c), list(latency)
+        block_l, block_c, block_both = list(block_l), list(block_c), list(block_both)
+        gated = list(gated)
+        periods, deadlines = list(periods), list(deadlines)
+        if check:
+            _check_chain(
+                max((max(l, c, y) for l, c, y in zip(total_l, total_c, latency)), default=0),
+                max((max(a, b, c) for a, b, c in zip(block_l, block_c, block_both)), default=0),
+                [l + c for l, c in zip(total_l, total_c)],
+                periods, deadlines,
+            )
+        chain = _Chain("h", len(total_l), periods, deadlines)
+        chain.tl, chain.tc, chain.lat = total_l, total_c, latency
+        chain.bl_l, chain.bl_c, chain.bl_both = block_l, block_c, block_both
+        chain.gated = gated
+        chain.both_inter = [l + c for l, c in zip(total_l, total_c)]
+        self._chains.append(chain)
+        return len(self._chains) - 1
+
+    def solve(self, cache: Optional[rta.FixpointCache] = None) -> None:
+        """Solve every chain; with ``cache``, exact-memoize rows.
+
+        Cache keys are identical to the scalar ``_fixpoint`` keys, so a
+        cache shared with the scalar path hits across both engines.
+        """
+        if self._solved:
+            raise RuntimeError("ChainBatch.solve() may only run once")
+        self._solved = True
+        start = time.perf_counter()
+        n_levels = max((c.n for c in self._chains), default=0)
+        for level in range(n_levels):
+            rows: List[Tuple[_Chain, str]] = []
+            for chain in self._chains:
+                if chain.dead or chain.n <= level:
+                    continue
+                if chain.kind == "s":
+                    rows.append((chain, "s"))
+                elif chain.gated[level]:
+                    rows.append((chain, "g"))
+                else:
+                    rows.append((chain, "rl"))
+                    rows.append((chain, "rc"))
+            if rows:
+                self._solve_level(level, rows, cache)
+        _PROFILE["solve_s"] += time.perf_counter() - start
+
+    def bounds(self, handle: int) -> List[Optional[int]]:
+        """Per-level bounds of one chain, ``None``-padded after a kill."""
+        if not self._solved:
+            raise RuntimeError("call solve() before bounds()")
+        chain = self._chains[handle]
+        out = list(chain.bounds)
+        out.extend([None] * (chain.n - len(out)))
+        return out
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _row_params(chain: _Chain, part: str, k: int):
+        """(own, blocking, interference[:k], jitters) for one row."""
+        if part == "s":
+            return chain.own[k], chain.blocking[k], chain.inter[:k], chain.jit
+        if part == "rl":
+            return chain.tl[k], chain.bl_l[k], chain.tl[:k], chain.dma_j
+        if part == "rc":
+            return chain.tc[k], chain.bl_c[k], chain.tc[:k], chain.cpu_j
+        return chain.lat[k], chain.bl_both[k], chain.both_inter[:k], chain.both_j
+
+    def _solve_level(self, level, rows, cache) -> None:
+        values: List[Optional[int]] = [None] * len(rows)
+        keys: List[Any] = [None] * len(rows)
+        pending = []
+        for r, (chain, part) in enumerate(rows):
+            own, blocking, inter, jit = self._row_params(chain, part, level)
+            periods = chain.periods[:level]
+            cap = chain.deadlines[level]
+            if cache is not None:
+                keys[r] = (own, blocking, tuple(zip(inter, periods, jit)), cap)
+                hit = cache.get_exact(keys[r])
+                if hit is not rta.CACHE_MISS:
+                    values[r] = hit
+                    continue
+            pending.append((r, own + blocking, cap, inter, periods, jit))
+        if pending and level == 0:
+            # No interference at the top level: the fixpoint is the base.
+            _count_batch(len(pending))
+            for r, base, cap, *_ in pending:
+                values[r] = base if base <= cap else None
+                if cache is not None:
+                    cache.put_exact(keys[r], values[r])
+        elif pending:
+            base = _np.array([p[1] for p in pending], dtype=_np.int64)
+            caps = _np.array([p[2] for p in pending], dtype=_np.int64)
+            inter = _np.array([p[3] for p in pending], dtype=_np.int64)
+            periods = _np.array([p[4] for p in pending], dtype=_np.int64)
+            jitters = _np.array([p[5] for p in pending], dtype=_np.int64)
+            w, ok = _solve_rows_exact(base, caps, inter, periods, jitters)
+            for i, p in enumerate(pending):
+                r = p[0]
+                values[r] = int(w[i]) if ok[i] else None
+                if cache is not None:
+                    cache.put_exact(keys[r], values[r])
+        i = 0
+        while i < len(rows):
+            chain, part = rows[i]
+            if part == "rl":
+                rl, rc = values[i], values[i + 1]
+                i += 2
+                bound = None if rl is None or rc is None else rl + rc
+                if bound is not None and bound > chain.deadlines[level]:
+                    bound = None
+            else:
+                bound = values[i]
+                i += 1
+            self._push(chain, level, bound)
+
+    @staticmethod
+    def _push(chain: _Chain, level: int, bound: Optional[int]) -> None:
+        chain.bounds.append(bound)
+        if bound is None:
+            # Scalar cascade kill: everything below is None too.
+            chain.dead = True
+            return
+        if chain.kind == "s":
+            chain.jit.append(max(0, bound - chain.own[level]))
+        else:
+            chain.dma_j.append(max(0, bound - chain.tl[level]))
+            chain.cpu_j.append(max(0, bound - chain.tc[level]))
+            chain.both_j.append(max(0, bound - chain.tl[level] - chain.tc[level]))
+
+
+# ----------------------------------------------------------------------
+# Column view of a task set + chain planning shared with eval.systems
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ViewCols:
+    """Struct-of-arrays form of ``core.analysis._View``, priority order."""
+
+    total_c: List[int]
+    total_l: List[int]
+    n_seg: List[int]
+    n_load: List[int]
+    max_c: List[int]
+    max_l: List[int]
+    latency: List[int]
+    buffers: List[int]
+    periods: List[int]
+    deadlines: List[int]
+
+
+def cols_from_views(views) -> ViewCols:
+    """Columns from ``core.analysis`` views (already priority-sorted)."""
+    return ViewCols(
+        total_c=[v.total_c for v in views],
+        total_l=[v.total_l for v in views],
+        n_seg=[v.n_seg for v in views],
+        n_load=[v.n_load for v in views],
+        max_c=[v.max_c for v in views],
+        max_l=[v.max_l for v in views],
+        latency=[v.latency for v in views],
+        buffers=[v.task.buffers for v in views],
+        periods=[v.task.period for v in views],
+        deadlines=[v.task.deadline for v in views],
+    )
+
+
+def _suffix_max(values: Sequence[int]) -> List[int]:
+    """``out[i] = max(values[i:])`` with ``out[len] = 0``."""
+    out = [0] * (len(values) + 1)
+    for i in range(len(values) - 1, -1, -1):
+        out[i] = max(values[i], out[i + 1])
+    return out
+
+
+def plan_chains(
+    batch: ChainBatch,
+    cols: ViewCols,
+    method: str,
+    memo: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Pack one task set's analysis into ``batch``; returns handles.
+
+    Mirrors :func:`repro.core.analysis.analyze`'s structure: oblivious
+    and overlap are simple cascades, holistic is a two-stage cascade,
+    and ``rtmdm`` plans both overlap and holistic (combined at unpack).
+
+    ``memo`` (one dict per task set, shared across that set's methods)
+    reuses already-packed chains: a set analyzed under both ``overlap``
+    and ``rtmdm`` packs its overlap cascade once and both methods read
+    the same solved rows.
+    """
+    handles: Dict[str, int] = {}
+    if memo is None:
+        memo = {}
+    wanted = {
+        "oblivious": ("obl",),
+        "overlap": ("ovl",),
+        "holistic": ("hol",),
+        "rtmdm": ("ovl", "hol"),
+    }[method]
+    if all(kind in memo for kind in wanted):
+        return {kind: memo[kind] for kind in wanted}
+    n = len(cols.periods)
+    lp_c = _suffix_max(cols.max_c)
+    lp_l = _suffix_max(cols.max_l)
+    block_both = [
+        cols.n_seg[i] * lp_c[i + 1] + cols.n_load[i] * lp_l[i + 1]
+        for i in range(n)
+    ]
+    serial = [c + l for c, l in zip(cols.total_c, cols.total_l)]
+    if "obl" in wanted and "obl" not in memo:
+        memo["obl"] = batch.add_simple(
+            serial, block_both, serial, cols.periods, cols.deadlines
+        )
+    if "ovl" in wanted and "ovl" not in memo:
+        memo["ovl"] = batch.add_simple(
+            cols.latency, block_both, serial, cols.periods, cols.deadlines
+        )
+    if "hol" in wanted and "hol" not in memo:
+        gated = [b < s for b, s in zip(cols.buffers, cols.n_seg)]
+        memo["hol"] = batch.add_holistic(
+            cols.total_l, cols.total_c, cols.latency,
+            [lp_l[i + 1] for i in range(n)],
+            [lp_c[i + 1] for i in range(n)],
+            block_both, gated, cols.periods, cols.deadlines,
+        )
+    for kind in wanted:
+        handles[kind] = memo[kind]
+    return handles
+
+
+def assemble_wcrt(
+    batch: ChainBatch, handles: Dict[str, int], method: str, names: Sequence[str]
+) -> Dict[str, Optional[int]]:
+    """Per-task bounds for one planned set, scalar-identical dict order."""
+    if method == "rtmdm":
+        overlap = batch.bounds(handles["ovl"])
+        holistic = batch.bounds(handles["hol"])
+        combined: Dict[str, Optional[int]] = {}
+        for name, o, h in zip(names, overlap, holistic):
+            options = [b for b in (o, h) if b is not None]
+            combined[name] = min(options) if options else None
+        return combined
+    key = {"oblivious": "obl", "overlap": "ovl", "holistic": "hol"}[method]
+    return dict(zip(names, batch.bounds(handles[key])))
+
+
+def chains_schedulable(
+    batch: ChainBatch, handles: Dict[str, int], method: str
+) -> bool:
+    """Admission verdict for one planned set.
+
+    Bounds are capped at the deadline during the solve, so a chain is
+    schedulable iff every level's bound is non-``None`` (for ``rtmdm``:
+    in at least one of the two chains).
+    """
+    if method == "rtmdm":
+        return all(
+            o is not None or h is not None
+            for o, h in zip(batch.bounds(handles["ovl"]), batch.bounds(handles["hol"]))
+        )
+    key = {"oblivious": "obl", "overlap": "ovl", "holistic": "hol"}[method]
+    return all(b is not None for b in batch.bounds(handles[key]))
+
+
+# ----------------------------------------------------------------------
+# Batched analysis entry point (core.analysis.analyze equivalent)
+# ----------------------------------------------------------------------
+
+
+def analyze_taskset_batch(
+    cases: Sequence[Tuple[Any, str]],
+    cache: Optional[rta.FixpointCache] = None,
+):
+    """Batched :func:`repro.core.analysis.analyze` over many task sets.
+
+    ``cases`` are ``(taskset, method)`` pairs; returns the matching list
+    of ``AnalysisResult`` objects, bit-identical to calling the scalar
+    ``analyze`` per case.  Cases the vector engine stands down on (see
+    module docstring) are solved by the scalar oracle transparently;
+    with the kill switch off the whole batch goes scalar.
+    """
+    from repro.core import analysis as _analysis
+
+    cases = list(cases)
+    if not enabled():
+        return [_analysis.analyze(ts, method, cache=cache) for ts, method in cases]
+    start = time.perf_counter()
+    batch = ChainBatch()
+    plans = []
+    fallback = []
+    results: List[Any] = [None] * len(cases)
+    # Batches routinely analyze the same task set under several methods
+    # (method-family sweeps, rtmdm next to its components); views and
+    # columns depend only on the set, so share them per set object.
+    shared: dict = {}
+    for idx, (taskset, method) in enumerate(cases):
+        if method not in _analysis.METHODS:
+            raise ValueError(
+                f"unknown analysis method {method!r}; choose from {_analysis.METHODS}"
+            )
+        prepared = shared.get(id(taskset))
+        if prepared is None:
+            views = _analysis._views_by_priority(taskset)
+            prepared = shared[id(taskset)] = (
+                cols_from_views(views), [v.task.name for v in views], {},
+            )
+        cols, names, chain_memo = prepared
+        try:
+            handles = plan_chains(batch, cols, method, memo=chain_memo)
+        except StandDown:
+            _count_stand_down()
+            fallback.append(idx)
+            continue
+        plans.append((idx, taskset, method, names, handles))
+    _PROFILE["pack_s"] += time.perf_counter() - start
+    try:
+        batch.solve(cache=cache)
+    except StandDown:  # pragma: no cover - needs ~1e6 fixpoint steps
+        _count_stand_down()
+        return [_analysis.analyze(ts, method, cache=cache) for ts, method in cases]
+    start = time.perf_counter()
+    for idx, taskset, method, names, handles in plans:
+        wcrt = assemble_wcrt(batch, handles, method, names)
+        deadlines = {t.name: t.deadline for t in taskset}
+        results[idx] = _analysis.AnalysisResult(method, wcrt, deadlines)
+    _PROFILE["unpack_s"] += time.perf_counter() - start
+    for idx in fallback:
+        taskset, method = cases[idx]
+        results[idx] = _analysis.analyze(taskset, method, cache=cache)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Batched classic RTA (sched.rta float-semantics oracle)
+# ----------------------------------------------------------------------
+
+
+def _fp_overflow_risk(task, interferers, cap) -> bool:
+    """True when float64 exactness cannot be proven for this problem."""
+    everyone = [task, *interferers]
+    j_max = max(t.jitter for t in everyone)
+    hp_interference = sum(
+        ((cap + t.jitter) // t.period + 1) * t.exec_cycles for t in interferers
+    )
+    ceil_busy = task.blocking + hp_interference + (
+        ((cap + task.jitter) // task.period + 1) * task.exec_cycles
+    )
+    q_bound = (cap + task.jitter) // task.period + 2
+    ceil_q = q_bound * task.exec_cycles + task.blocking + hp_interference
+    return max(cap, ceil_busy, ceil_q) + j_max >= _FLOAT_EXACT
+
+
+def fp_wcrt_batch(
+    problems: Sequence[Tuple[Sequence[rta.RtaTask], rta.RtaTask]],
+    preemptive: bool = True,
+) -> List[Optional[int]]:
+    """Batched ``fp_preemptive_wcrt``/``fp_nonpreemptive_wcrt``.
+
+    ``problems`` are ``(tasks, task)`` pairs; the result list matches
+    the scalar function bit-for-bit.  The float ceil/floor semantics of
+    the scalar oracle are reproduced exactly (see module docstring);
+    problems where exactness cannot be proven fall back to scalar.
+    """
+    scalar = rta.fp_preemptive_wcrt if preemptive else rta.fp_nonpreemptive_wcrt
+    problems = list(problems)
+    if not enabled() or not problems:
+        return [scalar(tasks, task) for tasks, task in problems]
+
+    start = time.perf_counter()
+    results: List[Optional[int]] = [None] * len(problems)
+    fallback: List[int] = []
+    packed = []
+    for idx, (tasks, task) in enumerate(problems):
+        interferers = rta._hp(tasks, task)
+        cap = rta._response_cap(task, interferers)
+        if _fp_overflow_risk(task, interferers, cap):
+            _count_stand_down()
+            fallback.append(idx)
+            continue
+        packed.append((idx, task, interferers, cap))
+    if packed:
+        try:
+            _fp_solve_packed(packed, results, preemptive, start)
+        except StandDown:  # pragma: no cover - needs ~1e6 fixpoint steps
+            _count_stand_down()
+            fallback.extend(p[0] for p in packed)
+    else:
+        _PROFILE["pack_s"] += time.perf_counter() - start
+    for idx in fallback:
+        tasks, task = problems[idx]
+        results[idx] = scalar(tasks, task)
+    return results
+
+
+def _fp_solve_packed(packed, results, preemptive, start) -> None:
+    """Array-solve pre-screened classic-RTA problems into ``results``."""
+    n = len(packed)
+    k_max = max(len(p[2]) for p in packed)
+
+    def padded(getter, pad):
+        return _np.array(
+            [
+                [getter(t) for t in p[2]] + [pad] * (k_max - len(p[2]))
+                for p in packed
+            ],
+            dtype=_np.int64,
+        )
+
+    # Interferer matrices, padded with (C=0, T=1, J=0) no-op columns.
+    hp_c = padded(lambda t: t.exec_cycles, 0)
+    hp_t = padded(lambda t: t.period, 1)
+    hp_j = padded(lambda t: t.jitter, 0)
+    own_c = _np.array([p[1].exec_cycles for p in packed], dtype=_np.int64)
+    own_t = _np.array([p[1].period for p in packed], dtype=_np.int64)
+    own_j = _np.array([p[1].jitter for p in packed], dtype=_np.int64)
+    blocking = _np.array([p[1].blocking for p in packed], dtype=_np.int64)
+    caps = _np.array([p[3] for p in packed], dtype=_np.int64)
+    # Busy-period demand sums over [task, *interferers].
+    all_c = _np.concatenate([own_c[:, None], hp_c], axis=1)
+    all_t = _np.concatenate([own_t[:, None], hp_t], axis=1)
+    all_j = _np.concatenate([own_j[:, None], hp_j], axis=1)
+    _PROFILE["pack_s"] += time.perf_counter() - start
+
+    start = time.perf_counter()
+    _count_batch(n)
+    length = _np.maximum(1, blocking + own_c)
+    busy_ok = _np.ones(n, dtype=bool)
+    active = _np.ones(n, dtype=bool)
+    for _ in range(_ITER_GUARD):
+        q = _np.ceil((length[:, None] + all_j) / all_t).astype(_np.int64)
+        demand = blocking + (q * all_c).sum(axis=1)
+        done = active & (demand <= length)
+        fail = active & ~done & (demand > caps)
+        busy_ok &= ~fail
+        active &= ~(done | fail)
+        if not active.any():
+            break
+        length = _np.where(active, demand, length)
+    else:
+        raise StandDown("busy-period iteration guard tripped")
+
+    q_max = _np.where(
+        busy_ok,
+        _np.ceil((length + own_j) / own_t).astype(_np.int64),
+        0,
+    )
+    worst = _np.zeros(n, dtype=_np.int64)
+    alive = busy_ok.copy()
+    for q in range(int(q_max.max())):
+        sel = alive & (q < q_max)
+        if not sel.any():
+            break
+        if preemptive:
+            base_q = (q + 1) * own_c + blocking
+        else:
+            base_q = blocking + q * own_c
+        w = base_q.copy()
+        act = sel.copy()
+        for _ in range(_ITER_GUARD):
+            shifted = (w[:, None] + hp_j) / hp_t
+            if preemptive:
+                qj = _np.ceil(shifted).astype(_np.int64)
+            else:
+                qj = _np.floor(shifted).astype(_np.int64) + 1
+            demand = base_q + (qj * hp_c).sum(axis=1)
+            done = act & (demand == w)
+            diverged = act & ~done & (demand > caps)
+            alive &= ~diverged
+            act &= ~(done | diverged)
+            if not act.any():
+                break
+            w = _np.where(act, demand, w)
+        else:
+            raise StandDown("per-q iteration guard tripped")
+        converged = sel & alive
+        if preemptive:
+            response = w - q * own_t
+        else:
+            response = w + own_c - q * own_t
+        worst = _np.where(converged, _np.maximum(worst, response), worst)
+    _PROFILE["solve_s"] += time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i, (idx, *_rest) in enumerate(packed):
+        results[idx] = int(worst[i]) if alive[i] else None
+    _PROFILE["unpack_s"] += time.perf_counter() - start
