@@ -26,10 +26,12 @@ experiment.  CI uploads this file as an artifact, so the suite's
 performance trajectory is tracked across commits.
 """
 
+import datetime
 import json
 import os
 import pathlib
 import platform as _platform
+import subprocess
 import sys
 import time
 
@@ -44,6 +46,43 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_result
 
 #: Per-experiment records accumulated over the session, in run order.
 _SUITE_RECORDS = []
+
+#: Schema tag for individual suite records (the provenance stamp).
+RECORD_SCHEMA = "rtmdm-bench-record/1"
+
+_PROVENANCE = None
+
+
+def _git_sha():
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance():
+    """One provenance stamp per session: schema, UTC timestamp, git sha.
+
+    Stamped onto every suite record so a ``BENCH_suite.json`` merged
+    across sessions still attributes each measurement to the commit and
+    time that produced it.
+    """
+    global _PROVENANCE
+    if _PROVENANCE is None:
+        _PROVENANCE = {
+            "schema": RECORD_SCHEMA,
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "git_sha": _git_sha(),
+        }
+    return _PROVENANCE
 
 
 def bench_experiment(benchmark, exp_id, **kwargs):
@@ -63,6 +102,7 @@ def bench_experiment(benchmark, exp_id, **kwargs):
         "jobs": resolve_jobs(kwargs.get("jobs")),
         "scale": kwargs.get("scale", scale),
         "plan_cache": segcache.delta_since(before),
+        "provenance": provenance(),
     }
     # Driver-supplied extras (e.g. EXP-D1's admission-decision latency
     # stats, which are wall-clock and therefore live outside the rows).

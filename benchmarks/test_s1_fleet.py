@@ -1,0 +1,38 @@
+"""Benchmark for EXP-S1: fleet-scale sharded admission throughput.
+
+The fleet service's headline numbers: admission decisions per second
+through the sharded engine, virtual queueing percentiles across the
+shard sweep (the oversubscription curve), and the identity gate —
+every sharded run in the sweep must produce a decision stream
+bit-identical to the serial oracle.  Throughput and wall decision
+latencies land in ``meta`` and hence in BENCH_suite.json.
+"""
+
+import os
+
+from conftest import bench_experiment
+
+
+def test_s1_fleet(benchmark):
+    result = bench_experiment(benchmark, "EXP-S1")
+    scale = float(os.environ.get("RTMDM_BENCH_SCALE", "1.0"))
+    rows = [dict(zip(result.columns, row)) for row in result.rows]
+    # The identity gate: wherever a serial oracle exists, sharded == serial.
+    checked = [r for r in rows if r["identical"] is not None]
+    assert checked and all(r["identical"] == 1 for r in checked)
+    # The default queue bound is generous; nothing may be shed, or the
+    # identity comparison would be vacuous.
+    assert all(r["shed"] == 0 for r in rows)
+    # Removing shards must not improve virtual queueing latency.
+    for arrival in ("poisson", "bursty"):
+        sweep = [r for r in rows if r["arrival"] == arrival
+                 and r["identical"] is not None]
+        by_shards = sorted(sweep, key=lambda r: r["shards"])
+        p99s = [r["q_p99_ms"] for r in by_shards]
+        assert p99s == sorted(p99s, reverse=True) or len(set(p99s)) == 1
+    # >= 100k decisions at evaluation scale; proportionally fewer on
+    # reduced smoke runs (decisions scale with the device counts).
+    assert result.meta["total_decisions"] >= 100_000 * min(1.0, scale)
+    assert result.meta["decisions_per_s"] > 0
+    latency = result.meta["decision_latency_us"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]

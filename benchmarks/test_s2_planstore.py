@@ -1,0 +1,26 @@
+"""Benchmark for EXP-S2: persistent plan-store amortization.
+
+Cold planning (empty store, empty RAM caches) against a warm store
+(fresh process, provisioned store): the warm pass must serve plans from
+disk — bit-identical to cold by construction — and amortize the
+segmentation-search cost.  The cold/warm wall seconds and speedup land
+in ``meta`` and hence in BENCH_suite.json.
+"""
+
+from conftest import bench_experiment
+
+
+def test_s2_planstore(benchmark):
+    result = bench_experiment(benchmark, "EXP-S2")
+    cold, warm = (dict(zip(result.columns, row)) for row in result.rows)
+    assert cold["phase"] == "cold" and warm["phase"] == "warm"
+    # Warm plans are bit-identical to cold ones.
+    assert warm["identical"] == 1
+    # Cold populates the store; warm only reads it.
+    assert cold["hits"] == 0 and cold["writes"] > 0
+    assert warm["hits"] > 0 and warm["writes"] == 0
+    assert warm["hits"] == cold["writes"]  # every record round-trips
+    # Measurable amortization: a warm store must not be slower than
+    # cold planning (in practice it is several times faster).
+    assert result.meta["speedup"] is None or result.meta["speedup"] > 1.0
+    assert result.meta["store_entries"] == cold["writes"]

@@ -10,6 +10,9 @@ Commands:
 * ``energy`` — plan + simulate a scenario and report its energy budget.
 * ``serve`` — replay a timestamped request trace through the online
   admission controller (``repro.online``).
+* ``fleet`` — simulate a device fleet against the sharded admission
+  service (``repro.eval.fleet``), optionally backed by a persistent
+  plan store.
 * ``exp`` — run one (or ``all``) reconstructed experiments.
 * ``validate`` — analysis-vs-simulation consistency sweep (self-test).
 * ``robust`` — fault-injected simulation of a scenario under every
@@ -635,6 +638,99 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.core import planstore
+    from repro.eval.fleet import (
+        FleetConfig,
+        FleetService,
+        decision_identity,
+        fleet_trace,
+    )
+
+    if args.plan_store:
+        planstore.configure(args.plan_store)
+        planstore.reset_counters()
+    trace = fleet_trace(
+        args.devices,
+        args.duration,
+        args.rate,
+        seed=args.seed,
+        arrival=args.arrival,
+    )
+    config = FleetConfig(
+        n_shards=args.shards,
+        batch_size=args.batch,
+        max_queue_depth=args.queue_depth,
+        service_us=args.service_us,
+        journal_dir=args.journal_dir,
+    )
+    report = FleetService(config=config).run(trace)
+    identity_ok: Optional[bool] = None
+    if args.verify_identity:
+        serial = FleetService(
+            config=replace(config, n_shards=1, journal_dir=None)
+        ).run(trace)
+        identity_ok = decision_identity(report.decisions) == decision_identity(
+            serial.decisions
+        )
+    ok = identity_ok is not False
+    if args.json:
+        payload = report.to_dict()
+        if identity_ok is not None:
+            payload["identity_vs_serial"] = identity_ok
+        if args.plan_store:
+            payload["planstore"] = planstore.counters_dict()
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(
+        f"fleet: {report.n_devices} devices, {report.arrival} arrivals "
+        f"@{args.rate:g}/device/s over {report.duration_s:g}s "
+        f"-> {report.requests} requests (seed {args.seed})"
+    )
+    print(
+        f"service: {report.n_shards} shards x batch {report.batch_size}, "
+        f"{report.service_us:g}us/decision, queue depth <= {args.queue_depth}"
+    )
+    if not args.quiet:
+        print(f"{'shard':>5s} {'decided':>8s} {'shed':>6s} {'peak q':>7s} "
+              f"{'busy s':>7s} {'journal':>8s}")
+        for stats in report.shard_stats:
+            print(
+                f"{stats['shard']:5d} {stats['decided']:8d} "
+                f"{stats['shed']:6d} {stats['peak_depth']:7d} "
+                f"{stats['busy_s']:7.2f} {stats['journal_records']:8d}"
+            )
+    print(
+        f"admitted {report.admitted}/{report.admit_requests} admits, "
+        f"rejected {report.rejected_sram} sram / {report.rejected_rta} rta, "
+        f"removed {report.removed}, shed {report.shed}"
+    )
+    queueing = report.queueing_latency_ms
+    print(
+        f"queueing (virtual): p50={queueing['p50']}ms p99={queueing['p99']}ms, "
+        f"peak depth {report.peak_queue_depth}, "
+        f"utilization {report.shard_utilization:.1%}"
+    )
+    latency = report.decision_latency_us
+    print(
+        f"engine: {report.decisions_per_s:,.0f} decisions/s "
+        f"(p50={latency['p50']}us p99={latency['p99']}us) "
+        f"in {report.wall_s:.2f}s wall"
+    )
+    if args.plan_store:
+        counts = planstore.counters_dict()
+        print(
+            f"plan store: {args.plan_store} "
+            f"({counts['hits']} hits, {counts['misses']} misses, "
+            f"{counts['writes']} writes)"
+        )
+    if identity_ok is not None:
+        print(f"identity vs serial: {'OK' if identity_ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def _run_exp_ids(args: argparse.Namespace, ids: List[str]) -> None:
     for exp_id in ids:
         result = run_experiment(
@@ -838,6 +934,50 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="machine-readable matrix report on stdout "
                        "(schema rtmdm-chaos/1)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a device fleet against the sharded admission service",
+    )
+    fleet.add_argument("--devices", type=int, default=10_000,
+                       help="fleet size (default: 10000)")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="admission shards (default: 4)")
+    fleet.add_argument("--batch", type=int, default=64,
+                       help="max decisions drained per shard batch")
+    fleet.add_argument("--queue-depth", type=int, default=100_000,
+                       dest="queue_depth", metavar="N",
+                       help="per-shard queue bound; arrivals beyond it "
+                       "are shed (default: 100000)")
+    fleet.add_argument("--duration", type=float, default=3.0,
+                       help="virtual trace horizon in seconds")
+    fleet.add_argument("--rate", type=float, default=0.35,
+                       help="mean ADMIT arrival rate per device in "
+                       "requests/s (default: 0.35)")
+    fleet.add_argument("--arrival", choices=("poisson", "bursty"),
+                       default="poisson", help="arrival process")
+    fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument("--service-us", type=float, default=150.0,
+                       dest="service_us", metavar="US",
+                       help="virtual per-decision service time "
+                       "(default: 150)")
+    fleet.add_argument("--journal-dir", default=None, dest="journal_dir",
+                       metavar="DIR",
+                       help="write per-shard decision journals here")
+    fleet.add_argument("--plan-store", default=None, dest="plan_store",
+                       metavar="DIR",
+                       help="persistent content-addressed plan store "
+                       "(created if missing; also via REPRO_PLAN_STORE)")
+    fleet.add_argument("--verify-identity", action="store_true",
+                       dest="verify_identity",
+                       help="re-run the trace on 1 shard and require "
+                       "bit-identical decisions (exit 1 on mismatch)")
+    fleet.add_argument("--quiet", action="store_true",
+                       help="suppress the per-shard table")
+    fleet.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout "
+                       "(schema rtmdm-fleet/1)")
+    fleet.set_defaults(fn=_cmd_fleet)
 
     energy = sub.add_parser("energy", help="energy budget of a scenario")
     energy.add_argument("scenario", choices=sorted(SCENARIOS), nargs="?",

@@ -47,7 +47,9 @@ Key soundness notes:
   planner is deterministic, so an infeasible key stays infeasible.
 
 Environment knobs: ``REPRO_PLAN_CACHE=0`` disables all caches;
-``REPRO_PLAN_CACHE_SIZE`` overrides the per-cache entry bound.
+``REPRO_PLAN_CACHE_SIZE`` overrides the per-cache entry bound;
+``REPRO_PLAN_STORE=<dir>`` adds the persistent on-disk tier below the
+search LRU (see :mod:`repro.core.planstore`).
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core import pipeline as _pipeline
+from repro.core import planstore
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.pipeline import SegmentedModel
 from repro.core.segmentation import SegmentationError, search_segmentation
@@ -300,6 +303,7 @@ def snapshot() -> Dict[str, Tuple[int, ...]]:
     }
     snap["sim.fold"] = simulator.fold_snapshot()
     snap["rta.fixpoint"] = rta.fixpoint_snapshot()
+    snap["planstore"] = planstore.counters_snapshot()
     return snap
 
 
@@ -332,6 +336,8 @@ def absorb(delta: Mapping[str, Tuple[int, ...]]) -> None:
             from repro.sched import rta
 
             rta.fixpoint_absorb(vals)
+        elif name == "planstore":
+            planstore.counters_absorb(vals)
         else:
             cache = CACHES.get(name)
             if cache is not None:
@@ -377,6 +383,7 @@ def stats() -> Dict[str, Dict[str, int]]:
     }
     out["sim.fold"] = simulator.fold_counters()
     out["rta.fixpoint"] = rta.fixpoint_counters()
+    out["planstore"] = planstore.counters_dict()
     return out
 
 
@@ -700,6 +707,15 @@ def cached_search_segmentation(
             cap_q,
         )
         found, value = cache.get(key)
+        if not found:
+            # Second tier: the persistent content-addressed plan store.
+            # A store hit is promoted into the LRU, so one process pays
+            # the disk read at most once per key.
+            store = planstore.active()
+            if store is not None:
+                found, value = store.get(key)
+                if found:
+                    cache.put(key, value)
         if found:
             kind, *payload = value
             if kind == "err":
@@ -725,6 +741,7 @@ def cached_search_segmentation(
         )
         if cache is not None:
             cache.put(key, ("err", message))
+            _store_put(key, ("err", message))
         raise SegmentationError(message)
     budget_q = slot_q * buffers + act
     try:
@@ -739,10 +756,20 @@ def cached_search_segmentation(
     except SegmentationError as exc:
         if cache is not None:
             cache.put(key, ("err", str(exc)))
+            _store_put(key, ("err", str(exc)))
         raise
     if cache is not None:
-        cache.put(key, ("ok", seg.boundaries, seg.segments()))
+        value = ("ok", seg.boundaries, seg.segments())
+        cache.put(key, value)
+        _store_put(key, value)
     return seg
+
+
+def _store_put(key: Any, value: Any) -> None:
+    """Write-through a cold search result to the persistent store."""
+    store = planstore.active()
+    if store is not None:
+        store.put(key, value)
 
 
 def _taskset_fingerprint(taskset: TaskSet) -> Any:

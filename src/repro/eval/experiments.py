@@ -29,6 +29,7 @@ from repro.dnn.models import refine_model
 from repro.dnn.quantization import INT8
 from repro.dnn.zoo import build_model, list_models
 from repro.eval.metrics import (
+    latency_stats,
     miss_ratio,
     quantiles,
     schedulability_ratio,
@@ -1467,16 +1468,9 @@ def exp_d1_admission(
                     totals["misses"],
                 )
             )
-    latencies.sort()
     meta = {}
     if latencies:
-        meta["decision_latency_us"] = {
-            "n": len(latencies),
-            "mean": round(sum(latencies) / len(latencies), 1),
-            "p50": round(quantiles(latencies, (0.5,))[0], 1),
-            "p95": round(quantiles(latencies, (0.95,))[0], 1),
-            "max": round(latencies[-1], 1),
-        }
+        meta["decision_latency_us"] = latency_stats(latencies)
     return ExperimentResult(
         exp_id="EXP-D1",
         title=(
@@ -2158,3 +2152,261 @@ def exp_f17_rta_throughput(
 
 
 EXPERIMENTS["EXP-F17"] = exp_f17_rta_throughput
+
+
+# ----------------------------------------------------------------------
+# Fleet-scale serving (EXP-S1) and plan-store amortization (EXP-S2)
+# ----------------------------------------------------------------------
+
+
+def exp_s1_fleet(
+    devices: int = 20_000,
+    shard_counts: Sequence[int] = (1, 4, 16),
+    fleet_sizes: Sequence[int] = (5_000, 80_000),
+    rate_per_device_hz: float = 0.35,
+    duration_s: float = 3.0,
+    service_us: float = 150.0,
+    batch_size: int = 64,
+    seed: int = 2040,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Fleet admission sweep: shard count x fleet size, two arrival models.
+
+    Part one replays the *same* fleet trace at every shard count
+    (Poisson and bursty arrivals): the 1-shard run is the serial oracle
+    and ``identical=1`` asserts the sharded decision stream matches it
+    bit-for-bit (the core correctness claim of the sharded service).
+    Queueing percentiles are virtual-time and deterministic — they show
+    the oversubscription curve as shards are removed.  Part two scales
+    fleet size at the widest shard count (no serial oracle there;
+    ``identical`` is ``None``).
+
+    Wall-clock engine throughput (decisions/s) and per-decision engine
+    latency percentiles are aggregated across all runs into ``meta``,
+    keeping rows deterministic.
+    """
+    from repro.eval.fleet import (
+        FleetConfig,
+        FleetService,
+        decision_identity,
+        fleet_trace,
+    )
+
+    def n_dev(base: int) -> int:
+        return max(200, int(base * scale))
+
+    cache_before = segcache.snapshot()
+    rows: List[Tuple] = []
+    wall_latencies: List[float] = []
+    decided_total = 0
+    engine_total = 0.0
+
+    def run_one(trace, shards):
+        nonlocal decided_total, engine_total
+        config = FleetConfig(
+            n_shards=shards, batch_size=batch_size, service_us=service_us
+        )
+        report = FleetService(config=config).run(trace)
+        wall_latencies.extend(report.wall_latencies_us)
+        decided_total += report.decided
+        engine_total += report.engine_s
+        return report
+
+    def row_of(arrival, n, shards, report, identical):
+        queueing = report.queueing_latency_ms
+        return (
+            arrival, n, shards, report.requests, report.admitted,
+            report.rejected_sram, report.rejected_rta, report.removed,
+            report.shed, report.peak_queue_depth,
+            round(report.shard_utilization, 4),
+            queueing["p50"], queueing["p99"], identical,
+        )
+
+    # Shard sweep: one trace per arrival model, replayed at every shard
+    # count; the first (serial) run is the identity oracle.
+    for arrival in ("poisson", "bursty"):
+        n = n_dev(devices)
+        trace = fleet_trace(
+            n, duration_s, rate_per_device_hz,
+            seed=_stable_seed(seed, "s1", arrival, n), arrival=arrival,
+        )
+        oracle = None
+        for shards in shard_counts:
+            report = run_one(trace, shards)
+            identity = decision_identity(report.decisions)
+            identical = 1 if oracle is None else int(identity == oracle)
+            if oracle is None:
+                oracle = identity
+            rows.append(row_of(arrival, n, shards, report, identical))
+
+    # Fleet-size sweep at the widest shard count (Poisson arrivals).
+    wide = max(shard_counts)
+    for base in fleet_sizes:
+        n = n_dev(base)
+        trace = fleet_trace(
+            n, duration_s, rate_per_device_hz,
+            seed=_stable_seed(seed, "s1", "poisson", n), arrival="poisson",
+        )
+        rows.append(row_of("poisson", n, wide, run_one(trace, wide), None))
+
+    meta: Dict = {
+        "rate_per_device_hz": rate_per_device_hz,
+        "duration_s": duration_s,
+        "service_us": service_us,
+        "total_decisions": decided_total,
+        "decisions_per_s": (
+            round(decided_total / engine_total, 1) if engine_total else None
+        ),
+        "decision_latency_us": latency_stats(wall_latencies),
+    }
+    return ExperimentResult(
+        exp_id="EXP-S1",
+        title=(
+            f"Fleet admission sweep (shards x fleet size, "
+            f"{duration_s:g}s virtual horizon)"
+        ),
+        columns=(
+            "arrival", "devices", "shards", "requests", "admitted",
+            "rej_sram", "rej_rta", "removed", "shed", "peak_depth",
+            "util", "q_p50_ms", "q_p99_ms", "identical",
+        ),
+        rows=tuple(rows),
+        notes=_with_cache_note(
+            "virtual-time shards; identical=1 means the sharded decision "
+            "stream is bit-identical to the serial oracle; engine "
+            "throughput/latency in meta",
+            [segcache.delta_since(cache_before)],
+        ),
+        meta=meta,
+    )
+
+
+EXPERIMENTS["EXP-S1"] = exp_s1_fleet
+
+
+def exp_s2_planstore(
+    platform_key: str = "f746-qspi",
+    sram_kib: Sequence[int] = (128, 192, 320),
+    deadlines_ms: Sequence[float] = (50.0, 200.0),
+    seed: int = 2041,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Plan-store amortization: cold planning vs a warm on-disk store.
+
+    Plans every zoo model at every SRAM budget and deadline twice into a
+    temporary :mod:`repro.core.planstore`: a *cold* pass (empty store,
+    empty in-RAM caches — every plan is a full segmentation search) and
+    a *warm* pass after clearing the in-RAM caches again, simulating a
+    fresh process on an already-provisioned device fingerprint.  The
+    warm pass must hit the store instead of re-searching, and
+    ``identical=1`` records that warm plans are bit-identical to cold
+    ones.  Store counters are deterministic in the workload; wall
+    seconds and the speedup live in ``meta``.
+
+    ``seed`` is accepted for driver-signature uniformity (the workload
+    is exhaustive, not sampled).
+    """
+    del seed  # exhaustive workload; kept for signature uniformity
+    import shutil
+    import tempfile
+
+    from repro.core import planstore
+    from repro.online.admission import plan_segments
+
+    models = list(list_models())
+    if scale < 1:
+        models = models[: max(3, int(round(len(models) * scale)))]
+    combos = [
+        (kib, model, ms)
+        for kib in sram_kib
+        for model in models
+        for ms in deadlines_ms
+    ]
+
+    def run_pass():
+        outcomes = []
+        start = time.perf_counter()
+        for kib, model, ms in combos:
+            platform = get_platform(platform_key).with_sram_bytes(kib * KIB)
+            deadline = max(1, platform.mcu.seconds_to_cycles(ms / 1000.0))
+            try:
+                segments, cost = plan_segments(
+                    platform, model, deadline, platform.usable_sram_bytes
+                )
+                outcomes.append((
+                    "ok",
+                    cost,
+                    tuple(
+                        (s.name, s.load_cycles, s.compute_cycles,
+                         s.load_bytes, s.xip_bytes)
+                        for s in segments
+                    ),
+                ))
+            except SegmentationError as exc:
+                outcomes.append(("err", str(exc)))
+        return outcomes, time.perf_counter() - start
+
+    def counters_since(before):
+        names = ("hits", "misses", "corrupt", "stale", "writes")
+        now = planstore.counters_snapshot()
+        return dict(zip(names, (n - b for n, b in zip(now, before))))
+
+    previous = planstore.active()
+    root = tempfile.mkdtemp(prefix="rtmdm-planstore-")
+    try:
+        planstore.configure(root)
+        segcache.clear_all()
+        mark = planstore.counters_snapshot()
+        cold, cold_s = run_pass()
+        cold_counts = counters_since(mark)
+        # A warm run is a fresh process: in-RAM caches are gone, the
+        # on-disk store is not.
+        segcache.clear_all()
+        mark = planstore.counters_snapshot()
+        warm, warm_s = run_pass()
+        warm_counts = counters_since(mark)
+        store_entries = len(planstore.active())
+    finally:
+        planstore.configure(previous.root if previous is not None else None)
+        shutil.rmtree(root, ignore_errors=True)
+
+    def phase_row(phase, outcomes, counts, identical):
+        ok = sum(1 for outcome in outcomes if outcome[0] == "ok")
+        return (
+            phase, len(outcomes), ok, len(outcomes) - ok, identical,
+            counts["hits"], counts["misses"], counts["writes"],
+        )
+
+    rows = (
+        phase_row("cold", cold, cold_counts, 1),
+        phase_row("warm", warm, warm_counts, int(warm == cold)),
+    )
+    meta = {
+        "platform": platform_key,
+        "store_entries": store_entries,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+    }
+    return ExperimentResult(
+        exp_id="EXP-S2",
+        title=(
+            f"Plan-store amortization ({len(combos)} plans, cold vs warm)"
+        ),
+        columns=(
+            "phase", "plans", "ok", "err", "identical",
+            "hits", "misses", "writes",
+        ),
+        rows=rows,
+        notes=(
+            "warm pass re-plans after clearing in-RAM caches against the "
+            "persisted store; identical=1 means warm plans are "
+            "bit-identical to cold; wall seconds in meta"
+        ),
+        meta=meta,
+    )
+
+
+EXPERIMENTS["EXP-S2"] = exp_s2_planstore

@@ -1,0 +1,802 @@
+"""Fleet-scale admission serving: a sharded, batched, async service.
+
+This module simulates 10k-1M devices sharing one central admission
+service.  Devices are grouped into platform/workload **cohorts** (so the
+fleet's planning state collapses onto a handful of platform objects and
+their plan-cache keys), requests are routed to per-shard FIFO queues by
+a deterministic device hash, and each shard drains its queue in batches
+decided through the vectorized fast paths
+(:func:`repro.online.admission.mass_screen` backed by
+:mod:`repro.sched.vecrta`, with :func:`repro.core.segcache.cached_analyze`
+as the exact fallback).  Planning goes through
+:func:`repro.online.admission.plan_segments` — the same policy as the
+single-device controller — so a configured
+:mod:`repro.core.planstore` amortizes one segmentation search across the
+whole fleet and across runs.
+
+Time model
+----------
+
+The service runs in **virtual time**: request arrival instants come from
+the trace, each decided batch occupies its shard for ``service_us``
+microseconds per decision, and a batch's decisions all complete when the
+batch does.  Queue depths, shard utilization and queueing-latency
+percentiles are therefore pure functions of the trace and the
+configuration — deterministic and comparable across machines — while the
+*engine* throughput (decisions/sec) and per-decision wall-clock latency
+are measured separately and reported via ``meta``-style fields.
+
+Identity guarantees
+-------------------
+
+A decision for device *d* depends only on *d*'s own resident set (plus
+the immutable cohort platform), and the service admits at most one
+request per device per batch (later same-device requests are held back
+to the next batch), so per-device request order is preserved under any
+shard count or batch size.  ``mass_screen`` is bit-identical to scalar
+screening and ``cached_analyze`` is exact, so **sharded decisions are
+bit-identical to the single-shard serial path** — the identity gate in
+``tests/test_fleet.py`` and CI asserts this with backpressure disabled
+(shedding depends on queue depth, which legitimately differs by shard
+count; the gate requires zero sheds).
+
+Durability
+----------
+
+With ``journal_dir`` set, every shard keeps its own CRC-tagged
+write-ahead journal (:class:`repro.online.durable.DecisionJournal`):
+intents before the batch decides, commits after, with the fleet request
+encoded as a device-qualified :class:`repro.online.events.Request`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core import segcache
+from repro.core.segmentation import SegmentationError
+from repro.dnn.quantization import INT8, Quantization
+from repro.eval.metrics import latency_stats
+from repro.hw.platform import Platform
+from repro.hw.presets import get_platform
+from repro.online.admission import mass_screen, plan_segments
+from repro.online.durable import DecisionJournal
+from repro.online.events import Request, RequestKind
+from repro.sched.task import PeriodicTask, Segment, TaskSet
+from repro.workload.arrivals import bursty_arrival_times, poisson_arrival_times
+from repro.workload.taskset import DEFAULT_MODEL_POOL
+
+__all__ = [
+    "CohortSpec",
+    "DEFAULT_COHORTS",
+    "FLEET_SCHEMA",
+    "FleetConfig",
+    "FleetDecision",
+    "FleetReport",
+    "FleetRequest",
+    "FleetService",
+    "FleetTrace",
+    "decision_identity",
+    "fleet_trace",
+    "shard_of",
+]
+
+#: Schema tag of the ``rtmdm fleet --json`` payload.
+FLEET_SCHEMA = "rtmdm-fleet/1"
+
+
+# ----------------------------------------------------------------------
+# Cohorts and traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CohortSpec:
+    """One device cohort: a platform variant plus its workload mix.
+
+    Cohort membership is ``device_index % len(cohorts)`` — deterministic
+    and uniform, so every cohort's planning keys are exercised at every
+    fleet size.
+    """
+
+    name: str
+    platform_key: str = "f746-qspi"
+    sram_kib: Optional[int] = None
+    model_pool: Tuple[str, ...] = DEFAULT_MODEL_POOL
+    period_ladder_s: Tuple[float, ...] = (0.1, 0.2, 0.4, 0.8)
+
+    def platform(self) -> Platform:
+        platform = get_platform(self.platform_key)
+        if self.sram_kib is not None:
+            platform = platform.with_sram_bytes(self.sram_kib * 1024)
+        return platform
+
+
+#: Default fleet mix: two SRAM variants of the paper's reference board
+#: plus a faster part, so plan keys, admission pressure and decision
+#: mixes differ across cohorts.
+DEFAULT_COHORTS: Tuple[CohortSpec, ...] = (
+    CohortSpec("f746-192k", "f746-qspi", sram_kib=192),
+    CohortSpec("f746-320k", "f746-qspi", sram_kib=320),
+    CohortSpec("h743-sdram", "h743-sdram"),
+)
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One fleet request: a device-qualified admit or remove.
+
+    ``seq`` is the global arrival index — the identity key decisions are
+    compared on across shard counts.
+    """
+
+    seq: int
+    time_s: float
+    device: str
+    kind: RequestKind
+    task: str
+    model: str = ""
+    period_s: float = 0.0
+
+    def to_request(self) -> Request:
+        """The journal/trace form (device-qualified task name)."""
+        return Request(
+            time_s=self.time_s,
+            kind=self.kind,
+            task=f"{self.device}/{self.task}",
+            model=self.model,
+            period_s=self.period_s,
+        )
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """A time-ordered fleet request sequence over a bounded horizon."""
+
+    requests: Tuple[FleetRequest, ...]
+    duration_s: float
+    n_devices: int
+    cohorts: Tuple[CohortSpec, ...]
+    arrival: str
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def fleet_trace(
+    n_devices: int,
+    duration_s: float,
+    rate_per_device_hz: float,
+    seed: int,
+    cohorts: Sequence[CohortSpec] = DEFAULT_COHORTS,
+    arrival: str = "poisson",
+    mean_lifetime_s: float = 4.0,
+    burst_factor: float = 4.0,
+    duty: float = 0.25,
+    mean_cycle_s: float = 2.0,
+) -> FleetTrace:
+    """Draw one fleet trace (a pure function of the arguments).
+
+    Aggregate arrivals run at ``n_devices * rate_per_device_hz`` under
+    the chosen arrival process (``"poisson"`` or ``"bursty"``); each
+    arrival lands on a uniformly-drawn device, admits a fresh model from
+    the device's cohort pool, and departs after an exponential lifetime
+    (in-horizon departures become REMOVE requests).
+    """
+    if n_devices <= 0:
+        raise ValueError(f"n_devices must be > 0, got {n_devices}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if rate_per_device_hz <= 0:
+        raise ValueError(
+            f"rate_per_device_hz must be > 0, got {rate_per_device_hz}"
+        )
+    if mean_lifetime_s <= 0:
+        raise ValueError(f"mean_lifetime_s must be > 0, got {mean_lifetime_s}")
+    if not cohorts:
+        raise ValueError("cohorts must be non-empty")
+    rng = random.Random(seed)
+    total_rate = n_devices * rate_per_device_hz
+    if arrival == "poisson":
+        times = poisson_arrival_times(duration_s, total_rate, rng)
+    elif arrival == "bursty":
+        times = bursty_arrival_times(
+            duration_s, total_rate, rng, burst_factor, duty, mean_cycle_s
+        )
+    else:
+        raise ValueError(
+            f"unknown arrival model {arrival!r} (known: poisson, bursty)"
+        )
+    events: List[Tuple[float, int, str, RequestKind, str, str, float]] = []
+    admit_counts: Dict[int, int] = {}
+    order = 0
+    for t in times:
+        index = rng.randrange(n_devices)
+        cohort = cohorts[index % len(cohorts)]
+        device = f"d{index:07d}"
+        count = admit_counts.get(index, 0)
+        admit_counts[index] = count + 1
+        task = f"m{count}"
+        model = rng.choice(list(cohort.model_pool))
+        period_s = rng.choice(list(cohort.period_ladder_s))
+        events.append((t, order, device, RequestKind.ADMIT, task, model, period_s))
+        order += 1
+        end_s = t + rng.expovariate(1.0 / mean_lifetime_s)
+        if end_s < duration_s:
+            events.append((end_s, order, device, RequestKind.REMOVE, task, "", 0.0))
+            order += 1
+    events.sort(key=lambda e: (e[0], e[1]))
+    requests = tuple(
+        FleetRequest(
+            seq=seq, time_s=e[0], device=e[2], kind=e[3],
+            task=e[4], model=e[5], period_s=e[6],
+        )
+        for seq, e in enumerate(events)
+    )
+    return FleetTrace(
+        requests=requests,
+        duration_s=duration_s,
+        n_devices=n_devices,
+        cohorts=tuple(cohorts),
+        arrival=arrival,
+    )
+
+
+def shard_of(device: str, n_shards: int) -> int:
+    """Deterministic device → shard routing (stable across processes)."""
+    return zlib.crc32(device.encode("utf-8")) % n_shards
+
+
+# ----------------------------------------------------------------------
+# Service configuration and decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetConfig:
+    """Decision-relevant service configuration.
+
+    ``service_us`` is the virtual per-decision service cost the queueing
+    model charges (it does not gate the engine); ``max_queue_depth``
+    bounds each shard's queue — arrivals beyond it are shed.
+    """
+
+    n_shards: int = 4
+    batch_size: int = 64
+    max_queue_depth: int = 100_000
+    service_us: float = 150.0
+    method: str = "rtmdm"
+    quant: Quantization = INT8
+    buffers: int = 2
+    journal_dir: Optional[str] = None
+    fsync_interval: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ValueError(f"n_shards must be > 0, got {self.n_shards}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {self.batch_size}")
+        if self.max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be > 0, got {self.max_queue_depth}"
+            )
+        if self.service_us <= 0:
+            raise ValueError(f"service_us must be > 0, got {self.service_us}")
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """One fleet decision; the identity tuple excludes ``shard``.
+
+    ``outcome`` is ``admitted`` / ``rejected`` / ``removed`` /
+    ``ignored`` / ``shed``; ``reason`` carries the justification
+    (``rta-oblivious``/``analysis`` for admissions, ``sram: ...`` /
+    ``rta: ...`` for rejections, ``queue-full: ...`` for sheds).
+    """
+
+    seq: int
+    device: str
+    task: str
+    kind: str
+    outcome: str
+    reason: str = ""
+    shard: int = -1
+
+    def to_dict(self) -> Dict:
+        return {
+            "seq": self.seq,
+            "device": self.device,
+            "task": self.task,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "reason": self.reason,
+            "shard": self.shard,
+        }
+
+
+def decision_identity(decisions: Sequence[FleetDecision]) -> List[Tuple]:
+    """The shard-independent projection compared by the identity gate."""
+    return [
+        (d.seq, d.device, d.task, d.kind, d.outcome, d.reason)
+        for d in decisions
+    ]
+
+
+class _Resident(NamedTuple):
+    """One admitted model on one device (the fleet's per-device state).
+
+    ``plan_key`` is the exact planning input ``(cohort, model, period,
+    free_bytes)`` that produced ``segments``/``sram_bytes``; planning is
+    deterministic, so equal plan keys imply equal plans — which is what
+    lets the union-verdict memo key on plan keys instead of segment
+    contents.
+    """
+
+    task: str
+    model: str
+    segments: Tuple[Segment, ...]
+    period: int
+    deadline: int
+    sram_bytes: int
+    plan_key: Tuple
+
+
+class _Shard:
+    __slots__ = (
+        "index", "queue", "busy_until_s", "busy_s",
+        "decided", "peak_depth", "shed", "journal",
+    )
+
+    def __init__(self, index: int, journal: Optional[DecisionJournal]) -> None:
+        self.index = index
+        self.queue: Deque[FleetRequest] = deque()
+        self.busy_until_s = 0.0
+        self.busy_s = 0.0
+        self.decided = 0
+        self.peak_depth = 0
+        self.shed = 0
+        self.journal = journal
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run.
+
+    Everything except ``wall_s`` / ``engine_s`` / ``decisions_per_s`` /
+    ``decision_latency_us`` is deterministic in the (trace, config)
+    pair; those four are wall-clock engine measurements.
+    """
+
+    n_devices: int
+    n_shards: int
+    batch_size: int
+    service_us: float
+    duration_s: float
+    arrival: str
+    requests: int
+    admitted: int
+    rejected_sram: int
+    rejected_rta: int
+    removed: int
+    ignored: int
+    shed: int
+    decisions: List[FleetDecision]
+    shard_stats: List[Dict]
+    queueing_latency_ms: Dict
+    decision_latency_us: Dict
+    wall_s: float
+    engine_s: float
+    cache: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    #: Raw per-decision engine wall latencies (batch-averaged, µs);
+    #: kept out of :meth:`to_dict` — callers aggregate across runs.
+    wall_latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def admit_requests(self) -> int:
+        return self.admitted + self.rejected_sram + self.rejected_rta
+
+    @property
+    def admission_ratio(self) -> float:
+        n = self.admit_requests
+        return self.admitted / n if n else 1.0
+
+    @property
+    def decided(self) -> int:
+        """Requests that reached the decision engine (everything but sheds)."""
+        return self.requests - self.shed
+
+    @property
+    def decisions_per_s(self) -> float:
+        """Engine throughput: decided requests over engine wall time."""
+        return self.decided / self.engine_s if self.engine_s > 0 else 0.0
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max((s["peak_depth"] for s in self.shard_stats), default=0)
+
+    @property
+    def shard_utilization(self) -> float:
+        """Mean busy fraction of the shards over the virtual horizon."""
+        if not self.shard_stats:
+            return 0.0
+        horizon = max(
+            self.duration_s,
+            max((s["busy_until_s"] for s in self.shard_stats), default=0.0),
+        )
+        busy = sum(s["busy_s"] for s in self.shard_stats)
+        return busy / (horizon * len(self.shard_stats))
+
+    def to_dict(self, include_decisions: bool = False) -> Dict:
+        """Machine-readable report (the ``rtmdm fleet --json`` payload)."""
+        payload: Dict = {
+            "schema": FLEET_SCHEMA,
+            "n_devices": self.n_devices,
+            "n_shards": self.n_shards,
+            "batch_size": self.batch_size,
+            "service_us": self.service_us,
+            "duration_s": self.duration_s,
+            "arrival": self.arrival,
+            "requests": self.requests,
+            "admit_requests": self.admit_requests,
+            "admitted": self.admitted,
+            "rejected_sram": self.rejected_sram,
+            "rejected_rta": self.rejected_rta,
+            "removed": self.removed,
+            "ignored": self.ignored,
+            "shed": self.shed,
+            "admission_ratio": round(self.admission_ratio, 4),
+            "peak_queue_depth": self.peak_queue_depth,
+            "shard_utilization": round(self.shard_utilization, 4),
+            "queueing_latency_ms": self.queueing_latency_ms,
+            "decision_latency_us": self.decision_latency_us,
+            "decisions_per_s": round(self.decisions_per_s, 1),
+            "wall_s": round(self.wall_s, 3),
+            "engine_s": round(self.engine_s, 3),
+            "shards": self.shard_stats,
+            "cache": {name: list(vals) for name, vals in self.cache.items()},
+        }
+        if include_decisions:
+            payload["decisions"] = [d.to_dict() for d in self.decisions]
+        return payload
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class FleetService:
+    """Sharded batch admission over a device fleet (virtual time)."""
+
+    def __init__(
+        self,
+        cohorts: Sequence[CohortSpec] = DEFAULT_COHORTS,
+        config: FleetConfig = FleetConfig(),
+    ) -> None:
+        if not cohorts:
+            raise ValueError("cohorts must be non-empty")
+        self.cohorts = tuple(cohorts)
+        self.config = config
+        # One platform object per cohort for the whole run: the segcache
+        # fingerprint memos are identity-keyed, so key construction
+        # stays O(1) per decision.
+        self._platforms = [cohort.platform() for cohort in self.cohorts]
+
+    # -- setup ---------------------------------------------------------
+    def _journal_config(self, shard_index: int) -> Dict:
+        cfg = self.config
+        return {
+            "schema": FLEET_SCHEMA,
+            "shard": shard_index,
+            "n_shards": cfg.n_shards,
+            "batch_size": cfg.batch_size,
+            "method": cfg.method,
+            "quant": cfg.quant.name,
+            "buffers": cfg.buffers,
+            "cohorts": [c.name for c in self.cohorts],
+        }
+
+    def _make_shards(self) -> List[_Shard]:
+        cfg = self.config
+        shards = []
+        for index in range(cfg.n_shards):
+            journal = None
+            if cfg.journal_dir:
+                os.makedirs(cfg.journal_dir, exist_ok=True)
+                journal = DecisionJournal.create(
+                    os.path.join(cfg.journal_dir, f"shard{index:03d}.journal"),
+                    config=self._journal_config(index),
+                    fsync_interval=cfg.fsync_interval,
+                )
+            shards.append(_Shard(index, journal))
+        return shards
+
+    # -- decision core -------------------------------------------------
+    def _ranked(self, ordered: Sequence[_Resident]) -> List[PeriodicTask]:
+        """Deadline-monotonic union tasks (same order as the controller).
+
+        ``ordered`` must already be sorted by ``(deadline, task)``.
+        """
+        buffers = self.config.buffers
+        return [
+            PeriodicTask(
+                name=r.task,
+                segments=r.segments,
+                period=r.period,
+                deadline=r.deadline,
+                priority=rank,
+                buffers=buffers,
+            )
+            for rank, r in enumerate(ordered)
+        ]
+
+    def _decide_batch(
+        self,
+        batch: Sequence[FleetRequest],
+        devices: Dict[str, Dict[str, _Resident]],
+        plan_memo: Dict,
+        verdict_memo: Dict,
+    ) -> List[Tuple[str, str]]:
+        """Decide one batch, mutating per-device state.
+
+        Stage 1 resolves removals/duplicates and plans every admit
+        candidate; stage 2 screens all candidates in one vectorized
+        ``mass_screen`` pass; stage 3 runs the exact analysis only for
+        screen failures.  Verdicts are bit-identical to deciding the
+        requests one at a time (the screen and analysis both are), which
+        is what makes decisions batch- and shard-invariant.
+
+        Two per-run memos short-circuit the fleet-wide repetition:
+        ``plan_memo`` keys plans on their exact inputs ``(cohort, model,
+        period, free)``, and ``verdict_memo`` keys admission verdicts on
+        the candidate union's ranked plan-key sequence.  Both memoize
+        pure deterministic functions of their keys, so they change no
+        decision — only how often the planner and screen actually run.
+        """
+        cfg = self.config
+        outcomes: List[Optional[Tuple[str, str]]] = [None] * len(batch)
+        jobs: List[Tuple[int, Dict[str, _Resident], _Resident, List[_Resident], Tuple]] = []
+        for i, req in enumerate(batch):
+            resident = devices.get(req.device)
+            if resident is None:
+                resident = {}
+                devices[req.device] = resident
+            if req.kind is RequestKind.REMOVE:
+                if req.task in resident:
+                    del resident[req.task]
+                    outcomes[i] = ("removed", "")
+                else:
+                    outcomes[i] = ("ignored", "not-resident")
+                continue
+            if req.task in resident:
+                outcomes[i] = ("ignored", "already-resident")
+                continue
+            cohort_index = int(req.device[1:]) % len(self.cohorts)
+            platform = self._platforms[cohort_index]
+            period = max(1, platform.mcu.seconds_to_cycles(req.period_s))
+            free = platform.usable_sram_bytes - sum(
+                r.sram_bytes for r in resident.values()
+            )
+            plan_key = (cohort_index, req.model, period, free)
+            plan = plan_memo.get(plan_key)
+            if plan is None:
+                try:
+                    segments, cost = plan_segments(
+                        platform, req.model, period, free,
+                        quant=cfg.quant, buffers=cfg.buffers,
+                    )
+                    plan = ("ok", segments, cost)
+                except SegmentationError as exc:
+                    plan = ("err", f"sram: {exc}")
+                plan_memo[plan_key] = plan
+            if plan[0] == "err":
+                outcomes[i] = ("rejected", plan[1])
+                continue
+            candidate = _Resident(
+                task=req.task, model=req.model, segments=plan[1],
+                period=period, deadline=period, sram_bytes=plan[2],
+                plan_key=plan_key,
+            )
+            ranked = sorted(
+                [*resident.values(), candidate],
+                key=lambda r: (r.deadline, r.task),
+            )
+            # The verdict depends only on the priority-ordered sequence
+            # of task bodies (names never enter the RTA math), and each
+            # body is determined by its plan key.
+            vkey = tuple((r.plan_key, r.period, r.deadline) for r in ranked)
+            verdict = verdict_memo.get(vkey)
+            if verdict is not None:
+                ok, reason = verdict
+                if ok:
+                    resident[candidate.task] = candidate
+                    outcomes[i] = ("admitted", reason)
+                else:
+                    outcomes[i] = ("rejected", reason)
+                continue
+            jobs.append((i, resident, candidate, ranked, vkey))
+        if jobs:
+            task_lists = [
+                self._ranked(ranked) for _, _, _, ranked, _ in jobs
+            ]
+            verdicts = mass_screen(task_lists)
+            for (i, resident, candidate, ranked, vkey), tasks, ok in zip(
+                jobs, task_lists, verdicts
+            ):
+                reason = "rta-oblivious"
+                if not ok:
+                    result = segcache.cached_analyze(
+                        TaskSet.of(tasks), cfg.method
+                    )
+                    ok = result.schedulable
+                    reason = "analysis"
+                if ok:
+                    resident[candidate.task] = candidate
+                    outcomes[i] = ("admitted", reason)
+                    verdict_memo[vkey] = (True, reason)
+                else:
+                    outcomes[i] = ("rejected", "rta: union unschedulable")
+                    verdict_memo[vkey] = (False, "rta: union unschedulable")
+        return outcomes  # type: ignore[return-value]
+
+    # -- queue/drain machinery -----------------------------------------
+    def _take_batch(
+        self, shard: _Shard, start_s: float
+    ) -> List[FleetRequest]:
+        """Pop the next batch: arrived by ``start_s``, <= 1 per device.
+
+        Same-device followers are held back (order preserved) so every
+        device's requests decide in arrival order regardless of batch
+        boundaries — the load-bearing half of the identity guarantee.
+        """
+        cfg = self.config
+        batch: List[FleetRequest] = []
+        seen = set()
+        holdback: List[FleetRequest] = []
+        while shard.queue and len(batch) < cfg.batch_size:
+            req = shard.queue[0]
+            if req.time_s > start_s:
+                break
+            shard.queue.popleft()
+            if req.device in seen:
+                holdback.append(req)
+                continue
+            seen.add(req.device)
+            batch.append(req)
+        for req in reversed(holdback):
+            shard.queue.appendleft(req)
+        return batch
+
+    def run(self, trace: FleetTrace) -> FleetReport:
+        """Serve one fleet trace end to end."""
+        cfg = self.config
+        service_s = cfg.service_us * 1e-6
+        shards = self._make_shards()
+        devices: Dict[str, Dict[str, _Resident]] = {}
+        plan_memo: Dict = {}
+        verdict_memo: Dict = {}
+        decisions: List[Optional[FleetDecision]] = [None] * len(trace.requests)
+        queueing_ms: List[float] = []
+        wall_us: List[float] = []
+        engine_ns = 0
+        counts = {
+            "admitted": 0, "rejected_sram": 0, "rejected_rta": 0,
+            "removed": 0, "ignored": 0, "shed": 0,
+        }
+        cache_before = segcache.snapshot()
+
+        def drain(shard: _Shard, now_s: Optional[float]) -> None:
+            nonlocal engine_ns
+            while shard.queue:
+                start_s = max(shard.busy_until_s, shard.queue[0].time_s)
+                if now_s is not None and start_s > now_s:
+                    return
+                batch = self._take_batch(shard, start_s)
+                if shard.journal is not None:
+                    for offset, req in enumerate(batch):
+                        shard.journal.append_intent(
+                            shard.decided + offset, req.to_request()
+                        )
+                t0 = time.perf_counter_ns()
+                outcomes = self._decide_batch(
+                    batch, devices, plan_memo, verdict_memo
+                )
+                elapsed_ns = time.perf_counter_ns() - t0
+                engine_ns += elapsed_ns
+                per_us = elapsed_ns / len(batch) / 1000.0
+                completion_s = start_s + len(batch) * service_s
+                shard.busy_s += len(batch) * service_s
+                shard.busy_until_s = completion_s
+                for offset, (req, (outcome, reason)) in enumerate(
+                    zip(batch, outcomes)
+                ):
+                    decision = FleetDecision(
+                        seq=req.seq, device=req.device, task=req.task,
+                        kind=req.kind.value, outcome=outcome,
+                        reason=reason, shard=shard.index,
+                    )
+                    decisions[req.seq] = decision
+                    queueing_ms.append((completion_s - req.time_s) * 1000.0)
+                    wall_us.append(per_us)
+                    if outcome == "rejected":
+                        key = (
+                            "rejected_sram"
+                            if reason.startswith("sram")
+                            else "rejected_rta"
+                        )
+                        counts[key] += 1
+                    else:
+                        counts[outcome] += 1
+                    if shard.journal is not None:
+                        shard.journal.append_commit(
+                            shard.decided + offset, decision.to_dict()
+                        )
+                shard.decided += len(batch)
+
+        run_t0 = time.perf_counter()
+        try:
+            for req in trace.requests:
+                shard = shards[shard_of(req.device, cfg.n_shards)]
+                drain(shard, req.time_s)
+                if len(shard.queue) >= cfg.max_queue_depth:
+                    shard.shed += 1
+                    counts["shed"] += 1
+                    decisions[req.seq] = FleetDecision(
+                        seq=req.seq, device=req.device, task=req.task,
+                        kind=req.kind.value, outcome="shed",
+                        reason=(
+                            f"queue-full: depth >= {cfg.max_queue_depth}"
+                        ),
+                        shard=shard.index,
+                    )
+                    continue
+                shard.queue.append(req)
+                shard.peak_depth = max(shard.peak_depth, len(shard.queue))
+            for shard in shards:
+                drain(shard, None)
+        finally:
+            for shard in shards:
+                if shard.journal is not None:
+                    shard.journal.close()
+        wall_s = time.perf_counter() - run_t0
+
+        shard_stats = [
+            {
+                "shard": s.index,
+                "decided": s.decided,
+                "shed": s.shed,
+                "peak_depth": s.peak_depth,
+                "busy_s": round(s.busy_s, 6),
+                "busy_until_s": round(s.busy_until_s, 6),
+                "journal_records": (
+                    s.journal.records_written if s.journal is not None else 0
+                ),
+            }
+            for s in shards
+        ]
+        return FleetReport(
+            n_devices=trace.n_devices,
+            n_shards=cfg.n_shards,
+            batch_size=cfg.batch_size,
+            service_us=cfg.service_us,
+            duration_s=trace.duration_s,
+            arrival=trace.arrival,
+            requests=len(trace.requests),
+            admitted=counts["admitted"],
+            rejected_sram=counts["rejected_sram"],
+            rejected_rta=counts["rejected_rta"],
+            removed=counts["removed"],
+            ignored=counts["ignored"],
+            shed=counts["shed"],
+            decisions=[d for d in decisions if d is not None],
+            shard_stats=shard_stats,
+            queueing_latency_ms=latency_stats(queueing_ms, digits=3),
+            decision_latency_us=latency_stats(wall_us),
+            wall_s=wall_s,
+            engine_s=engine_ns / 1e9,
+            cache=segcache.delta_since(cache_before),
+            wall_latencies_us=wall_us,
+        )

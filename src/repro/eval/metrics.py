@@ -53,6 +53,31 @@ def quantiles(values: Sequence[float], points: Sequence[float]) -> List[Optional
     return result
 
 
+def latency_stats(
+    values: Sequence[float], digits: int = 1
+) -> Dict[str, Optional[float]]:
+    """The shared latency-metrics shape: n/mean/p50/p95/p99/max.
+
+    One dict layout used by ``ServeReport``, ``FleetReport`` and the
+    experiment drivers' meta blocks, so single-device and fleet-scale
+    reports stay field-compatible.  Empty input yields ``n == 0`` with
+    every statistic ``None``.
+    """
+    if not values:
+        return {"n": 0, "mean": None, "p50": None, "p95": None, "p99": None,
+                "max": None}
+    ordered = sorted(values)
+    p50, p95, p99 = quantiles(ordered, (0.5, 0.95, 0.99))
+    return {
+        "n": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), digits),
+        "p50": round(p50, digits),
+        "p95": round(p95, digits),
+        "p99": round(p99, digits),
+        "max": round(ordered[-1], digits),
+    }
+
+
 def speedup(baseline: float, improved: float) -> float:
     """Baseline-over-improved ratio (>1 means ``improved`` is faster)."""
     if improved <= 0:

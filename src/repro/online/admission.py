@@ -387,26 +387,10 @@ class AdmissionController:
         Raises:
             SegmentationError: no segmentation fits the budget.
         """
-        model = segcache.cached_build_model(model_name)
-        cap = max(1000, deadline // NP_CAP_DIVISOR)
-        macs_cap = max(1000, (cap - 4000) // 5)
-        chunk = max(2048, budget // (self._buffers * 2))
-        refined = segcache.cached_refine_model(model, self._quant, chunk, macs_cap)
-        seg = segcache.cached_search_segmentation(
-            refined,
-            self._platform,
-            budget,
-            quant=self._quant,
-            buffers=self._buffers,
-            max_segment_compute=cap,
+        return plan_segments(
+            self._platform, model_name, deadline, budget,
+            quant=self._quant, buffers=self._buffers,
         )
-        cost = seg.sram_need_bytes() + (self._buffers + 1) * BUFFER_ALIGN
-        if cost > budget:
-            raise SegmentationError(
-                f"{model_name}: segmentation needs {cost} B with alignment "
-                f"slack but only {budget} B are free"
-            )
-        return seg.segments(), cost
 
     def _rank(self, instances: Sequence[Instance]) -> List[PeriodicTask]:
         """Deadline-monotonic tasks over the global total order."""
@@ -717,6 +701,58 @@ class AdmissionController:
             (max(stop + old.deadline, start), old.sram_bytes)
         )
         self._resident[logical] = replace(new, start_cycle=start)
+
+
+# ----------------------------------------------------------------------
+# The shared planning policy (per-device controller + fleet service)
+# ----------------------------------------------------------------------
+
+
+def plan_segments(
+    platform: Platform,
+    model_name: str,
+    deadline: int,
+    budget: int,
+    quant: Quantization = INT8,
+    buffers: int = 2,
+) -> Tuple[Tuple[Segment, ...], int]:
+    """Segment ``model_name`` into ``budget`` bytes (framework policy).
+
+    The single online planning policy: granularity derived from the
+    deadline's non-preemption cap, staging chunks from the free-SRAM
+    budget, everything routed through :mod:`repro.core.segcache` (and
+    through the persistent :mod:`repro.core.planstore` tier when one is
+    configured).  Both :class:`AdmissionController` and the fleet
+    service call this function, so a fleet admission plans bit-identically
+    to a single-device admission with the same inputs.
+
+    Returns:
+        ``(segments, cost_bytes)`` where ``cost_bytes`` includes the
+        aligned buffer slack actually reserved.
+
+    Raises:
+        SegmentationError: no segmentation fits the budget.
+    """
+    model = segcache.cached_build_model(model_name)
+    cap = max(1000, deadline // NP_CAP_DIVISOR)
+    macs_cap = max(1000, (cap - 4000) // 5)
+    chunk = max(2048, budget // (buffers * 2))
+    refined = segcache.cached_refine_model(model, quant, chunk, macs_cap)
+    seg = segcache.cached_search_segmentation(
+        refined,
+        platform,
+        budget,
+        quant=quant,
+        buffers=buffers,
+        max_segment_compute=cap,
+    )
+    cost = seg.sram_need_bytes() + (buffers + 1) * BUFFER_ALIGN
+    if cost > budget:
+        raise SegmentationError(
+            f"{model_name}: segmentation needs {cost} B with alignment "
+            f"slack but only {budget} B are free"
+        )
+    return seg.segments(), cost
 
 
 # ----------------------------------------------------------------------

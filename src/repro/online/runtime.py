@@ -118,6 +118,20 @@ class ServeReport:
         return [d.latency_us for d in self.decisions]
 
     @property
+    def decision_latency_stats(self) -> Dict:
+        """p50/p95/p99 decision-latency summary in microseconds.
+
+        The same n/mean/p50/p95/p99/max shape :class:`repro.eval.fleet.
+        FleetReport` reports, so single-device and fleet metrics stay
+        field-compatible.  Wall-clock, hence non-deterministic across
+        runs (the decision *log* stays bit-identical; see
+        :meth:`Decision.to_dict`).
+        """
+        from repro.eval.metrics import latency_stats
+
+        return latency_stats(self.decision_latencies_us)
+
+    @property
     def sound(self) -> bool:
         """True iff no admitted job missed a deadline in the execution."""
         return self.sim is None or self.sim.no_misses
@@ -140,6 +154,7 @@ class ServeReport:
             "ignored": self._count(outcome="ignored"),
             "admission_ratio": round(self.admission_ratio, 4),
             "sound": self.sound,
+            "decision_latency_us": self.decision_latency_stats,
             "decisions": [d.to_dict() for d in self.decisions],
         }
         if self.sim is not None:

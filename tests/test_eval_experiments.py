@@ -67,7 +67,7 @@ def test_registry_complete():
         "EXP-F7", "EXP-F8", "EXP-T3", "EXP-F9", "EXP-F10", "EXP-F11",
         "EXP-F12", "EXP-F13", "EXP-F14", "EXP-F15", "EXP-F16", "EXP-F17",
         "EXP-R1", "EXP-R2",
-        "EXP-R3", "EXP-D1",
+        "EXP-R3", "EXP-D1", "EXP-S1", "EXP-S2",
     }
 
 
@@ -81,6 +81,38 @@ def test_d1_tiny_sound_with_latency_meta():
     assert row["admit_req"] > 0
     assert 0.0 <= row["admit_ratio"] <= 1.0
     assert result.meta["decision_latency_us"]["n"] == row["requests"]
+
+
+def test_s1_tiny_identity_and_latency_meta():
+    result = run_experiment(
+        "EXP-S1", devices=600, shard_counts=(1, 4), fleet_sizes=(300,),
+        duration_s=1.5,
+    )
+    assert len(result.rows) == 5  # 2 arrivals x 2 shard counts + 1 size
+    for row in result.rows:
+        r = dict(zip(result.columns, row))
+        # ignored duplicates are the only count not in the row
+        assert r["requests"] >= (
+            r["admitted"] + r["rej_sram"] + r["rej_rta"] + r["removed"]
+            + r["shed"]
+        )
+        assert r["shed"] == 0  # generous default queue bound
+        if r["identical"] is not None:
+            assert r["identical"] == 1  # sharded == serial oracle
+    meta = result.meta
+    assert meta["total_decisions"] > 0
+    assert meta["decision_latency_us"]["n"] == meta["total_decisions"]
+
+
+def test_s2_tiny_warm_identical_and_store_hits():
+    result = run_experiment("EXP-S2", sram_kib=(192,), deadlines_ms=(100.0,),
+                            scale=0.4)
+    cold, warm = (dict(zip(result.columns, row)) for row in result.rows)
+    assert cold["phase"] == "cold" and warm["phase"] == "warm"
+    assert warm["identical"] == 1  # warm plans bit-identical to cold
+    assert cold["hits"] == 0 and cold["writes"] > 0
+    assert warm["hits"] > 0 and warm["writes"] == 0
+    assert result.meta["store_entries"] == cold["writes"]
 
 
 def test_r3_tiny_recovery_identical_and_bounded():

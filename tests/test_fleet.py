@@ -1,0 +1,224 @@
+"""Unit tests for the fleet-scale sharded admission service."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import segcache
+from repro.eval.fleet import (
+    DEFAULT_COHORTS,
+    CohortSpec,
+    FleetConfig,
+    FleetService,
+    decision_identity,
+    fleet_trace,
+    shard_of,
+)
+from repro.online.durable import scan_journal
+from repro.online.events import RequestKind
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    segcache.clear_all()
+    yield
+    segcache.clear_all()
+
+
+def small_trace(arrival="poisson", n_devices=600, duration_s=2.0, seed=7):
+    return fleet_trace(
+        n_devices, duration_s, 0.35, seed=seed, arrival=arrival
+    )
+
+
+class TestFleetTrace:
+    def test_deterministic_and_ordered(self):
+        trace = small_trace()
+        again = small_trace()
+        assert trace == again
+        assert small_trace(seed=8) != trace
+        times = [r.time_s for r in trace.requests]
+        assert times == sorted(times)
+        assert [r.seq for r in trace.requests] == list(range(len(times)))
+
+    def test_device_naming_and_cohort_assignment(self):
+        trace = small_trace()
+        for request in trace.requests:
+            assert request.device.startswith("d")
+            index = int(request.device[1:])
+            assert 0 <= index < trace.n_devices
+        # Cohorts partition the fleet by index modulo.
+        assert trace.cohorts == DEFAULT_COHORTS
+
+    def test_admit_tasks_unique_per_device(self):
+        trace = small_trace()
+        seen = set()
+        for request in trace.requests:
+            if request.kind is RequestKind.ADMIT:
+                key = (request.device, request.task)
+                assert key not in seen
+                seen.add(key)
+
+    def test_bursty_arrival_model(self):
+        trace = small_trace(arrival="bursty")
+        assert trace.arrival == "bursty"
+        assert trace != small_trace()
+        with pytest.raises(ValueError, match="arrival"):
+            fleet_trace(10, 1.0, 1.0, seed=1, arrival="uniform")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_devices"):
+            fleet_trace(0, 1.0, 1.0, seed=1)
+        with pytest.raises(ValueError, match="duration_s"):
+            fleet_trace(10, 0.0, 1.0, seed=1)
+        with pytest.raises(ValueError, match="rate_per_device"):
+            fleet_trace(10, 1.0, 0.0, seed=1)
+        with pytest.raises(ValueError, match="cohorts"):
+            fleet_trace(10, 1.0, 1.0, seed=1, cohorts=())
+
+
+class TestSharding:
+    def test_shard_of_is_stable_and_in_range(self):
+        for n_shards in (1, 3, 8):
+            for index in range(50):
+                shard = shard_of(f"d{index:07d}", n_shards)
+                assert 0 <= shard < n_shards
+                assert shard == shard_of(f"d{index:07d}", n_shards)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FleetConfig(n_shards=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            FleetConfig(batch_size=0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            FleetConfig(max_queue_depth=0)
+        with pytest.raises(ValueError, match="service_us"):
+            FleetConfig(service_us=0.0)
+
+
+class TestIdentity:
+    """Sharded decisions must be bit-identical to the serial run."""
+
+    def test_identity_across_shard_counts_and_batches(self):
+        trace = small_trace()
+        oracle = None
+        for n_shards, batch_size in ((1, 64), (2, 64), (5, 64), (8, 7), (3, 1)):
+            report = FleetService(
+                config=FleetConfig(n_shards=n_shards, batch_size=batch_size)
+            ).run(trace)
+            assert report.shed == 0
+            identity = decision_identity(report.decisions)
+            if oracle is None:
+                oracle = identity
+            else:
+                assert identity == oracle
+
+    def test_identity_under_bursty_arrivals(self):
+        trace = small_trace(arrival="bursty")
+        serial = FleetService(config=FleetConfig(n_shards=1)).run(trace)
+        sharded = FleetService(config=FleetConfig(n_shards=6)).run(trace)
+        assert serial.shed == sharded.shed == 0
+        assert decision_identity(sharded.decisions) == decision_identity(
+            serial.decisions
+        )
+
+    def test_per_device_decision_order_preserved(self):
+        trace = small_trace()
+        report = FleetService(config=FleetConfig(n_shards=4)).run(trace)
+        per_device = {}
+        for decision in report.decisions:
+            per_device.setdefault(decision.device, []).append(decision.seq)
+        for seqs in per_device.values():
+            assert seqs == sorted(seqs)
+
+
+class TestService:
+    def test_counts_are_consistent(self):
+        trace = small_trace()
+        report = FleetService(config=FleetConfig(n_shards=4)).run(trace)
+        assert report.requests == len(trace.requests)
+        assert report.requests == (
+            report.admitted + report.rejected_sram + report.rejected_rta
+            + report.removed + report.ignored + report.shed
+        )
+        assert report.decided == report.requests - report.shed
+        assert len(report.decisions) == report.decided
+        assert report.admitted > 0
+        assert report.removed > 0
+        assert sum(s["decided"] for s in report.shard_stats) == report.decided
+
+    def test_backpressure_sheds_and_bounds_depth(self):
+        trace = small_trace()
+        depth = 5
+        report = FleetService(
+            config=FleetConfig(
+                n_shards=1,
+                batch_size=4,
+                max_queue_depth=depth,
+                service_us=200_000.0,  # 0.2 s/decision: shard saturates
+            )
+        ).run(trace)
+        assert report.shed > 0
+        assert report.peak_queue_depth <= depth
+        assert report.requests == report.decided + report.shed
+
+    def test_cohort_sram_shapes_rejections(self):
+        trace = fleet_trace(
+            200, 2.0, 0.6, seed=3,
+            cohorts=(CohortSpec("tiny", "f746-qspi", sram_kib=48),),
+        )
+        tiny = FleetService(
+            cohorts=(CohortSpec("tiny", "f746-qspi", sram_kib=48),),
+            config=FleetConfig(n_shards=2),
+        ).run(trace)
+        roomy = FleetService(
+            cohorts=(CohortSpec("roomy", "f746-qspi", sram_kib=320),),
+            config=FleetConfig(n_shards=2),
+        ).run(trace)
+        assert tiny.rejected_sram > roomy.rejected_sram
+        assert roomy.admitted > tiny.admitted
+
+    def test_report_dict_shape(self):
+        trace = small_trace(n_devices=120)
+        report = FleetService(config=FleetConfig(n_shards=2)).run(trace)
+        payload = report.to_dict()
+        assert payload["schema"] == "rtmdm-fleet/1"
+        assert payload["n_shards"] == 2
+        assert "decisions" not in payload
+        assert set(payload["queueing_latency_ms"]) == {
+            "n", "mean", "p50", "p95", "p99", "max",
+        }
+        assert len(payload["shards"]) == 2
+        with_decisions = report.to_dict(include_decisions=True)
+        assert len(with_decisions["decisions"]) == report.decided
+
+    def test_virtual_queueing_is_deterministic(self):
+        trace = small_trace(n_devices=300)
+        config = FleetConfig(n_shards=3)
+        first = FleetService(config=config).run(trace)
+        second = FleetService(config=config).run(trace)
+        assert first.queueing_latency_ms == second.queueing_latency_ms
+        assert first.shard_stats == second.shard_stats
+
+
+class TestJournals:
+    def test_per_shard_journals_round_trip(self, tmp_path):
+        trace = small_trace(n_devices=200)
+        config = FleetConfig(n_shards=3, journal_dir=str(tmp_path))
+        report = FleetService(config=config).run(trace)
+        total = 0
+        for stats in report.shard_stats:
+            path = tmp_path / f"shard{stats['shard']:03d}.journal"
+            assert path.exists()
+            scan = scan_journal(str(path))
+            assert scan.truncated_lines == 0
+            assert scan.header["config"]["shard"] == stats["shard"]
+            intents = [r for r in scan.records if r["type"] == "intent"]
+            commits = [r for r in scan.records if r["type"] == "commit"]
+            assert len(intents) == len(commits) == stats["decided"]
+            # records_written counts the header line; scan.records doesn't.
+            assert stats["journal_records"] == len(scan.records) + 1
+            total += len(intents)
+        assert total == report.decided

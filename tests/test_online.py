@@ -21,7 +21,7 @@ from repro.online.sim import DynamicSimulator, simulate_dynamic
 from repro.sched.policies import CpuPolicy
 from repro.sched.simulator import SimConfig
 from repro.sched.task import TaskSet
-from repro.workload.arrivals import poisson_trace
+from repro.workload.arrivals import bursty_trace, poisson_trace
 
 PLATFORM = get_platform("f746-qspi")
 
@@ -92,6 +92,59 @@ class TestEvents:
         # Pure function of the arguments.
         assert poisson_trace(6.0, 1.5, seed=11) == trace
         assert poisson_trace(6.0, 1.5, seed=12) != trace
+
+    def test_bursty_trace_round_trip_and_determinism(self):
+        trace = bursty_trace(6.0, 1.5, seed=11)
+        assert RequestTrace.from_json(trace.to_json()) == trace
+        assert bursty_trace(6.0, 1.5, seed=11) == trace
+        assert bursty_trace(6.0, 1.5, seed=12) != trace
+        # Different process than Poisson at the same seed.
+        assert trace != poisson_trace(6.0, 1.5, seed=11)
+
+    def test_bursty_trace_preserves_mean_rate(self):
+        # The MMPP's OFF rate is solved so the long-run mean matches
+        # rate_hz; over many seeds the ADMIT count should straddle the
+        # Poisson expectation within a loose band.
+        rate, duration = 2.0, 20.0
+        admits = [
+            sum(
+                1
+                for r in bursty_trace(duration, rate, seed=s)
+                if r.kind is RequestKind.ADMIT
+            )
+            for s in range(12)
+        ]
+        mean = sum(admits) / len(admits)
+        assert 0.7 * rate * duration < mean < 1.3 * rate * duration
+
+    def test_bursty_trace_clusters_arrivals(self):
+        # With a high burst factor the coefficient of variation of
+        # inter-arrival gaps must exceed the Poisson baseline (~1).
+        def cv(trace):
+            times = sorted(
+                r.time_s for r in trace if r.kind is RequestKind.ADMIT
+            )
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return (var ** 0.5) / mean
+
+        bursty_cv = sum(
+            cv(bursty_trace(30.0, 3.0, seed=s, burst_factor=8.0, duty=0.1))
+            for s in range(5)
+        )
+        poisson_cv = sum(cv(poisson_trace(30.0, 3.0, seed=s)) for s in range(5))
+        assert bursty_cv > 1.3 * poisson_cv
+
+    def test_bursty_trace_validation(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            bursty_trace(5.0, 1.0, seed=1, burst_factor=0.5)
+        with pytest.raises(ValueError, match="duty"):
+            bursty_trace(5.0, 1.0, seed=1, duty=1.5)
+        with pytest.raises(ValueError, match="OFF rate"):
+            bursty_trace(5.0, 1.0, seed=1, burst_factor=8.0, duty=0.25)
+        with pytest.raises(ValueError, match="mean_cycle_s"):
+            bursty_trace(5.0, 1.0, seed=1, mean_cycle_s=0.0)
 
 
 class TestModeChange:
@@ -280,6 +333,10 @@ class TestServeReport:
         assert payload["ignored"] == 1
         assert len(payload["decisions"]) == 4
         assert payload["sim"]["total_misses"] == 0
+        latency = payload["decision_latency_us"]
+        assert latency["n"] == 4
+        assert set(latency) == {"n", "mean", "p50", "p95", "p99", "max"}
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
 
     def test_serve_without_simulation(self):
         runtime = OnlineRuntime(PLATFORM)
