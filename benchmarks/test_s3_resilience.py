@@ -1,0 +1,53 @@
+"""Benchmark for EXP-S3: fleet resilience under arrival storms.
+
+The resilience headline numbers: how much of the shed-only drop count
+the degrade-before-shed ladder converts into screened degraded admits,
+the crash/recovery identity gate (recovered decision stream must be
+bit-identical to the uninterrupted ladder run), and wall-clock recovery
+latency, which lands in ``meta`` and hence in BENCH_suite.json.
+"""
+
+import os
+
+from conftest import bench_experiment
+
+
+def test_s3_resilience(benchmark):
+    result = bench_experiment(benchmark, "EXP-S3")
+    scale = float(os.environ.get("RTMDM_BENCH_SCALE", "1.0"))
+    rows = [dict(zip(result.columns, row)) for row in result.rows]
+    by_policy = {}
+    for row in rows:
+        by_policy.setdefault(row["rate_hz"], {})[row["policy"]] = row
+
+    for rate, policies in by_policy.items():
+        off = policies["shed-only"]
+        ladder = policies["ladder"]
+        crashed = policies["ladder+crash"]
+        # The ladder never sheds more, and wherever the shed-only
+        # policy actually dropped work it must shed strictly less,
+        # converting drops into screened degraded admits.
+        assert ladder["shed"] <= off["shed"]
+        if off["shed"] > 0:
+            assert ladder["shed"] < off["shed"]
+            assert ladder["degraded"] > 0
+        # Crash/recovery is invisible in the decision stream: every
+        # crashed shard recovered, bit-identical to the ladder run.
+        assert crashed["identical"] == 1
+        assert crashed["crashes"] > 0
+        assert crashed["recovered"] == crashed["crashes"]
+        assert (crashed["shed"], crashed["degraded"], crashed["retries"]) == (
+            ladder["shed"], ladder["degraded"], ladder["retries"]
+        )
+
+    if scale >= 1.0:
+        # The full-scale storms must actually overload the tight shard
+        # config — otherwise the ladder assertions above are vacuous.
+        assert any(r["policy"] == "shed-only" and r["shed"] > 0 for r in rows)
+        assert any(r["policy"] == "ladder" and r["degraded"] > 0 for r in rows)
+
+    recovery = result.meta["recovery_us"]
+    assert recovery["p50"] > 0
+    assert recovery["p50"] <= recovery["p95"] <= recovery["p99"]
+    latency = result.meta["decision_latency_us"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]

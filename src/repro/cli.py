@@ -581,7 +581,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.sound else 1
 
 
+def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
+    from repro.robust.chaos import FLEET_CHAOS_MODES, quick_fleet_matrix
+    from repro.robust.metrics import fleet_chaos_summary
+
+    if args.modes == "all":
+        modes = FLEET_CHAOS_MODES
+    else:
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    shard_counts = tuple(
+        int(n) for n in str(args.shard_counts).split(",") if n.strip()
+    )
+    report = quick_fleet_matrix(
+        n_devices=args.devices,
+        duration_s=args.duration,
+        rate_hz=args.rate,
+        seed=args.seed,
+        modes=modes,
+        shard_counts=shard_counts,
+        checkpoint_interval=args.checkpoint_interval,
+        journal_dir=args.journal_dir,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    summary = fleet_chaos_summary(report)
+    print(f"fleet matrix: {report.n_devices} devices, {report.requests} "
+          f"requests x {len(modes)} modes x shards {shard_counts} "
+          f"(checkpoint every {report.checkpoint_interval}) "
+          f"-> {summary['cells']} cells")
+    if not args.quiet:
+        print(f"{'mode':12s} {'cells':>5s} {'identical':>9s} "
+              f"{'crashes':>7s} {'replay max':>10s} {'shed':>6s}")
+        for mode in modes:
+            cells = [c for c in report.cells if c.mode == mode]
+            print(
+                f"{mode:12s} {len(cells):5d} "
+                f"{sum(1 for c in cells if c.identical):9d} "
+                f"{sum(c.crashes for c in cells):7d} "
+                f"{max((c.max_replayed for c in cells), default=0):10d} "
+                f"{sum(c.shed for c in cells):6d}"
+            )
+    for cell in report.cells:
+        if not cell.ok:
+            print(f"FAIL {cell.mode} shards={cell.n_shards} "
+                  f"frac={cell.crash_frac:g}: identical={cell.identical} "
+                  f"replayed={cell.max_replayed} "
+                  f"invariants_ok={cell.invariants_ok}")
+    checks = sum(report.invariants.values())
+    print(f"invariants: {checks} checks "
+          f"({', '.join(sorted(report.invariants))})")
+    verdict = "OK" if report.ok else "FAILED"
+    print(f"fleet chaos matrix: {verdict} "
+          f"({summary['identical_cells']}/{summary['cells']} bit-identical, "
+          f"{summary['recovered']:g} recoveries, "
+          f"max replay {summary['max_replayed']})")
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_fleet_chaos(args)
+
     from repro.online.runtime import OnlineRuntime
     from repro.robust.chaos import CHAOS_MODES, run_matrix
     from repro.robust.metrics import chaos_summary
@@ -659,12 +720,27 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         arrival=args.arrival,
     )
+    crash_at = []
+    for spec in args.crash_at or ():
+        try:
+            shard_str, index_str = spec.split(":", 1)
+            crash_at.append((int(shard_str), int(index_str)))
+        except ValueError:
+            print(f"error: --crash-at expects SHARD:INDEX, got {spec!r}",
+                  file=sys.stderr)
+            return 2
     config = FleetConfig(
         n_shards=args.shards,
         batch_size=args.batch,
         max_queue_depth=args.queue_depth,
         service_us=args.service_us,
         journal_dir=args.journal_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        crash_at=tuple(crash_at),
+        timeout_ms=args.timeout_ms,
+        max_retries=args.max_retries,
+        backoff_ms=args.backoff_ms,
+        degrade_watermark=args.degrade_watermark,
     )
     report = FleetService(config=config).run(trace)
     identity_ok: Optional[bool] = None
@@ -694,12 +770,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{report.service_us:g}us/decision, queue depth <= {args.queue_depth}"
     )
     if not args.quiet:
-        print(f"{'shard':>5s} {'decided':>8s} {'shed':>6s} {'peak q':>7s} "
+        print(f"{'shard':>5s} {'decided':>8s} {'shed':>6s} {'tmout':>6s} "
+              f"{'degr':>5s} {'recov':>5s} {'peak q':>7s} "
               f"{'busy s':>7s} {'journal':>8s}")
         for stats in report.shard_stats:
             print(
                 f"{stats['shard']:5d} {stats['decided']:8d} "
-                f"{stats['shed']:6d} {stats['peak_depth']:7d} "
+                f"{stats['shed']:6d} {stats['timeouts']:6d} "
+                f"{stats['degraded_admits']:5d} {stats['recovered']:5d} "
+                f"{stats['peak_depth']:7d} "
                 f"{stats['busy_s']:7.2f} {stats['journal_records']:8d}"
             )
     print(
@@ -707,6 +786,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"rejected {report.rejected_sram} sram / {report.rejected_rta} rta, "
         f"removed {report.removed}, shed {report.shed}"
     )
+    if report.degraded_admits or report.timeout_retries or report.recovered:
+        print(
+            f"resilience: {report.degraded_admits} degraded admits, "
+            f"{report.timeout_retries} timeout retries, "
+            f"{report.recovered} shard recoveries"
+        )
     queueing = report.queueing_latency_ms
     print(
         f"queueing (virtual): p50={queueing['p50']}ms p99={queueing['p99']}ms, "
@@ -777,6 +862,14 @@ def _print_runtime_counters() -> None:
         f"stand_downs={fp.get('vec_stand_downs', 0)}\n"
         f"  pack={prof['pack_s']:.3f}s array-iterate={prof['solve_s']:.3f}s "
         f"unpack={prof['unpack_s']:.3f}s"
+    )
+    res = stats.get("fleet.resilience", {})
+    print(
+        "--- fleet resilience ---\n"
+        f"  degraded_admits={res.get('degraded_admits', 0)} "
+        f"timeout_retries={res.get('timeout_retries', 0)} "
+        f"recovered={res.get('recovered', 0)} "
+        f"crashes={res.get('crashes', 0)}"
     )
 
 
@@ -932,7 +1025,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="suppress the per-mode table; verdict only")
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable matrix report on stdout "
-                       "(schema rtmdm-chaos/1)")
+                       "(schema rtmdm-chaos/1; rtmdm-fleet-chaos/1 with "
+                       "--fleet)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="run the fleet crash/recovery matrix "
+                       "(crash-point x shard-count x perturbation) "
+                       "instead of the single-controller matrix")
+    chaos.add_argument("--devices", type=int, default=24,
+                       help="fleet size for --fleet (default: 24)")
+    chaos.add_argument("--shard-counts", default="1,2,4",
+                       dest="shard_counts", metavar="N,N,...",
+                       help="comma-separated shard counts for --fleet "
+                       "(default: 1,2,4)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     fleet = sub.add_parser(
@@ -963,7 +1067,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "(default: 150)")
     fleet.add_argument("--journal-dir", default=None, dest="journal_dir",
                        metavar="DIR",
-                       help="write per-shard decision journals here")
+                       help="write per-shard decision journals here "
+                       "(open-or-create: an existing journal is recovered "
+                       "and appended to, never clobbered)")
+    fleet.add_argument("--checkpoint-interval", type=int, default=64,
+                       dest="checkpoint_interval", metavar="N",
+                       help="checkpoint a shard after N journaled "
+                       "decisions (bounds crash-replay; default: 64)")
+    fleet.add_argument("--crash-at", action="append", default=None,
+                       dest="crash_at", metavar="SHARD:INDEX",
+                       help="crash shard SHARD before its INDEX-th "
+                       "decision commits, then recover from its journal "
+                       "(repeatable; requires --journal-dir)")
+    fleet.add_argument("--timeout-ms", type=float, default=None,
+                       dest="timeout_ms", metavar="MS",
+                       help="virtual decision deadline: a request queued "
+                       "longer gets a TIMEOUT record and an "
+                       "exponential-backoff retry")
+    fleet.add_argument("--max-retries", type=int, default=3,
+                       dest="max_retries", metavar="K",
+                       help="timeout retries before deciding "
+                       "unconditionally (default: 3)")
+    fleet.add_argument("--backoff-ms", type=float, default=2.0,
+                       dest="backoff_ms", metavar="MS",
+                       help="base retry backoff, doubling per attempt "
+                       "(default: 2)")
+    fleet.add_argument("--degrade-watermark", type=int, default=None,
+                       dest="degrade_watermark", metavar="D",
+                       help="queue depth at which incoming admits take "
+                       "the degrade ladder (rate-stretch, then smaller "
+                       "variant) before any shedding")
     fleet.add_argument("--plan-store", default=None, dest="plan_store",
                        metavar="DIR",
                        help="persistent content-addressed plan store "

@@ -92,6 +92,10 @@ def encode_value(value: Tuple) -> Dict:
     kind = value[0]
     if kind == "err":
         return {"kind": "err", "message": value[1]}
+    if kind == "err-unfit":
+        # Canonical byte-infeasibility marker: the message is rendered
+        # by the reader from its own call arguments, never stored.
+        return {"kind": "err-unfit"}
     boundaries, segments = value[1], value[2]
     return {
         "kind": "ok",
@@ -114,6 +118,8 @@ def decode_value(payload: Dict) -> Tuple:
     kind = payload["kind"]
     if kind == "err":
         return ("err", str(payload["message"]))
+    if kind == "err-unfit":
+        return ("err-unfit",)
     if kind != "ok":
         raise ValueError(f"unknown planstore value kind {kind!r}")
     boundaries = tuple((int(a), int(b)) for a, b in payload["boundaries"])

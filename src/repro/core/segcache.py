@@ -291,11 +291,13 @@ def clear_all() -> None:
 
 def snapshot() -> Dict[str, Tuple[int, ...]]:
     """Current counter values: ``(hits, misses)`` per plan cache, plus
-    the ``"sim.fold"`` (runs, folds, cycles_skipped, jobs_skipped) and
-    ``"rta.fixpoint"`` (exact_hits, misses, warm_hits) pseudo-entries —
-    one protocol carries every performance counter through the parallel
-    runner's worker deltas.
+    the ``"sim.fold"`` (runs, folds, cycles_skipped, jobs_skipped),
+    ``"rta.fixpoint"`` (exact_hits, misses, warm_hits) and
+    ``"fleet.resilience"`` (degraded_admits, timeout_retries,
+    recovered, crashes) pseudo-entries — one protocol carries every
+    performance counter through the parallel runner's worker deltas.
     """
+    from repro.robust import recovery
     from repro.sched import rta, simulator
 
     snap: Dict[str, Tuple[int, ...]] = {
@@ -304,6 +306,7 @@ def snapshot() -> Dict[str, Tuple[int, ...]]:
     snap["sim.fold"] = simulator.fold_snapshot()
     snap["rta.fixpoint"] = rta.fixpoint_snapshot()
     snap["planstore"] = planstore.counters_snapshot()
+    snap["fleet.resilience"] = recovery.resilience_snapshot()
     return snap
 
 
@@ -338,6 +341,10 @@ def absorb(delta: Mapping[str, Tuple[int, ...]]) -> None:
             rta.fixpoint_absorb(vals)
         elif name == "planstore":
             planstore.counters_absorb(vals)
+        elif name == "fleet.resilience":
+            from repro.robust import recovery
+
+            recovery.resilience_absorb(vals)
         else:
             cache = CACHES.get(name)
             if cache is not None:
@@ -370,6 +377,7 @@ def counters(names: Tuple[str, ...] = ("refine", "search")) -> Tuple[int, int]:
 
 def stats() -> Dict[str, Dict[str, int]]:
     """Full per-cache statistics (for BENCH_suite.json and --profile)."""
+    from repro.robust import recovery
     from repro.sched import rta, simulator
 
     out = {
@@ -384,6 +392,7 @@ def stats() -> Dict[str, Dict[str, int]]:
     out["sim.fold"] = simulator.fold_counters()
     out["rta.fixpoint"] = rta.fixpoint_counters()
     out["planstore"] = planstore.counters_dict()
+    out["fleet.resilience"] = recovery.resilience_counters()
     return out
 
 
@@ -650,6 +659,18 @@ def _model_costs(
     return value
 
 
+def _unfit_message(
+    model: Model, max_w: int, slot_cap: int, sram_budget: int,
+    act: int, buffers: int,
+) -> str:
+    """Byte-infeasibility message, rendered from the *caller's* inputs."""
+    return (
+        f"model {model.name!r} cannot fit: largest layer needs {max_w} B "
+        f"per slot but only {max(slot_cap, 0)} B available "
+        f"(budget {sram_budget} B, activations {act} B, {buffers} buffers)"
+    )
+
+
 def cached_search_segmentation(
     model: Model,
     platform: Platform,
@@ -720,6 +741,11 @@ def cached_search_segmentation(
             kind, *payload = value
             if kind == "err":
                 raise SegmentationError(payload[0])
+            if kind == "err-unfit":
+                raise SegmentationError(
+                    _unfit_message(model, max_w, slot_cap, sram_budget,
+                                   act, buffers)
+                )
             boundaries, segments = payload
             hit = SegmentedModel(
                 model=model,
@@ -734,15 +760,18 @@ def cached_search_segmentation(
             object.__setattr__(hit, "_segments_memo", segments)
             return hit
     if slot_q < 0:
-        message = (
-            f"model {model.name!r} cannot fit: largest layer needs {max_w} B "
-            f"per slot but only {max(slot_cap, 0)} B available "
-            f"(budget {sram_budget} B, activations {act} B, {buffers} buffers)"
-        )
+        # The canonical negative entry collapses every byte-infeasible
+        # budget onto one key, so the cached value must not embed this
+        # caller's numbers: a marker is stored and the message rendered
+        # per caller (cold and warm alike) — keeping error reasons a
+        # pure function of the call arguments, which journal replay
+        # across process generations relies on.
         if cache is not None:
-            cache.put(key, ("err", message))
-            _store_put(key, ("err", message))
-        raise SegmentationError(message)
+            cache.put(key, ("err-unfit",))
+            _store_put(key, ("err-unfit",))
+        raise SegmentationError(
+            _unfit_message(model, max_w, slot_cap, sram_budget, act, buffers)
+        )
     budget_q = slot_q * buffers + act
     try:
         seg = search_segmentation(

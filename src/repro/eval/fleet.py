@@ -40,13 +40,40 @@ bit-identical to the single-shard serial path** — the identity gate in
 (shedding depends on queue depth, which legitimately differs by shard
 count; the gate requires zero sheds).
 
-Durability
-----------
+Durability and resilience
+-------------------------
 
 With ``journal_dir`` set, every shard keeps its own CRC-tagged
 write-ahead journal (:class:`repro.online.durable.DecisionJournal`):
 intents before the batch decides, commits after, with the fleet request
 encoded as a device-qualified :class:`repro.online.events.Request`.
+Journals are opened *open-or-create*: an existing journal with a
+matching configuration is recovered (checkpoint restore + intent-suffix
+replay, commits verified not trusted) and appended to, so a restarted
+service carries its resident state forward instead of clobbering its
+own history.  Three fault-tolerance mechanisms ride on top:
+
+* **Shard crash/restart** (``crash_at=((shard, index), ...)``): the
+  shard "dies" after journaling a batch's intents but before their
+  commits — PR 6's worst crash point — losing all in-memory state; it
+  then recovers from its own journal and re-decides the torn batch.
+  Recovery is charged wall-clock (it lowers engine throughput) but zero
+  *virtual* time, so a recovered run's decision stream and queueing
+  stats are bit-identical to the uninterrupted run — the fleet chaos
+  matrix (:func:`repro.robust.chaos.run_fleet_matrix`) enforces this.
+* **Decision timeouts with retry/backoff** (``timeout_ms``): a request
+  whose head-of-queue wait exceeds the virtual deadline gets a typed
+  ``TIMEOUT`` decision (journaled as a non-mutating event) and a
+  bounded-exponential-backoff re-release *in place*, preserving FIFO
+  per-device order; after ``max_retries`` it is decided regardless, so
+  every request is decided exactly once and a retry can never
+  double-admit (the resident set makes re-admission an ``ignored``).
+* **Degrade-before-shed ladder** (``degrade_watermark``): ADMITs that
+  arrive above the watermark are decided through the PR 3 degradation
+  ladder (full -> rate-stretch -> smaller variant, screen-only), and at
+  a full queue the service first tries an inline degraded decision —
+  sheds are the terminal rung only.  Degraded admits must pass the
+  pessimistic RTA screen, so the ladder never admits unsoundly.
 """
 
 from __future__ import annotations
@@ -66,8 +93,10 @@ from repro.eval.metrics import latency_stats
 from repro.hw.platform import Platform
 from repro.hw.presets import get_platform
 from repro.online.admission import mass_screen, plan_segments
-from repro.online.durable import DecisionJournal
+from repro.online.durable import DecisionJournal, JournalError, scan_journal
 from repro.online.events import Request, RequestKind
+from repro.robust import recovery as resilience
+from repro.robust.overload import degraded_variant
 from repro.sched.task import PeriodicTask, Segment, TaskSet
 from repro.workload.arrivals import bursty_arrival_times, poisson_arrival_times
 from repro.workload.taskset import DEFAULT_MODEL_POOL
@@ -89,6 +118,9 @@ __all__ = [
 
 #: Schema tag of the ``rtmdm fleet --json`` payload.
 FLEET_SCHEMA = "rtmdm-fleet/1"
+
+#: Schema tag of per-shard checkpoint records inside shard journals.
+FLEET_CHECKPOINT_SCHEMA = "rtmdm-fleet-checkpoint/1"
 
 
 # ----------------------------------------------------------------------
@@ -260,7 +292,16 @@ class FleetConfig:
 
     ``service_us`` is the virtual per-decision service cost the queueing
     model charges (it does not gate the engine); ``max_queue_depth``
-    bounds each shard's queue — arrivals beyond it are shed.
+    bounds each shard's queue — arrivals beyond it are shed (after the
+    degrade ladder's inline rescue, when ``degrade_watermark`` is set).
+
+    Resilience knobs: ``checkpoint_interval`` bounds journal-suffix
+    replay; ``crash_at`` injects seeded shard crashes (requires a
+    journal to recover from); ``timeout_ms``/``max_retries``/
+    ``backoff_ms``/``backoff_cap_ms`` govern decision timeouts;
+    ``degrade_watermark`` arms the degrade-before-shed ladder whose
+    rungs come from ``stretch_factors`` and ``degrade_factor`` (the
+    PR 3 admission-controller ladder).
     """
 
     n_shards: int = 4
@@ -272,6 +313,15 @@ class FleetConfig:
     buffers: int = 2
     journal_dir: Optional[str] = None
     fsync_interval: int = 256
+    checkpoint_interval: int = 64
+    crash_at: Tuple[Tuple[int, int], ...] = ()
+    timeout_ms: Optional[float] = None
+    max_retries: int = 3
+    backoff_ms: float = 2.0
+    backoff_cap_ms: float = 64.0
+    degrade_watermark: Optional[int] = None
+    stretch_factors: Tuple[float, ...] = (1.25, 1.5, 2.0)
+    degrade_factor: float = 0.5
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -284,6 +334,45 @@ class FleetConfig:
             )
         if self.service_us <= 0:
             raise ValueError(f"service_us must be > 0, got {self.service_us}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}"
+            )
+        for item in self.crash_at:
+            if len(item) != 2:
+                raise ValueError(f"crash_at entries are (shard, index): {item!r}")
+            shard, at = item
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(
+                    f"crash_at shard {shard} out of range 0..{self.n_shards - 1}"
+                )
+            if at < 0:
+                raise ValueError(f"crash_at index must be >= 0, got {at}")
+        if self.crash_at and not self.journal_dir:
+            raise ValueError(
+                "crash_at requires journal_dir (a crashed shard recovers "
+                "from its journal)"
+            )
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {self.timeout_ms}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        # ExponentialBackoff validates base/cap consistency.
+        resilience.ExponentialBackoff(self.backoff_ms, self.backoff_cap_ms)
+        if self.degrade_watermark is not None:
+            if not 1 <= self.degrade_watermark <= self.max_queue_depth:
+                raise ValueError(
+                    f"degrade_watermark must be in 1..max_queue_depth, "
+                    f"got {self.degrade_watermark}"
+                )
+        for f in self.stretch_factors:
+            if f <= 1.0:
+                raise ValueError(f"stretch factors must be > 1.0, got {f}")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor}"
+            )
 
 
 @dataclass(frozen=True)
@@ -291,9 +380,14 @@ class FleetDecision:
     """One fleet decision; the identity tuple excludes ``shard``.
 
     ``outcome`` is ``admitted`` / ``rejected`` / ``removed`` /
-    ``ignored`` / ``shed``; ``reason`` carries the justification
-    (``rta-oblivious``/``analysis`` for admissions, ``sram: ...`` /
-    ``rta: ...`` for rejections, ``queue-full: ...`` for sheds).
+    ``ignored`` / ``shed`` / ``timeout``; ``reason`` carries the
+    justification (``rta-oblivious``/``analysis`` for admissions,
+    ``sram: ...`` / ``rta: ...`` for rejections, ``queue-full: ...``
+    for sheds, ``deadline: ...`` for timeouts).  ``mode`` is the
+    admitted service level (``full`` or a degrade-ladder rung such as
+    ``rate/1.5`` or ``variant``); ``attempt`` is the retry attempt that
+    produced the record (``timeout`` records are non-terminal — the
+    final decision for the same ``seq`` carries a higher attempt).
     """
 
     seq: int
@@ -303,6 +397,8 @@ class FleetDecision:
     outcome: str
     reason: str = ""
     shard: int = -1
+    mode: str = ""
+    attempt: int = 0
 
     def to_dict(self) -> Dict:
         return {
@@ -313,13 +409,16 @@ class FleetDecision:
             "outcome": self.outcome,
             "reason": self.reason,
             "shard": self.shard,
+            "mode": self.mode,
+            "attempt": self.attempt,
         }
 
 
 def decision_identity(decisions: Sequence[FleetDecision]) -> List[Tuple]:
     """The shard-independent projection compared by the identity gate."""
     return [
-        (d.seq, d.device, d.task, d.kind, d.outcome, d.reason)
+        (d.seq, d.attempt, d.device, d.task, d.kind, d.outcome, d.reason,
+         d.mode)
         for d in decisions
     ]
 
@@ -341,23 +440,109 @@ class _Resident(NamedTuple):
     deadline: int
     sram_bytes: int
     plan_key: Tuple
+    mode: str = "full"
+
+
+def _resident_state(r: _Resident) -> Dict:
+    """JSON form of one resident (embedded in shard checkpoints)."""
+    return {
+        "task": r.task,
+        "model": r.model,
+        "segments": [
+            [s.name, s.load_cycles, s.compute_cycles, s.load_bytes,
+             s.xip_bytes]
+            for s in r.segments
+        ],
+        "period": r.period,
+        "deadline": r.deadline,
+        "sram_bytes": r.sram_bytes,
+        "plan_key": list(r.plan_key),
+        "mode": r.mode,
+    }
+
+
+def _resident_from_state(d: Dict) -> _Resident:
+    return _Resident(
+        task=d["task"],
+        model=d["model"],
+        segments=tuple(Segment(*row) for row in d["segments"]),
+        period=d["period"],
+        deadline=d["deadline"],
+        sram_bytes=d["sram_bytes"],
+        plan_key=tuple(d["plan_key"]),
+        mode=d["mode"],
+    )
+
+
+class _Queued:
+    """One queued request plus its retry/degrade serving state.
+
+    ``time_s`` is the request's *current* release instant — a timeout
+    pushes it into the future (backoff) without moving the entry, so
+    the FIFO never reorders a device's requests.  ``orig_time_s`` keeps
+    the true arrival for queueing-latency accounting.
+    """
+
+    __slots__ = ("req", "time_s", "orig_time_s", "attempt", "degraded",
+                 "inline")
+
+    def __init__(
+        self, req: FleetRequest, degraded: bool = False,
+        inline: bool = False,
+    ) -> None:
+        self.req = req
+        self.time_s = req.time_s
+        self.orig_time_s = req.time_s
+        self.attempt = 0
+        self.degraded = degraded
+        self.inline = inline
 
 
 class _Shard:
     __slots__ = (
-        "index", "queue", "busy_until_s", "busy_s",
-        "decided", "peak_depth", "shed", "journal",
+        "index", "queue", "busy_until_s", "busy_s", "decided",
+        "peak_depth", "journal", "journal_path", "devices", "inflight",
+        "seq_base", "ckpt_seq", "crash_schedule", "recovered",
+        "recoveries", "cum_shed", "cum_timeouts", "cum_degraded",
+        "start_shed", "start_timeouts", "start_degraded",
     )
 
-    def __init__(self, index: int, journal: Optional[DecisionJournal]) -> None:
+    def __init__(self, index: int) -> None:
         self.index = index
-        self.queue: Deque[FleetRequest] = deque()
+        self.queue: Deque[_Queued] = deque()
         self.busy_until_s = 0.0
         self.busy_s = 0.0
-        self.decided = 0
+        self.decided = 0            # decisions this run
         self.peak_depth = 0
-        self.shed = 0
-        self.journal = journal
+        self.journal: Optional[DecisionJournal] = None
+        self.journal_path: Optional[str] = None
+        self.devices: Dict[str, Dict[str, _Resident]] = {}
+        self.inflight: Dict[str, int] = {}
+        self.seq_base = 0           # journal seq of this run's first intent
+        self.ckpt_seq = 0           # journal seq the last checkpoint covers
+        self.crash_schedule: List[int] = []
+        self.recovered = 0
+        self.recoveries: List[Dict] = []
+        # Journal-cumulative counters (reconciled on recovery); this
+        # run's contribution is cum - start.
+        self.cum_shed = 0
+        self.cum_timeouts = 0
+        self.cum_degraded = 0
+        self.start_shed = 0
+        self.start_timeouts = 0
+        self.start_degraded = 0
+
+    @property
+    def run_shed(self) -> int:
+        return self.cum_shed - self.start_shed
+
+    @property
+    def run_timeouts(self) -> int:
+        return self.cum_timeouts - self.start_timeouts
+
+    @property
+    def run_degraded(self) -> int:
+        return self.cum_degraded - self.start_degraded
 
 
 # ----------------------------------------------------------------------
@@ -395,6 +580,15 @@ class FleetReport:
     #: Raw per-decision engine wall latencies (batch-averaged, µs);
     #: kept out of :meth:`to_dict` — callers aggregate across runs.
     wall_latencies_us: List[float] = field(default_factory=list)
+    #: Degrade-ladder admits (mode != "full") among ``admitted``.
+    degraded_admits: int = 0
+    #: Typed TIMEOUT records issued (each one re-enqueued a request).
+    timeout_retries: int = 0
+    #: Shard recoveries (startup journal resumes + in-run crash recoveries).
+    recovered: int = 0
+    #: Non-terminal TIMEOUT records (the final decisions stay in
+    #: ``decisions``); :meth:`all_decisions` merges the two streams.
+    timeout_decisions: List[FleetDecision] = field(default_factory=list)
 
     @property
     def admit_requests(self) -> int:
@@ -418,6 +612,14 @@ class FleetReport:
     @property
     def peak_queue_depth(self) -> int:
         return max((s["peak_depth"] for s in self.shard_stats), default=0)
+
+    def all_decisions(self) -> List[FleetDecision]:
+        """Final decisions merged with TIMEOUT records, in (seq, attempt)
+        order — the stream the fleet chaos matrix compares."""
+        return sorted(
+            [*self.decisions, *self.timeout_decisions],
+            key=lambda d: (d.seq, d.attempt),
+        )
 
     @property
     def shard_utilization(self) -> float:
@@ -449,6 +651,9 @@ class FleetReport:
             "removed": self.removed,
             "ignored": self.ignored,
             "shed": self.shed,
+            "degraded_admits": self.degraded_admits,
+            "timeout_retries": self.timeout_retries,
+            "recovered": self.recovered,
             "admission_ratio": round(self.admission_ratio, 4),
             "peak_queue_depth": self.peak_queue_depth,
             "shard_utilization": round(self.shard_utilization, 4),
@@ -461,7 +666,7 @@ class FleetReport:
             "cache": {name: list(vals) for name, vals in self.cache.items()},
         }
         if include_decisions:
-            payload["decisions"] = [d.to_dict() for d in self.decisions]
+            payload["decisions"] = [d.to_dict() for d in self.all_decisions()]
         return payload
 
 
@@ -480,6 +685,9 @@ class FleetService:
             raise ValueError("cohorts must be non-empty")
         self.cohorts = tuple(cohorts)
         self.config = config
+        self._backoff = resilience.ExponentialBackoff(
+            config.backoff_ms, config.backoff_cap_ms
+        )
         # One platform object per cohort for the whole run: the segcache
         # fingerprint memos are identity-keyed, so key construction
         # stays O(1) per decision.
@@ -487,32 +695,289 @@ class FleetService:
 
     # -- setup ---------------------------------------------------------
     def _journal_config(self, shard_index: int) -> Dict:
+        """The decision-relevant config echoed into each shard's journal
+        header; open-or-create refuses a journal whose header differs
+        (replaying it under another config would diverge)."""
         cfg = self.config
         return {
             "schema": FLEET_SCHEMA,
             "shard": shard_index,
             "n_shards": cfg.n_shards,
             "batch_size": cfg.batch_size,
+            "max_queue_depth": cfg.max_queue_depth,
+            "service_us": cfg.service_us,
             "method": cfg.method,
             "quant": cfg.quant.name,
             "buffers": cfg.buffers,
+            "timeout_ms": cfg.timeout_ms,
+            "max_retries": cfg.max_retries,
+            "backoff_ms": cfg.backoff_ms,
+            "backoff_cap_ms": cfg.backoff_cap_ms,
+            "degrade_watermark": cfg.degrade_watermark,
+            "stretch_factors": list(cfg.stretch_factors),
+            "degrade_factor": cfg.degrade_factor,
             "cohorts": [c.name for c in self.cohorts],
         }
 
-    def _make_shards(self) -> List[_Shard]:
+    def _open_shards(self, memos: Tuple[Dict, Dict, Dict]) -> List[_Shard]:
+        """Open-or-create every shard: an existing journal with a
+        matching header is recovered and resumed (state carried over),
+        a missing one is created fresh."""
         cfg = self.config
+        crash_by_shard: Dict[int, List[int]] = {}
+        for shard_index, at in cfg.crash_at:
+            crash_by_shard.setdefault(shard_index, []).append(at)
         shards = []
         for index in range(cfg.n_shards):
-            journal = None
+            shard = _Shard(index)
+            shard.crash_schedule = sorted(crash_by_shard.get(index, ()))
             if cfg.journal_dir:
                 os.makedirs(cfg.journal_dir, exist_ok=True)
-                journal = DecisionJournal.create(
-                    os.path.join(cfg.journal_dir, f"shard{index:03d}.journal"),
-                    config=self._journal_config(index),
-                    fsync_interval=cfg.fsync_interval,
+                path = os.path.join(
+                    cfg.journal_dir, f"shard{index:03d}.journal"
                 )
-            shards.append(_Shard(index, journal))
+                shard.journal_path = path
+                if os.path.exists(path):
+                    _, info = self._restore_shard(
+                        shard, memos, count_missing=True
+                    )
+                    shard.seq_base = info["last_intent_seq"] + 1
+                    shard.decided = 0
+                    shard.start_shed = shard.cum_shed
+                    shard.start_timeouts = shard.cum_timeouts
+                    shard.start_degraded = shard.cum_degraded
+                    shard.recovered += 1
+                    resilience.resilience_bump("recovered")
+                    shard.recoveries.append({**info, "startup": True})
+                else:
+                    shard.journal = DecisionJournal.create(
+                        path,
+                        config=self._journal_config(index),
+                        fsync_interval=cfg.fsync_interval,
+                    )
+            shards.append(shard)
         return shards
+
+    def _shard_state(self, shard: _Shard) -> Dict:
+        """Checkpoint payload: resident devices plus the cumulative
+        shed/timeout/degraded counters (so recovery can reconcile)."""
+        return {
+            "schema": FLEET_CHECKPOINT_SCHEMA,
+            "shed": shard.cum_shed,
+            "timeouts": shard.cum_timeouts,
+            "degraded": shard.cum_degraded,
+            "devices": {
+                device: [_resident_state(r) for r in residents.values()]
+                for device, residents in sorted(shard.devices.items())
+                if residents
+            },
+        }
+
+    def _maybe_checkpoint(self, shard: _Shard, incoming: int) -> None:
+        """Checkpoint before a batch would push the journal suffix past
+        ``checkpoint_interval`` intents — bounding recovery replay to
+        ``max(checkpoint_interval, batch_size)``."""
+        cfg = self.config
+        if shard.journal is None:
+            return
+        next_seq = shard.seq_base + shard.decided
+        pending = next_seq - shard.ckpt_seq
+        if pending > 0 and pending + incoming > cfg.checkpoint_interval:
+            shard.journal.append_checkpoint(
+                next_seq, self._shard_state(shard)
+            )
+            shard.ckpt_seq = next_seq
+
+    def _entry_from_intent(self, rec: Dict) -> _Queued:
+        """Rebuild a queued entry from a journal intent record."""
+        req_d = rec["request"]
+        extra = rec.get("extra", {})
+        device, task = req_d["task"].split("/", 1)
+        req = FleetRequest(
+            seq=int(extra.get("seq", -1)),
+            time_s=req_d["time_s"],
+            device=device,
+            kind=RequestKind(req_d["kind"]),
+            task=task,
+            model=req_d.get("model", ""),
+            period_s=req_d.get("period_s", 0.0),
+        )
+        entry = _Queued(
+            req,
+            degraded=bool(extra.get("degraded")),
+            inline=bool(extra.get("inline")),
+        )
+        entry.attempt = int(extra.get("attempt", 0))
+        return entry
+
+    def _restore_shard(
+        self,
+        shard: _Shard,
+        memos: Tuple[Dict, Dict, Dict],
+        count_missing: bool,
+    ) -> Tuple[List[Tuple[int, FleetDecision]], Dict]:
+        """Rebuild a shard from its journal and reopen it for appending.
+
+        Restores the last checkpoint, replays the intent suffix through
+        the (pure) decision core, verifies replayed decisions against
+        surviving commits (divergence is a :class:`JournalError`, never
+        trusted silently), appends repaired commits for intents that
+        lost theirs, and reconciles the shed/timeout/degraded counters
+        from the checkpoint plus post-checkpoint event records.
+
+        Returns the repaired ``(journal_seq, decision)`` list (the torn
+        batch, for the in-run crash path to publish) and an info dict.
+        ``count_missing`` folds repaired degraded admits into the
+        cumulative counter immediately (startup path — nobody will
+        publish them); the in-run path leaves that to ``publish``.
+        """
+        cfg = self.config
+        t0 = time.perf_counter_ns()
+        assert shard.journal_path is not None
+        scan = scan_journal(shard.journal_path)
+        expected = self._journal_config(shard.index)
+        if scan.header.get("config") != expected:
+            raise JournalError(
+                f"{shard.journal_path}: journal was written under a "
+                f"different fleet configuration "
+                f"(recorded {scan.header.get('config')!r})"
+            )
+        records = scan.records
+        ckpt: Optional[Dict] = None
+        ckpt_pos = -1
+        last_intent = -1
+        for pos, rec in enumerate(records):
+            if rec["type"] == "checkpoint":
+                ckpt, ckpt_pos = rec, pos
+            elif rec["type"] == "intent":
+                last_intent = rec["seq"]
+        shard.devices = {}
+        ckpt_seq = 0
+        cum = {"shed": 0, "timeouts": 0, "degraded": 0}
+        if ckpt is not None:
+            state = ckpt["state"]
+            if state.get("schema") != FLEET_CHECKPOINT_SCHEMA:
+                raise JournalError(
+                    f"{shard.journal_path}: unknown checkpoint schema "
+                    f"{state.get('schema')!r}"
+                )
+            ckpt_seq = ckpt["seq"]
+            cum = {
+                "shed": state["shed"],
+                "timeouts": state["timeouts"],
+                "degraded": state["degraded"],
+            }
+            shard.devices = {
+                device: {
+                    r["task"]: _resident_from_state(r) for r in residents
+                }
+                for device, residents in state["devices"].items()
+            }
+        suffix = records[ckpt_pos + 1:]
+        commits = {
+            rec["seq"]: rec["decision"]
+            for rec in suffix if rec["type"] == "commit"
+        }
+        for rec in suffix:
+            if rec["type"] == "event":
+                if rec["kind"] == "shed":
+                    cum["shed"] += 1
+                elif rec["kind"] == "timeout":
+                    cum["timeouts"] += 1
+        replayed = 0
+        missing: List[Tuple[int, FleetDecision]] = []
+        for rec in suffix:
+            if rec["type"] != "intent":
+                continue
+            entry = self._entry_from_intent(rec)
+            outcome, reason, mode = self._decide_batch(
+                [entry], shard.devices, memos
+            )[0]
+            replayed += 1
+            decision = FleetDecision(
+                seq=entry.req.seq, device=entry.req.device,
+                task=entry.req.task, kind=entry.req.kind.value,
+                outcome=outcome, reason=reason, shard=shard.index,
+                mode=mode, attempt=entry.attempt,
+            )
+            want = commits.get(rec["seq"])
+            if want is not None:
+                if decision.to_dict() != want:
+                    raise JournalError(
+                        f"{shard.journal_path}: replay divergence at "
+                        f"journal seq {rec['seq']}: replay decided "
+                        f"{decision.to_dict()!r}, journal committed "
+                        f"{want!r}"
+                    )
+                if outcome == "admitted" and mode != "full":
+                    cum["degraded"] += 1
+            else:
+                missing.append((rec["seq"], decision))
+                if count_missing and outcome == "admitted" and mode != "full":
+                    cum["degraded"] += 1
+        if scan.truncated_lines:
+            os.truncate(shard.journal_path, scan.valid_bytes)
+        journal = DecisionJournal.resume(
+            shard.journal_path, cfg.fsync_interval
+        )
+        journal._last_seq = last_intent
+        for seq, decision in missing:
+            journal.append_commit(seq, decision.to_dict())
+        shard.journal = journal
+        shard.ckpt_seq = ckpt_seq
+        shard.cum_shed = cum["shed"]
+        shard.cum_timeouts = cum["timeouts"]
+        shard.cum_degraded = cum["degraded"]
+        info = {
+            "checkpoint_seq": ckpt_seq,
+            "last_intent_seq": last_intent,
+            "decisions_replayed": replayed,
+            "commits_repaired": len(missing),
+            "records_scanned": len(records) + 1,
+            "truncated_lines": scan.truncated_lines,
+            "recovery_us": round(
+                (time.perf_counter_ns() - t0) / 1000.0, 1
+            ),
+        }
+        return missing, info
+
+    def _crash_and_recover(
+        self,
+        shard: _Shard,
+        memos: Tuple[Dict, Dict, Dict],
+    ) -> List[Tuple[int, FleetDecision]]:
+        """Kill and restart a shard at the worst point (intents durable,
+        commits not), then recover it from its own journal.
+
+        All in-memory shard state — resident devices, cumulative
+        counters, the run's decided count — is dropped and rebuilt from
+        the journal; the arrival queue survives (it models durable
+        ingress upstream of the shard).  Returns the repaired torn-batch
+        decisions for the caller to publish.
+        """
+        resilience.resilience_bump("crashes")
+        expect_decided = shard.decided
+        assert shard.journal is not None
+        shard.journal.close()
+        shard.devices = {}
+        shard.cum_shed = shard.cum_timeouts = shard.cum_degraded = 0
+        shard.decided = 0
+        missing, info = self._restore_shard(shard, memos, count_missing=False)
+        # Reconstruct this run's decided count from committed intents:
+        # everything below the checkpoint plus committed suffix intents.
+        committed_total = info["checkpoint_seq"] + (
+            info["decisions_replayed"] - info["commits_repaired"]
+        )
+        shard.decided = committed_total - shard.seq_base
+        if shard.decided != expect_decided:
+            raise JournalError(
+                f"{shard.journal_path}: recovery reconstructed "
+                f"{shard.decided} decisions, expected {expect_decided}"
+            )
+        shard.recovered += 1
+        resilience.resilience_bump("recovered")
+        shard.recoveries.append({**info, "startup": False})
+        return missing
 
     # -- decision core -------------------------------------------------
     def _ranked(self, ordered: Sequence[_Resident]) -> List[PeriodicTask]:
@@ -533,33 +998,104 @@ class FleetService:
             for rank, r in enumerate(ordered)
         ]
 
+    def _ladder(self, base: _Resident):
+        """The degrade-before-shed rungs for one admit candidate.
+
+        Mirrors the PR 3 admission-controller ladder: full service
+        first, then rate-stretched releases, then the smaller variant
+        (:func:`repro.robust.overload.degraded_variant`, buffers and
+        SRAM reservation unchanged), then variant+stretch.
+        """
+        cfg = self.config
+        yield "full", base
+        for f in cfg.stretch_factors:
+            p = max(1, int(round(base.period * f)))
+            yield f"rate/{f:g}", base._replace(
+                period=p, deadline=p, mode=f"rate/{f:g}"
+            )
+        if cfg.degrade_factor < 1.0:
+            variant = degraded_variant(
+                PeriodicTask(
+                    name=base.task, segments=base.segments,
+                    period=base.period, deadline=base.deadline,
+                    priority=0, buffers=cfg.buffers,
+                ),
+                cfg.degrade_factor,
+            )
+            yield "variant", base._replace(segments=variant, mode="variant")
+            if cfg.stretch_factors:
+                f = cfg.stretch_factors[-1]
+                p = max(1, int(round(base.period * f)))
+                yield f"variant+rate/{f:g}", base._replace(
+                    segments=variant, period=p, deadline=p,
+                    mode=f"variant+rate/{f:g}",
+                )
+
+    def _decide_degraded(
+        self,
+        resident: Dict[str, _Resident],
+        candidate: _Resident,
+        screen_memo: Dict,
+    ) -> Tuple[str, str, str]:
+        """Decide an over-watermark admit through the degrade ladder.
+
+        Screen-only by design: under overload the expensive exact
+        analysis is exactly what the shard cannot afford, and the
+        screen is pessimistic — every ladder admit is provably
+        schedulable.  ``screen_memo`` is separate from the full path's
+        ``verdict_memo`` because a screen verdict is *not* a
+        screen-or-analysis verdict (reusing the latter could admit a
+        candidate whose screen failed).
+        """
+        for mode, cand in self._ladder(candidate):
+            ranked = sorted(
+                [*resident.values(), cand],
+                key=lambda r: (r.deadline, r.task),
+            )
+            vkey = tuple(
+                (r.plan_key, r.mode, r.period, r.deadline) for r in ranked
+            )
+            ok = screen_memo.get(vkey)
+            if ok is None:
+                ok = bool(mass_screen([self._ranked(ranked)])[0])
+                screen_memo[vkey] = ok
+            if ok:
+                resident[cand.task] = cand
+                return ("admitted", "rta-oblivious", mode)
+        return ("rejected", "rta: degraded ladder exhausted (screen)", "")
+
     def _decide_batch(
         self,
-        batch: Sequence[FleetRequest],
+        batch: Sequence[_Queued],
         devices: Dict[str, Dict[str, _Resident]],
-        plan_memo: Dict,
-        verdict_memo: Dict,
-    ) -> List[Tuple[str, str]]:
+        memos: Tuple[Dict, Dict, Dict],
+    ) -> List[Tuple[str, str, str]]:
         """Decide one batch, mutating per-device state.
 
         Stage 1 resolves removals/duplicates and plans every admit
-        candidate; stage 2 screens all candidates in one vectorized
+        candidate (degrade-tagged entries detour through the ladder);
+        stage 2 screens all full-path candidates in one vectorized
         ``mass_screen`` pass; stage 3 runs the exact analysis only for
         screen failures.  Verdicts are bit-identical to deciding the
         requests one at a time (the screen and analysis both are), which
-        is what makes decisions batch- and shard-invariant.
+        is what makes decisions batch- and shard-invariant — and what
+        makes journal replay after a crash reproduce them exactly.
 
-        Two per-run memos short-circuit the fleet-wide repetition:
+        Three per-run memos short-circuit the fleet-wide repetition:
         ``plan_memo`` keys plans on their exact inputs ``(cohort, model,
-        period, free)``, and ``verdict_memo`` keys admission verdicts on
-        the candidate union's ranked plan-key sequence.  Both memoize
-        pure deterministic functions of their keys, so they change no
-        decision — only how often the planner and screen actually run.
+        period, free)``, ``verdict_memo`` keys full-path admission
+        verdicts on the candidate union's ranked (plan key, mode)
+        sequence, and ``screen_memo`` keys ladder screen verdicts
+        likewise.  All memoize pure deterministic functions of their
+        keys, so they change no decision — only how often the planner
+        and screen actually run.
         """
         cfg = self.config
-        outcomes: List[Optional[Tuple[str, str]]] = [None] * len(batch)
+        plan_memo, verdict_memo, screen_memo = memos
+        outcomes: List[Optional[Tuple[str, str, str]]] = [None] * len(batch)
         jobs: List[Tuple[int, Dict[str, _Resident], _Resident, List[_Resident], Tuple]] = []
-        for i, req in enumerate(batch):
+        for i, entry in enumerate(batch):
+            req = entry.req
             resident = devices.get(req.device)
             if resident is None:
                 resident = {}
@@ -567,12 +1103,12 @@ class FleetService:
             if req.kind is RequestKind.REMOVE:
                 if req.task in resident:
                     del resident[req.task]
-                    outcomes[i] = ("removed", "")
+                    outcomes[i] = ("removed", "", "")
                 else:
-                    outcomes[i] = ("ignored", "not-resident")
+                    outcomes[i] = ("ignored", "not-resident", "")
                 continue
             if req.task in resident:
-                outcomes[i] = ("ignored", "already-resident")
+                outcomes[i] = ("ignored", "already-resident", "")
                 continue
             cohort_index = int(req.device[1:]) % len(self.cohorts)
             platform = self._platforms[cohort_index]
@@ -593,29 +1129,38 @@ class FleetService:
                     plan = ("err", f"sram: {exc}")
                 plan_memo[plan_key] = plan
             if plan[0] == "err":
-                outcomes[i] = ("rejected", plan[1])
+                outcomes[i] = ("rejected", plan[1], "")
                 continue
             candidate = _Resident(
                 task=req.task, model=req.model, segments=plan[1],
                 period=period, deadline=period, sram_bytes=plan[2],
                 plan_key=plan_key,
             )
+            if entry.degraded:
+                outcomes[i] = self._decide_degraded(
+                    resident, candidate, screen_memo
+                )
+                continue
             ranked = sorted(
                 [*resident.values(), candidate],
                 key=lambda r: (r.deadline, r.task),
             )
             # The verdict depends only on the priority-ordered sequence
             # of task bodies (names never enter the RTA math), and each
-            # body is determined by its plan key.
-            vkey = tuple((r.plan_key, r.period, r.deadline) for r in ranked)
+            # body is determined by its (plan key, mode) pair — a
+            # degraded resident shares its plan key with the full-mode
+            # plan but not its segments/period.
+            vkey = tuple(
+                (r.plan_key, r.mode, r.period, r.deadline) for r in ranked
+            )
             verdict = verdict_memo.get(vkey)
             if verdict is not None:
                 ok, reason = verdict
                 if ok:
                     resident[candidate.task] = candidate
-                    outcomes[i] = ("admitted", reason)
+                    outcomes[i] = ("admitted", reason, "full")
                 else:
-                    outcomes[i] = ("rejected", reason)
+                    outcomes[i] = ("rejected", reason, "")
                 continue
             jobs.append((i, resident, candidate, ranked, vkey))
         if jobs:
@@ -635,116 +1180,217 @@ class FleetService:
                     reason = "analysis"
                 if ok:
                     resident[candidate.task] = candidate
-                    outcomes[i] = ("admitted", reason)
+                    outcomes[i] = ("admitted", reason, "full")
                     verdict_memo[vkey] = (True, reason)
                 else:
-                    outcomes[i] = ("rejected", "rta: union unschedulable")
+                    outcomes[i] = ("rejected", "rta: union unschedulable", "")
                     verdict_memo[vkey] = (False, "rta: union unschedulable")
         return outcomes  # type: ignore[return-value]
 
     # -- queue/drain machinery -----------------------------------------
     def _take_batch(
         self, shard: _Shard, start_s: float
-    ) -> List[FleetRequest]:
-        """Pop the next batch: arrived by ``start_s``, <= 1 per device.
+    ) -> Tuple[List[_Queued], List[Tuple[_Queued, float, float]]]:
+        """Pop the next batch: released by ``start_s``, <= 1 per device.
 
         Same-device followers are held back (order preserved) so every
         device's requests decide in arrival order regardless of batch
         boundaries — the load-bearing half of the identity guarantee.
+
+        With ``timeout_ms`` armed, a head whose wait exceeds the
+        virtual deadline is *not* popped: it gets a TIMEOUT record (the
+        second return value) and its release moves ``backoff`` into the
+        future, blocking the FIFO head — in-place retry preserves
+        per-device order by construction, and after ``max_retries`` the
+        entry decides unconditionally, so nothing is ever retried into
+        oblivion.
         """
         cfg = self.config
-        batch: List[FleetRequest] = []
+        timeout_s = (
+            cfg.timeout_ms * 1e-3 if cfg.timeout_ms is not None else None
+        )
+        batch: List[_Queued] = []
         seen = set()
-        holdback: List[FleetRequest] = []
+        holdback: List[_Queued] = []
+        timed_out: List[Tuple[_Queued, float, float]] = []
         while shard.queue and len(batch) < cfg.batch_size:
-            req = shard.queue[0]
-            if req.time_s > start_s:
+            entry = shard.queue[0]
+            if entry.time_s > start_s:
+                break
+            if (
+                timeout_s is not None
+                and entry.attempt < cfg.max_retries
+                and start_s - entry.time_s > timeout_s
+            ):
+                waited_ms = (start_s - entry.time_s) * 1e3
+                delay_s = self._backoff.delay_s(entry.attempt)
+                timed_out.append((entry, waited_ms, delay_s * 1e3))
+                entry.attempt += 1
+                entry.time_s = start_s + delay_s
                 break
             shard.queue.popleft()
-            if req.device in seen:
-                holdback.append(req)
+            if entry.req.device in seen:
+                holdback.append(entry)
                 continue
-            seen.add(req.device)
-            batch.append(req)
-        for req in reversed(holdback):
-            shard.queue.appendleft(req)
-        return batch
+            seen.add(entry.req.device)
+            batch.append(entry)
+        for entry in reversed(holdback):
+            shard.queue.appendleft(entry)
+        return batch, timed_out
 
     def run(self, trace: FleetTrace) -> FleetReport:
         """Serve one fleet trace end to end."""
         cfg = self.config
         service_s = cfg.service_us * 1e-6
-        shards = self._make_shards()
-        devices: Dict[str, Dict[str, _Resident]] = {}
         plan_memo: Dict = {}
         verdict_memo: Dict = {}
+        screen_memo: Dict = {}
+        memos = (plan_memo, verdict_memo, screen_memo)
         decisions: List[Optional[FleetDecision]] = [None] * len(trace.requests)
+        timeout_records: List[FleetDecision] = []
         queueing_ms: List[float] = []
         wall_us: List[float] = []
         engine_ns = 0
-        counts = {
-            "admitted": 0, "rejected_sram": 0, "rejected_rta": 0,
-            "removed": 0, "ignored": 0, "shed": 0,
-        }
         cache_before = segcache.snapshot()
+        shards = self._open_shards(memos)
+
+        def publish(
+            shard: _Shard, entry: _Queued, decision: FleetDecision,
+            completion_s: float, per_us: float, commit: bool,
+        ) -> None:
+            decisions[entry.req.seq] = decision
+            queueing_ms.append((completion_s - entry.orig_time_s) * 1000.0)
+            wall_us.append(per_us)
+            if decision.outcome == "admitted" and decision.mode != "full":
+                shard.cum_degraded += 1
+                resilience.resilience_bump("degraded_admits")
+            if not entry.inline:
+                n = shard.inflight.get(entry.req.device, 0) - 1
+                if n > 0:
+                    shard.inflight[entry.req.device] = n
+                else:
+                    shard.inflight.pop(entry.req.device, None)
+            if commit and shard.journal is not None:
+                shard.journal.append_commit(
+                    shard.seq_base + shard.decided, decision.to_dict()
+                )
+            shard.decided += 1
+
+        def serve_entries(
+            shard: _Shard, entries: List[_Queued], completion_s: float
+        ) -> None:
+            """Journal intents, decide (or crash+recover), publish."""
+            nonlocal engine_ns
+            if shard.journal is not None:
+                self._maybe_checkpoint(shard, len(entries))
+                for offset, entry in enumerate(entries):
+                    extra: Dict = {"seq": entry.req.seq}
+                    if entry.attempt:
+                        extra["attempt"] = entry.attempt
+                    if entry.degraded:
+                        extra["degraded"] = True
+                    if entry.inline:
+                        extra["inline"] = True
+                    shard.journal.append_intent(
+                        shard.seq_base + shard.decided + offset,
+                        entry.req.to_request(),
+                        extra=extra,
+                    )
+            crash = (
+                shard.crash_schedule
+                and shard.journal is not None
+                and shard.crash_schedule[0] < shard.decided + len(entries)
+            )
+            t0 = time.perf_counter_ns()
+            if crash:
+                shard.crash_schedule.pop(0)
+                repaired = self._crash_and_recover(shard, memos)
+                if len(repaired) != len(entries):
+                    raise JournalError(
+                        f"{shard.journal_path}: recovery repaired "
+                        f"{len(repaired)} commits, torn batch has "
+                        f"{len(entries)}"
+                    )
+                batch_decisions = []
+                for entry, (_, decision) in zip(entries, repaired):
+                    if decision.seq != entry.req.seq:
+                        raise JournalError(
+                            f"{shard.journal_path}: repaired decision for "
+                            f"seq {decision.seq}, expected {entry.req.seq}"
+                        )
+                    batch_decisions.append(decision)
+                commit = False  # recovery already re-committed them
+            else:
+                outcomes = self._decide_batch(entries, shard.devices, memos)
+                batch_decisions = [
+                    FleetDecision(
+                        seq=e.req.seq, device=e.req.device, task=e.req.task,
+                        kind=e.req.kind.value, outcome=o, reason=r,
+                        shard=shard.index, mode=m, attempt=e.attempt,
+                    )
+                    for e, (o, r, m) in zip(entries, outcomes)
+                ]
+                commit = True
+            elapsed_ns = time.perf_counter_ns() - t0
+            engine_ns += elapsed_ns
+            per_us = elapsed_ns / len(entries) / 1000.0
+            for entry, decision in zip(entries, batch_decisions):
+                publish(shard, entry, decision, completion_s, per_us, commit)
 
         def drain(shard: _Shard, now_s: Optional[float]) -> None:
-            nonlocal engine_ns
             while shard.queue:
                 start_s = max(shard.busy_until_s, shard.queue[0].time_s)
                 if now_s is not None and start_s > now_s:
                     return
-                batch = self._take_batch(shard, start_s)
-                if shard.journal is not None:
-                    for offset, req in enumerate(batch):
-                        shard.journal.append_intent(
-                            shard.decided + offset, req.to_request()
+                batch, timed_out = self._take_batch(shard, start_s)
+                for entry, waited_ms, delay_ms in timed_out:
+                    shard.cum_timeouts += 1
+                    resilience.resilience_bump("timeout_retries")
+                    record = FleetDecision(
+                        seq=entry.req.seq, device=entry.req.device,
+                        task=entry.req.task, kind=entry.req.kind.value,
+                        outcome="timeout",
+                        reason=(
+                            f"deadline: waited {waited_ms:.3f}ms > "
+                            f"{cfg.timeout_ms:g}ms; retry in {delay_ms:g}ms"
+                        ),
+                        shard=shard.index, attempt=entry.attempt - 1,
+                    )
+                    timeout_records.append(record)
+                    if shard.journal is not None:
+                        shard.journal.append_event(
+                            "timeout", record.to_dict()
                         )
-                t0 = time.perf_counter_ns()
-                outcomes = self._decide_batch(
-                    batch, devices, plan_memo, verdict_memo
-                )
-                elapsed_ns = time.perf_counter_ns() - t0
-                engine_ns += elapsed_ns
-                per_us = elapsed_ns / len(batch) / 1000.0
+                if not batch:
+                    # The head timed out and backed off — its release
+                    # moved into the future, so re-evaluate from there.
+                    continue
                 completion_s = start_s + len(batch) * service_s
                 shard.busy_s += len(batch) * service_s
                 shard.busy_until_s = completion_s
-                for offset, (req, (outcome, reason)) in enumerate(
-                    zip(batch, outcomes)
-                ):
-                    decision = FleetDecision(
-                        seq=req.seq, device=req.device, task=req.task,
-                        kind=req.kind.value, outcome=outcome,
-                        reason=reason, shard=shard.index,
-                    )
-                    decisions[req.seq] = decision
-                    queueing_ms.append((completion_s - req.time_s) * 1000.0)
-                    wall_us.append(per_us)
-                    if outcome == "rejected":
-                        key = (
-                            "rejected_sram"
-                            if reason.startswith("sram")
-                            else "rejected_rta"
-                        )
-                        counts[key] += 1
-                    else:
-                        counts[outcome] += 1
-                    if shard.journal is not None:
-                        shard.journal.append_commit(
-                            shard.decided + offset, decision.to_dict()
-                        )
-                shard.decided += len(batch)
+                serve_entries(shard, batch, completion_s)
 
         run_t0 = time.perf_counter()
         try:
             for req in trace.requests:
                 shard = shards[shard_of(req.device, cfg.n_shards)]
                 drain(shard, req.time_s)
-                if len(shard.queue) >= cfg.max_queue_depth:
-                    shard.shed += 1
-                    counts["shed"] += 1
-                    decisions[req.seq] = FleetDecision(
+                depth = len(shard.queue)
+                if depth >= cfg.max_queue_depth:
+                    # Terminal rung: try an inline degraded decision
+                    # before shedding — safe only when the device has
+                    # nothing queued on this shard (else the queue jump
+                    # would break per-device order).
+                    if (
+                        cfg.degrade_watermark is not None
+                        and req.kind is RequestKind.ADMIT
+                        and req.device not in shard.inflight
+                    ):
+                        entry = _Queued(req, degraded=True, inline=True)
+                        serve_entries(shard, [entry], req.time_s)
+                        continue
+                    shard.cum_shed += 1
+                    decision = FleetDecision(
                         seq=req.seq, device=req.device, task=req.task,
                         kind=req.kind.value, outcome="shed",
                         reason=(
@@ -752,8 +1398,21 @@ class FleetService:
                         ),
                         shard=shard.index,
                     )
+                    decisions[req.seq] = decision
+                    if shard.journal is not None:
+                        shard.journal.append_event("shed", decision.to_dict())
                     continue
-                shard.queue.append(req)
+                entry = _Queued(req)
+                if (
+                    cfg.degrade_watermark is not None
+                    and depth >= cfg.degrade_watermark
+                    and req.kind is RequestKind.ADMIT
+                ):
+                    entry.degraded = True
+                shard.queue.append(entry)
+                shard.inflight[req.device] = (
+                    shard.inflight.get(req.device, 0) + 1
+                )
                 shard.peak_depth = max(shard.peak_depth, len(shard.queue))
             for shard in shards:
                 drain(shard, None)
@@ -763,11 +1422,32 @@ class FleetService:
                     shard.journal.close()
         wall_s = time.perf_counter() - run_t0
 
+        counts = {
+            "admitted": 0, "rejected_sram": 0, "rejected_rta": 0,
+            "removed": 0, "ignored": 0, "shed": 0,
+        }
+        degraded_admits = 0
+        finals = [d for d in decisions if d is not None]
+        for d in finals:
+            if d.outcome == "rejected":
+                counts[
+                    "rejected_sram" if d.reason.startswith("sram")
+                    else "rejected_rta"
+                ] += 1
+            else:
+                counts[d.outcome] += 1
+            if d.outcome == "admitted" and d.mode != "full":
+                degraded_admits += 1
+
         shard_stats = [
             {
                 "shard": s.index,
                 "decided": s.decided,
-                "shed": s.shed,
+                "shed": s.run_shed,
+                "timeouts": s.run_timeouts,
+                "degraded_admits": s.run_degraded,
+                "recovered": s.recovered,
+                "recoveries": list(s.recoveries),
                 "peak_depth": s.peak_depth,
                 "busy_s": round(s.busy_s, 6),
                 "busy_until_s": round(s.busy_until_s, 6),
@@ -791,7 +1471,7 @@ class FleetService:
             removed=counts["removed"],
             ignored=counts["ignored"],
             shed=counts["shed"],
-            decisions=[d for d in decisions if d is not None],
+            decisions=finals,
             shard_stats=shard_stats,
             queueing_latency_ms=latency_stats(queueing_ms, digits=3),
             decision_latency_us=latency_stats(wall_us),
@@ -799,4 +1479,8 @@ class FleetService:
             engine_s=engine_ns / 1e9,
             cache=segcache.delta_since(cache_before),
             wall_latencies_us=wall_us,
+            degraded_admits=degraded_admits,
+            timeout_retries=len(timeout_records),
+            recovered=sum(s.recovered for s in shards),
+            timeout_decisions=timeout_records,
         )

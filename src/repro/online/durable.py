@@ -109,9 +109,11 @@ class DecisionJournal:
 
     One JSON object per line; record types: ``header`` (first line),
     ``intent`` (request, written before any state mutation), ``commit``
-    (the decision), ``checkpoint`` (full controller snapshot), and
-    ``fsync`` (durability marker — the file is flushed and fsynced right
-    after the marker is written).
+    (the decision), ``checkpoint`` (full controller snapshot), ``event``
+    (a non-mutating observation — e.g. a fleet shard's shed or timeout
+    record — that recovery counts but never replays), and ``fsync``
+    (durability marker — the file is flushed and fsynced right after
+    the marker is written).
     """
 
     def __init__(self, path: str, handle, fsync_interval: int = 8) -> None:
@@ -159,16 +161,36 @@ class DecisionJournal:
         if self._since_sync >= self._fsync_interval:
             self.sync()
 
-    def append_intent(self, seq: int, request: Request) -> None:
-        """Journal the request *before* the controller mutates state."""
+    def append_intent(
+        self, seq: int, request: Request, extra: Optional[Dict] = None
+    ) -> None:
+        """Journal the request *before* the controller mutates state.
+
+        ``extra`` carries caller metadata replay needs verbatim (the
+        fleet layer stores its trace seq, retry attempt and degrade tag
+        there); it never influences the contiguity check.
+        """
         if seq != self._last_seq + 1 and self._last_seq >= 0:
             raise JournalError(
                 f"non-contiguous intent seq {seq} after {self._last_seq}"
             )
         self._last_seq = seq
-        self._append(
-            {"type": "intent", "seq": seq, "request": request.to_dict()}
-        )
+        record: Dict = {
+            "type": "intent", "seq": seq, "request": request.to_dict()
+        }
+        if extra:
+            record["extra"] = extra
+        self._append(record)
+        self._maybe_sync()
+
+    def append_event(self, kind: str, payload: Dict) -> None:
+        """Journal a non-mutating observation (shed, timeout, ...).
+
+        Events carry no ``seq`` and never advance the intent contiguity
+        counter: recovery *counts* them (so e.g. shed totals survive a
+        restart) but never replays them through the decision engine.
+        """
+        self._append({"type": "event", "kind": kind, "payload": payload})
         self._maybe_sync()
 
     def append_commit(self, seq: int, decision: Dict) -> None:

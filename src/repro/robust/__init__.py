@@ -54,6 +54,7 @@ from repro.robust.metrics import (
     aborted_jobs,
     chaos_summary,
     degraded_residency,
+    fleet_chaos_summary,
     mean_recovery_latency,
     miss_ratio,
     recovery_summary,
@@ -102,4 +103,5 @@ __all__ = [
     "mean_recovery_latency",
     "recovery_summary",
     "chaos_summary",
+    "fleet_chaos_summary",
 ]

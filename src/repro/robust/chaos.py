@@ -28,8 +28,11 @@ from __future__ import annotations
 import os
 import random
 import tempfile
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids eval.fleet at load
+    from repro.eval.fleet import FleetTrace
 
 from repro.online.durable import (
     Envelope,
@@ -391,3 +394,334 @@ def quick_matrix(
     runtime = OnlineRuntime(get_platform(platform_key))
     trace = poisson_trace(duration_s, rate_hz, seed=seed)
     return run_matrix(runtime, trace, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Fleet chaos: crash-point x shard-count x perturbation
+# ----------------------------------------------------------------------
+
+#: Delivery perturbations the fleet matrix sweeps.  The fleet ingress is
+#: a renumbered arrival stream, so every mode produces a *valid* trace
+#: (contiguous ``seq``, non-decreasing ``time_s``) and the baseline is
+#: the uninterrupted run of the **same** perturbed trace — the matrix
+#: isolates crash/recovery, not transport semantics.
+FLEET_CHAOS_MODES: Tuple[str, ...] = ("none", "duplicate", "reorder", "skew")
+
+
+class FleetInvariantError(AssertionError):
+    """A fleet serving invariant was violated (bug, not chaos)."""
+
+
+def perturb_fleet_trace(
+    trace: "FleetTrace", mode: str, seed: int, holdback: int = 8
+) -> "FleetTrace":
+    """One adversarially-delivered version of a fleet trace.
+
+    Displacement is bounded by ``holdback // 2`` delivery slots.  The
+    result is renumbered (``seq`` = delivery order) with monotone
+    ``time_s``, so it is a well-formed trace in its own right.
+    """
+    from repro.eval.fleet import FleetTrace
+
+    rng = random.Random(seed)
+    shift = max(1, holdback // 2)
+    keyed: List[Tuple[float, int, object]] = []
+    if mode == "none":
+        ordered = list(trace.requests)
+        times = [req.time_s for req in ordered]
+    elif mode == "duplicate":
+        # ~1/5 of requests are re-delivered a few slots later; the
+        # duplicate is a genuine second request (an at-least-once admit
+        # resolves to ``already-resident`` downstream).
+        for pos, req in enumerate(trace.requests):
+            keyed.append((float(pos), 0, req))
+            if rng.random() < 0.2:
+                keyed.append((pos + rng.uniform(0.5, shift), 1, req))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        ordered = [req for _, _, req in keyed]
+        times = sorted(req.time_s for req in ordered)
+    elif mode == "reorder":
+        for pos, req in enumerate(trace.requests):
+            slot = pos + (rng.uniform(0.0, shift) if rng.random() < 0.5 else 0.0)
+            keyed.append((slot, pos, req))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        ordered = [req for _, _, req in keyed]
+        times = sorted(req.time_s for req in ordered)
+    elif mode == "skew":
+        # Arrival clocks drift a little; order follows the skewed clock.
+        for pos, req in enumerate(trace.requests):
+            keyed.append((max(0.0, req.time_s + rng.uniform(-0.02, 0.02)), pos, req))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        ordered = [req for _, _, req in keyed]
+        times = [slot for slot, _, _ in keyed]
+    else:
+        raise ValueError(
+            f"unknown fleet chaos mode {mode!r} (known: {FLEET_CHAOS_MODES})"
+        )
+    requests = tuple(
+        replace(req, seq=pos, time_s=times[pos])
+        for pos, req in enumerate(ordered)
+    )
+    duration = max(trace.duration_s, times[-1] if times else 0.0)
+    return FleetTrace(
+        requests=requests,
+        duration_s=duration,
+        n_devices=trace.n_devices,
+        cohorts=trace.cohorts,
+        arrival=trace.arrival,
+    )
+
+
+def fleet_invariants(report, max_retries: int = 3) -> Dict[str, int]:
+    """Check the fleet serving invariants on one report.
+
+    Returns the number of checks performed per invariant; raises
+    :class:`FleetInvariantError` on the first violation.  The invariants
+    hold under *any* chaos — a violation is a service bug:
+
+    * ``decision-dense`` — exactly one final decision per request seq.
+    * ``counts-consistent`` — outcome counters sum to the request count.
+    * ``retry-bounded`` — no request timed out more than ``max_retries``
+      times (exactly-once: the retried request still gets one final).
+    * ``degraded-screened`` — every degraded admit carries the
+      screen-admission reason (it passed the RTA screen, never skipped).
+    """
+    counts: Dict[str, int] = {}
+    seqs = [d.seq for d in report.decisions]
+    if len(seqs) != len(set(seqs)) or sorted(seqs) != list(range(report.requests)):
+        raise FleetInvariantError(
+            f"decision-dense: {len(set(seqs))} unique finals for "
+            f"{report.requests} requests"
+        )
+    counts["decision-dense"] = len(seqs)
+    total = (
+        report.admitted + report.rejected_sram + report.rejected_rta
+        + report.removed + report.ignored + report.shed
+    )
+    if total != report.requests:
+        raise FleetInvariantError(
+            f"counts-consistent: outcomes sum to {total}, "
+            f"expected {report.requests}"
+        )
+    counts["counts-consistent"] = 1
+    retries: Dict[int, int] = {}
+    for record in report.timeout_decisions:
+        retries[record.seq] = retries.get(record.seq, 0) + 1
+    finals = set(seqs)
+    for seq, n in retries.items():
+        if n > max_retries:
+            raise FleetInvariantError(
+                f"retry-bounded: seq {seq} timed out {n} > {max_retries} times"
+            )
+        if seq not in finals:
+            raise FleetInvariantError(
+                f"retry-bounded: retried seq {seq} never decided"
+            )
+    counts["retry-bounded"] = len(retries)
+    degraded = 0
+    for d in report.decisions:
+        if d.outcome == "admitted" and d.mode not in ("", "full"):
+            degraded += 1
+            if d.reason != "rta-oblivious":
+                raise FleetInvariantError(
+                    f"degraded-screened: seq {d.seq} admitted in mode "
+                    f"{d.mode!r} with reason {d.reason!r}"
+                )
+    counts["degraded-screened"] = degraded
+    return counts
+
+
+@dataclass(frozen=True)
+class FleetChaosCell:
+    """One ``(mode, shard count, crash fraction)`` experiment's verdict."""
+
+    mode: str
+    n_shards: int
+    crash_frac: float
+    crashes: int
+    identical: bool
+    replay_bounded: bool
+    invariants_ok: bool
+    max_replayed: int
+    recovered: int
+    shed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and self.replay_bounded and self.invariants_ok
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "n_shards": self.n_shards,
+            "crash_frac": self.crash_frac,
+            "crashes": self.crashes,
+            "identical": self.identical,
+            "replay_bounded": self.replay_bounded,
+            "invariants_ok": self.invariants_ok,
+            "max_replayed": self.max_replayed,
+            "recovered": self.recovered,
+            "shed": self.shed,
+        }
+
+
+@dataclass
+class FleetChaosReport:
+    """Outcome of one full fleet chaos matrix run."""
+
+    n_devices: int
+    requests: int
+    seed: int
+    batch_size: int
+    checkpoint_interval: int
+    cells: List[FleetChaosCell] = field(default_factory=list)
+    invariants: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cells) and all(cell.ok for cell in self.cells)
+
+    @property
+    def identical_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.identical)
+
+    @property
+    def max_replayed(self) -> int:
+        return max((cell.max_replayed for cell in self.cells), default=0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "rtmdm-fleet-chaos/1",
+            "n_devices": self.n_devices,
+            "requests": self.requests,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "checkpoint_interval": self.checkpoint_interval,
+            "ok": self.ok,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "identical_cells": self.identical_cells,
+            "max_replayed": self.max_replayed,
+            "invariants": dict(self.invariants),
+        }
+
+
+def run_fleet_matrix(
+    trace: "FleetTrace",
+    modes: Sequence[str] = FLEET_CHAOS_MODES,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    crash_fracs: Sequence[float] = (0.25, 0.75),
+    batch_size: int = 8,
+    checkpoint_interval: int = 16,
+    holdback: int = 8,
+    seed: int = 1,
+    journal_dir: Optional[str] = None,
+) -> FleetChaosReport:
+    """Run the fleet crash/recovery matrix over one trace.
+
+    Each cell perturbs the trace, crashes **every** shard at
+    ``int(frac * decided)`` of its own baseline decision count (the torn
+    batch's intents are durable, its commits are not), recovers, and
+    compares the full decision stream bit-for-bit against the
+    uninterrupted run of the same perturbed trace.  Replay must stay
+    within ``max(checkpoint_interval, batch_size)`` decisions.
+    """
+    from repro.eval.fleet import FleetConfig, FleetService, decision_identity
+
+    for mode in modes:
+        if mode not in FLEET_CHAOS_MODES:
+            raise ValueError(
+                f"unknown fleet chaos mode {mode!r} (known: {FLEET_CHAOS_MODES})"
+            )
+    report = FleetChaosReport(
+        n_devices=trace.n_devices,
+        requests=len(trace.requests),
+        seed=seed,
+        batch_size=batch_size,
+        checkpoint_interval=checkpoint_interval,
+    )
+    if journal_dir is None:
+        journal_dir = tempfile.mkdtemp(prefix="rtmdm-fleet-chaos-")
+    replay_bound = max(checkpoint_interval, batch_size)
+    invariants: Dict[str, int] = {}
+    for mode_index, mode in enumerate(modes):
+        ptrace = perturb_fleet_trace(
+            trace, mode, seed * 9_176 + mode_index, holdback=holdback
+        )
+        for n_shards in shard_counts:
+            base_cfg = FleetConfig(n_shards=n_shards, batch_size=batch_size)
+            base = FleetService(
+                cohorts=trace.cohorts, config=base_cfg
+            ).run(ptrace)
+            base_identity = decision_identity(base.all_decisions())
+            decided = {s["shard"]: s["decided"] for s in base.shard_stats}
+            for frac in crash_fracs:
+                crash_at = tuple(
+                    (shard, int(frac * decided[shard]))
+                    for shard in range(n_shards)
+                    if decided.get(shard, 0) > 0
+                )
+                cell_dir = os.path.join(
+                    journal_dir, f"{mode}-s{n_shards}-f{int(frac * 100):03d}"
+                )
+                os.makedirs(cell_dir, exist_ok=True)
+                cfg = FleetConfig(
+                    n_shards=n_shards,
+                    batch_size=batch_size,
+                    journal_dir=cell_dir,
+                    checkpoint_interval=checkpoint_interval,
+                    crash_at=crash_at,
+                )
+                rep = FleetService(cohorts=trace.cohorts, config=cfg).run(ptrace)
+                identical = (
+                    decision_identity(rep.all_decisions()) == base_identity
+                )
+                replays = [
+                    recovery["decisions_replayed"]
+                    for stats in rep.shard_stats
+                    for recovery in stats["recoveries"]
+                ]
+                invariants_ok = True
+                try:
+                    cell_counts = fleet_invariants(
+                        rep, max_retries=cfg.max_retries
+                    )
+                except FleetInvariantError:
+                    invariants_ok = False
+                    cell_counts = {}
+                for name, count in cell_counts.items():
+                    invariants[name] = invariants.get(name, 0) + count
+                report.cells.append(
+                    FleetChaosCell(
+                        mode=mode,
+                        n_shards=n_shards,
+                        crash_frac=frac,
+                        crashes=len(crash_at),
+                        identical=identical,
+                        replay_bounded=all(r <= replay_bound for r in replays),
+                        invariants_ok=invariants_ok,
+                        max_replayed=max(replays, default=0),
+                        recovered=rep.recovered,
+                        shed=rep.shed,
+                    )
+                )
+    report.invariants = invariants
+    return report
+
+
+def quick_fleet_matrix(
+    n_devices: int = 24,
+    duration_s: float = 1.5,
+    rate_hz: float = 6.0,
+    seed: int = 1,
+    **kwargs,
+) -> FleetChaosReport:
+    """A seeded end-to-end fleet matrix over a generated trace."""
+    from repro.eval.fleet import fleet_trace
+
+    trace = fleet_trace(
+        n_devices=n_devices,
+        duration_s=duration_s,
+        rate_per_device_hz=rate_hz,
+        seed=seed,
+    )
+    return run_fleet_matrix(trace, seed=seed, **kwargs)

@@ -143,3 +143,26 @@ def chaos_summary(report) -> Dict[str, float]:
         "duplicates_absorbed": sum(cell.duplicates_absorbed for cell in cells),
         "invariant_checks": sum(report.invariants.values()),
     }
+
+
+def fleet_chaos_summary(report) -> Dict[str, float]:
+    """One-row summary of a fleet chaos matrix run (EXP-S3's gate columns).
+
+    Takes a :class:`repro.robust.chaos.FleetChaosReport` (duck-typed, as
+    above).  ``identical_ratio`` must be 1.0: every crash-point x
+    shard-count x perturbation cell recovered to the exact decision
+    stream of its uninterrupted baseline.
+    """
+    cells = report.cells
+    replayed = [cell.max_replayed for cell in cells]
+    return {
+        "cells": len(cells),
+        "identical_cells": report.identical_cells,
+        "identical_ratio": (report.identical_cells / len(cells)) if cells else 0.0,
+        "max_replayed": report.max_replayed,
+        "mean_replayed": (sum(replayed) / len(replayed)) if replayed else 0.0,
+        "crashes": sum(cell.crashes for cell in cells),
+        "recovered": sum(cell.recovered for cell in cells),
+        "shed": sum(cell.shed for cell in cells),
+        "invariant_checks": sum(report.invariants.values()),
+    }

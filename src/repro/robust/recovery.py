@@ -237,3 +237,78 @@ class RecoveryManager:
             return "degrade"
         self._quarantined.add(task)
         return "quarantine"
+
+
+# ----------------------------------------------------------------------
+# Fleet resilience: retry backoff policy and counters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Bounded exponential backoff schedule (deterministic, no jitter).
+
+    ``delay_s(attempt)`` is the wait before retry ``attempt + 1``:
+    ``base_ms * 2**attempt`` capped at ``cap_ms``.  The fleet service
+    uses it to re-release timed-out admission requests in virtual time;
+    determinism (no jitter) is what keeps fleet runs bit-reproducible.
+    """
+
+    base_ms: float = 2.0
+    cap_ms: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0:
+            raise ValueError(f"base_ms must be > 0, got {self.base_ms}")
+        if self.cap_ms < self.base_ms:
+            raise ValueError(
+                f"cap_ms must be >= base_ms, got {self.cap_ms}"
+            )
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff (ms) after the ``attempt``-th timeout (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        # Cap the exponent first so huge attempt counts cannot overflow.
+        exponent = min(attempt, 62)
+        return min(self.base_ms * (2 ** exponent), self.cap_ms)
+
+    def delay_s(self, attempt: int) -> float:
+        return self.delay_ms(attempt) * 1e-3
+
+
+# Fleet resilience counters, riding the same snapshot/delta/absorb
+# protocol as the plan caches (see repro.core.segcache): the fleet
+# service bumps them inline, parallel workers ship them home as deltas,
+# and experiment notes / --profile / BENCH_suite.json read them out.
+# They live here (not in eval.fleet) so segcache's lazy import stays
+# cheap and cycle-free.
+_RESILIENCE_FIELDS = (
+    "degraded_admits", "timeout_retries", "recovered", "crashes"
+)
+_resilience = {name: 0 for name in _RESILIENCE_FIELDS}
+
+
+def resilience_bump(name: str, n: int = 1) -> None:
+    """Increment one fleet resilience counter."""
+    _resilience[name] += n
+
+
+def resilience_snapshot() -> Tuple[int, ...]:
+    """Counters as a tuple, in ``_RESILIENCE_FIELDS`` order."""
+    return tuple(_resilience[name] for name in _RESILIENCE_FIELDS)
+
+
+def resilience_absorb(vals: Tuple[int, ...]) -> None:
+    """Fold a worker's counter delta into this process's totals."""
+    for name, v in zip(_RESILIENCE_FIELDS, vals):
+        _resilience[name] += v
+
+
+def resilience_counters() -> Dict[str, int]:
+    """Counters as a dict (for --profile and BENCH_suite.json)."""
+    return dict(_resilience)
+
+
+def resilience_reset() -> None:
+    """Zero the counters (test isolation)."""
+    for name in _RESILIENCE_FIELDS:
+        _resilience[name] = 0

@@ -146,3 +146,89 @@ class TestMatrix:
             run_matrix(runtime, _trace(), modes=("bogus",))
         with pytest.raises(ValueError, match="crash_stride"):
             run_matrix(runtime, _trace(), crash_stride=0)
+
+
+class TestFleetPerturbations:
+    def _fleet_trace(self):
+        from repro.eval.fleet import fleet_trace
+
+        return fleet_trace(16, 1.0, 5.0, seed=3)
+
+    def test_well_formed_and_deterministic(self):
+        from repro.robust.chaos import FLEET_CHAOS_MODES, perturb_fleet_trace
+
+        trace = self._fleet_trace()
+        for mode in FLEET_CHAOS_MODES:
+            first = perturb_fleet_trace(trace, mode, seed=9)
+            again = perturb_fleet_trace(trace, mode, seed=9)
+            assert first == again
+            seqs = [r.seq for r in first.requests]
+            assert seqs == list(range(len(first.requests)))
+            times = [r.time_s for r in first.requests]
+            assert times == sorted(times)
+            # Every delivered request is a real one (duplicate mode may
+            # deliver some twice; none are invented).
+            originals = {(r.device, r.kind, r.task) for r in trace.requests}
+            assert all(
+                (r.device, r.kind, r.task) in originals
+                for r in first.requests
+            )
+
+    def test_none_is_identity_and_duplicate_grows(self):
+        from repro.robust.chaos import perturb_fleet_trace
+
+        trace = self._fleet_trace()
+        assert perturb_fleet_trace(trace, "none", seed=1) == trace
+        doubled = perturb_fleet_trace(trace, "duplicate", seed=1)
+        assert len(doubled.requests) > len(trace.requests)
+        with pytest.raises(ValueError, match="fleet chaos mode"):
+            perturb_fleet_trace(trace, "drop", seed=1)
+
+
+class TestFleetInvariants:
+    def test_counts_and_violations(self):
+        from repro.eval.fleet import FleetConfig, FleetService, fleet_trace
+        from repro.robust.chaos import FleetInvariantError, fleet_invariants
+
+        trace = fleet_trace(16, 1.0, 5.0, seed=3)
+        report = FleetService(config=FleetConfig(n_shards=2)).run(trace)
+        counts = fleet_invariants(report)
+        assert counts["decision-dense"] == report.requests
+        assert counts["counts-consistent"] == 1
+        # A doctored report trips the density check.
+        report.decisions.pop()
+        with pytest.raises(FleetInvariantError, match="decision-dense"):
+            fleet_invariants(report)
+
+
+class TestFleetMatrix:
+    def test_quick_fleet_matrix_is_ok(self):
+        from repro.robust.chaos import quick_fleet_matrix
+        from repro.robust.metrics import fleet_chaos_summary
+
+        report = quick_fleet_matrix(
+            n_devices=12, duration_s=1.0, rate_hz=5.0,
+            modes=("none", "reorder"), shard_counts=(1, 2),
+            crash_fracs=(0.5,), checkpoint_interval=8,
+        )
+        assert report.ok
+        assert len(report.cells) == 4
+        assert all(cell.crashes > 0 for cell in report.cells)
+        assert all(
+            cell.recovered == cell.crashes for cell in report.cells
+        )
+        assert report.max_replayed <= 8
+        payload = report.to_dict()
+        assert payload["schema"] == "rtmdm-fleet-chaos/1"
+        assert payload["identical_cells"] == len(report.cells)
+        summary = fleet_chaos_summary(report)
+        assert summary["identical_ratio"] == 1.0
+        assert summary["invariant_checks"] > 0
+
+    def test_unknown_mode_rejected(self):
+        from repro.eval.fleet import fleet_trace
+        from repro.robust.chaos import run_fleet_matrix
+
+        trace = fleet_trace(8, 1.0, 4.0, seed=1)
+        with pytest.raises(ValueError, match="fleet chaos mode"):
+            run_fleet_matrix(trace, modes=("drop",))

@@ -266,3 +266,81 @@ class TestQuietFlag:
         out = capsys.readouterr().out
         assert "survives:" in out
         assert "ladder" not in out  # table suppressed
+
+
+class TestFleetCommand:
+    ARGS = ["fleet", "--devices", "60", "--shards", "2", "--duration", "2",
+            "--rate", "20", "--arrival", "bursty", "--seed", "11",
+            "--batch", "4", "--queue-depth", "8", "--service-us", "400"]
+
+    def test_degrade_and_timeout_flags(self, capsys):
+        assert main(
+            self.ARGS + ["--degrade-watermark", "4", "--timeout-ms", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "degraded admits" in out
+
+    def test_json_reports_per_rung_counters(self, capsys):
+        import json
+
+        assert main(
+            self.ARGS + ["--degrade-watermark", "4", "--timeout-ms", "5",
+                         "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-fleet/1"
+        assert payload["degraded_admits"] > 0
+        assert payload["timeout_retries"] >= 0
+        assert payload["recovered"] == 0
+        assert payload["shards"][0]["timeouts"] >= 0
+        assert payload["shards"][0]["degraded_admits"] >= 0
+
+    def test_crash_at_recovers(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            ["fleet", "--devices", "30", "--shards", "2", "--duration", "1",
+             "--rate", "5", "--journal-dir", str(tmp_path),
+             "--checkpoint-interval", "16", "--crash-at", "0:5",
+             "--crash-at", "1:9", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovered"] == 2
+        assert sum(s["recovered"] for s in payload["shards"]) == 2
+
+    def test_crash_at_parse_error(self, capsys):
+        assert main(
+            ["fleet", "--journal-dir", "/tmp/x", "--crash-at", "bogus"]
+        ) == 2
+        assert "--crash-at expects SHARD:INDEX" in capsys.readouterr().err
+
+    def test_crash_at_without_journal_is_typed_error(self, capsys):
+        assert main(["fleet", "--crash-at", "0:1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ValueError:")
+
+
+class TestFleetChaosCommand:
+    def test_fleet_matrix_smoke(self, capsys):
+        assert main(
+            ["chaos", "--fleet", "--devices", "12", "--duration", "1",
+             "--rate", "5", "--shard-counts", "1,2",
+             "--modes", "none,reorder"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet chaos matrix: OK" in out
+        assert "bit-identical" in out
+
+    def test_fleet_matrix_json(self, capsys):
+        import json
+
+        assert main(
+            ["chaos", "--fleet", "--devices", "12", "--duration", "1",
+             "--rate", "5", "--shard-counts", "2", "--modes", "skew",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "rtmdm-fleet-chaos/1"
+        assert payload["ok"] is True
+        assert payload["invariants"]["decision-dense"] > 0

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import pytest
 
 from repro.core import segcache
@@ -222,3 +220,229 @@ class TestJournals:
             assert stats["journal_records"] == len(scan.records) + 1
             total += len(intents)
         assert total == report.decided
+
+
+def storm_trace():
+    return fleet_trace(60, 2.0, 20.0, seed=11, arrival="bursty")
+
+
+TIGHT = dict(
+    n_shards=2, batch_size=4, max_queue_depth=8, service_us=400.0
+)
+
+
+class TestCrashRecovery:
+    def test_crash_recovery_identity_and_bounded_replay(self, tmp_path):
+        trace = small_trace(n_devices=150)
+        base = FleetService(config=FleetConfig(n_shards=3)).run(trace)
+        config = FleetConfig(
+            n_shards=3, journal_dir=str(tmp_path), checkpoint_interval=16,
+            crash_at=((0, 3), (1, 10), (2, 7)),
+        )
+        report = FleetService(config=config).run(trace)
+        assert report.recovered == 3
+        assert decision_identity(report.all_decisions()) == decision_identity(
+            base.all_decisions()
+        )
+        bound = max(config.checkpoint_interval, config.batch_size)
+        for stats in report.shard_stats:
+            assert stats["recovered"] == 1
+            for recovery in stats["recoveries"]:
+                assert recovery["decisions_replayed"] <= bound
+                assert not recovery["startup"]
+
+    def test_crash_at_requires_journal_dir(self):
+        with pytest.raises(ValueError, match="journal_dir"):
+            FleetConfig(crash_at=((0, 1),))
+        with pytest.raises(ValueError, match="crash_at"):
+            FleetConfig(
+                n_shards=2, journal_dir="/tmp/x", crash_at=((5, 1),)
+            )
+
+    def test_restart_resumes_journal_not_clobbers(self, tmp_path):
+        # Regression: journals used to be re-created (truncated) on every
+        # run, so a restarted service could never replay its history.
+        trace = small_trace(n_devices=100)
+        config = FleetConfig(n_shards=2, journal_dir=str(tmp_path))
+        first = FleetService(config=config).run(trace)
+        records_before = {
+            s["shard"]: s["journal_records"] for s in first.shard_stats
+        }
+        second = FleetService(config=config).run(trace)
+        assert second.recovered == 2  # startup recovery on both shards
+        for stats in second.shard_stats:
+            assert all(rec["startup"] for rec in stats["recoveries"])
+            path = tmp_path / f"shard{stats['shard']:03d}.journal"
+            scan = scan_journal(str(path))
+            # Appended past run one's history, never truncated.
+            assert len(scan.records) + 1 > records_before[stats["shard"]]
+
+    def test_restart_rejects_changed_config(self, tmp_path):
+        from repro.online.durable import JournalError
+
+        trace = small_trace(n_devices=100)
+        FleetService(
+            config=FleetConfig(n_shards=2, journal_dir=str(tmp_path))
+        ).run(trace)
+        with pytest.raises(JournalError, match="config"):
+            FleetService(
+                config=FleetConfig(
+                    n_shards=2, batch_size=32, journal_dir=str(tmp_path)
+                )
+            ).run(trace)
+
+    def test_cold_process_replay_is_reason_stable(self, tmp_path):
+        # Regression: segcache collapses every byte-infeasible SRAM
+        # budget onto one canonical negative entry, and used to cache
+        # the first minter's message (with *its* budget numbers baked
+        # in).  A warm process then journaled reasons a cold restart
+        # could never re-derive, so startup recovery tripped its
+        # replay-divergence check on perfectly good journals.  Reasons
+        # must be a pure function of the decision inputs.
+        # Two shards share one process-wide segcache (the canonical
+        # entry's minter can live on the *other* shard), and a small
+        # checkpoint interval keeps the original minter out of the
+        # replayed suffix — the two ways a cold process is forced to
+        # re-render a message the warm process got from its cache.
+        segcache.clear_all()
+        trace = fleet_trace(100, 1.5, 6.0, seed=3)
+        config = FleetConfig(
+            n_shards=2, batch_size=4, service_us=150.0,
+            journal_dir=str(tmp_path), checkpoint_interval=16,
+        )
+        first = FleetService(config=config).run(trace)
+        sram_rejects = [
+            d for d in first.all_decisions()
+            if d.reason.startswith("sram:")
+        ]
+        assert len(sram_rejects) > 50  # the collision-prone shape
+        # Simulate a fresh process: cold caches, same journals.
+        # Startup recovery re-decides each shard's journal suffix and
+        # verifies it against the warm process's commits — which used
+        # to raise JournalError the moment a canonical "cannot fit"
+        # message embedded the first minter's budget instead of the
+        # deciding caller's.
+        segcache.clear_all()
+        second = FleetService(config=config).run(trace)
+        assert second.recovered == 2
+        for stats in second.shard_stats:
+            assert all(
+                rec["commits_repaired"] == 0 for rec in stats["recoveries"]
+            )
+
+    def test_shed_events_journaled_and_reconciled(self, tmp_path):
+        trace = small_trace()
+        config = FleetConfig(
+            n_shards=1, batch_size=4, max_queue_depth=5,
+            service_us=200_000.0, journal_dir=str(tmp_path),
+            checkpoint_interval=4,
+        )
+        first = FleetService(config=config).run(trace)
+        assert first.shed > 0
+        path = tmp_path / "shard000.journal"
+        scan = scan_journal(str(path))
+        sheds = [
+            r for r in scan.records
+            if r["type"] == "event" and r["kind"] == "shed"
+        ]
+        assert len(sheds) == first.shed
+        # A restarted service reconciles the cumulative count from the
+        # journal: its run-scoped counter starts at zero, and any
+        # checkpoint it writes carries first-run sheds too.
+        second = FleetService(config=config).run(trace)
+        assert second.shard_stats[0]["shed"] == second.shed
+        scan = scan_journal(str(path))
+        sheds = [
+            r for r in scan.records
+            if r["type"] == "event" and r["kind"] == "shed"
+        ]
+        assert len(sheds) == first.shed + second.shed
+        checkpoints = [
+            r for r in scan.records if r["type"] == "checkpoint"
+        ]
+        assert checkpoints[-1]["state"]["shed"] >= first.shed
+
+
+class TestTimeouts:
+    def test_backoff_delays_double_up_to_cap(self):
+        from repro.robust.recovery import ExponentialBackoff
+
+        backoff = ExponentialBackoff(base_ms=2.0, cap_ms=64.0)
+        delays = [backoff.delay_ms(attempt) for attempt in range(8)]
+        assert delays == [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 64.0, 64.0]
+        assert backoff.delay_s(0) == pytest.approx(0.002)
+        with pytest.raises(ValueError, match="base_ms"):
+            ExponentialBackoff(base_ms=0.0)
+        with pytest.raises(ValueError, match="cap_ms"):
+            ExponentialBackoff(base_ms=4.0, cap_ms=2.0)
+
+    def test_timeouts_retry_then_decide_exactly_once(self):
+        config = FleetConfig(
+            n_shards=2, batch_size=4, service_us=2000.0,
+            timeout_ms=2.0, max_retries=2,
+        )
+        report = FleetService(config=config).run(storm_trace())
+        assert report.timeout_retries > 0
+        assert report.timeout_retries == len(report.timeout_decisions)
+        # Exactly-once: every request still gets exactly one final.
+        seqs = [d.seq for d in report.decisions]
+        assert sorted(seqs) == list(range(report.requests))
+        retries = {}
+        for record in report.timeout_decisions:
+            assert record.outcome == "timeout"
+            retries[record.seq] = retries.get(record.seq, 0) + 1
+        assert max(retries.values()) <= config.max_retries
+        assert set(retries) <= set(seqs)
+        # Timeout records interleave into the full stream by attempt.
+        stream = report.all_decisions()
+        assert [d.seq for d in stream] == sorted(d.seq for d in stream)
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError, match="timeout_ms"):
+            FleetConfig(timeout_ms=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            FleetConfig(max_retries=-1)
+
+
+class TestDegradeLadder:
+    def test_ladder_strictly_reduces_shed(self):
+        trace = storm_trace()
+        off = FleetService(config=FleetConfig(**TIGHT)).run(trace)
+        on = FleetService(
+            config=FleetConfig(**TIGHT, degrade_watermark=4)
+        ).run(trace)
+        assert off.shed > 0
+        assert on.shed < off.shed
+        assert on.degraded_admits > 0
+        modes = set()
+        for d in on.decisions:
+            if d.outcome == "admitted" and d.mode != "full":
+                assert d.reason == "rta-oblivious"
+                assert d.mode.startswith(("rate/", "variant"))
+                modes.add(d.mode)
+        assert modes
+        payload = on.to_dict()
+        assert payload["degraded_admits"] == on.degraded_admits
+        assert payload["timeout_retries"] == on.timeout_retries
+        assert payload["recovered"] == 0
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError, match="degrade_watermark"):
+            FleetConfig(max_queue_depth=4, degrade_watermark=5)
+        with pytest.raises(ValueError, match="stretch factors"):
+            FleetConfig(degrade_watermark=4, stretch_factors=(0.5,))
+        with pytest.raises(ValueError, match="degrade_factor"):
+            FleetConfig(degrade_watermark=4, degrade_factor=0.0)
+
+    def test_resilience_counters_ride_segcache(self):
+        before = segcache.snapshot()
+        report = FleetService(
+            config=FleetConfig(**TIGHT, degrade_watermark=4, timeout_ms=5.0)
+        ).run(storm_trace())
+        delta = segcache.delta_since(before)
+        assert "fleet.resilience" in delta
+        names = ("degraded_admits", "timeout_retries", "recovered", "crashes")
+        vals = dict(zip(names, delta["fleet.resilience"]))
+        assert vals["degraded_admits"] == report.degraded_admits
+        assert vals["timeout_retries"] == report.timeout_retries
+        assert vals["recovered"] == 0

@@ -1,0 +1,112 @@
+"""Property-based tests for fleet crash recovery (``repro.eval.fleet``).
+
+The load-bearing property of the resilient fleet layer: **for any
+seeded crash schedule, any checkpoint interval, and any bounded
+delivery perturbation, every crashed shard recovers from its journal to
+a decision stream bit-identical to the uninterrupted run of the same
+perturbed trace — and every retried request is decided exactly once.**
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import segcache
+from repro.eval.fleet import (
+    FleetConfig,
+    FleetService,
+    decision_identity,
+    fleet_trace,
+)
+from repro.robust.chaos import (
+    FLEET_CHAOS_MODES,
+    fleet_invariants,
+    perturb_fleet_trace,
+)
+
+# One fixed trace for every example: hypothesis explores the crash/
+# checkpoint/perturbation space, not the workload space (EXP-S1 and
+# test_fleet already sweep workloads).  The plan cache stays warm
+# across examples.
+_TRACE = fleet_trace(24, 1.5, 4.0, seed=5)
+
+#: With ``slow=True`` the virtual service time dwarfs the decision
+#: deadline, so timeouts and backoff retries actually fire.
+_SERVICE = {False: 150.0, True: 2_000.0}
+
+_BASELINES: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_caches():
+    segcache.clear_all()
+    yield
+    segcache.clear_all()
+
+
+def _config(n_shards, slow, **kwargs):
+    return FleetConfig(
+        n_shards=n_shards,
+        batch_size=4,
+        service_us=_SERVICE[slow],
+        timeout_ms=1.0 if slow else None,
+        max_retries=2,
+        **kwargs,
+    )
+
+
+def _baseline(ptrace, mode, perturb_seed, n_shards, slow):
+    key = (mode, perturb_seed, n_shards, slow)
+    if key not in _BASELINES:
+        report = FleetService(config=_config(n_shards, slow)).run(ptrace)
+        _BASELINES[key] = (
+            report,
+            decision_identity(report.all_decisions()),
+        )
+    return _BASELINES[key]
+
+
+@given(
+    mode=st.sampled_from(FLEET_CHAOS_MODES),
+    perturb_seed=st.integers(0, 50),
+    n_shards=st.integers(1, 3),
+    checkpoint_interval=st.integers(1, 16),
+    crash_index=st.integers(0, 500),
+    slow=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_crash_schedule_recovers_bit_identical(
+    tmp_path_factory, mode, perturb_seed, n_shards,
+    checkpoint_interval, crash_index, slow,
+):
+    ptrace = perturb_fleet_trace(_TRACE, mode, perturb_seed, holdback=8)
+    base, oracle = _baseline(ptrace, mode, perturb_seed, n_shards, slow)
+    crash_at = tuple(
+        (stats["shard"], crash_index % stats["decided"])
+        for stats in base.shard_stats
+        if stats["decided"] > 0
+    )
+    journal_dir = str(tmp_path_factory.mktemp("fleet-prop"))
+    report = FleetService(config=_config(
+        n_shards, slow,
+        journal_dir=journal_dir,
+        checkpoint_interval=checkpoint_interval,
+        crash_at=crash_at,
+    )).run(ptrace)
+
+    assert report.recovered == len(crash_at)
+    assert decision_identity(report.all_decisions()) == oracle
+    bound = max(checkpoint_interval, 4)  # batch_size = 4
+    for stats in report.shard_stats:
+        for recovery in stats["recoveries"]:
+            assert recovery["decisions_replayed"] <= bound
+            assert recovery["truncated_lines"] == 0
+    # Exactly-once under retries: one final decision per request, every
+    # retried request among them, retries bounded — fleet_invariants
+    # raises on any violation.
+    counts = fleet_invariants(report, max_retries=2)
+    assert counts["decision-dense"] == report.requests
+    if slow:
+        assert report.timeout_retries == base.timeout_retries
