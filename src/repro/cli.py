@@ -863,6 +863,18 @@ def _print_runtime_counters() -> None:
         f"  pack={prof['pack_s']:.3f}s array-iterate={prof['solve_s']:.3f}s "
         f"unpack={prof['unpack_s']:.3f}s"
     )
+    from repro.sched import simcore
+
+    soa = stats.get("sim.soa", {})
+    sprof = simcore.profile()
+    print(
+        "--- soa simulator engine ---\n"
+        f"  runs={soa.get('sim_soa_runs', 0)} "
+        f"events={soa.get('sim_soa_events', 0)} "
+        f"stand_downs={soa.get('sim_stand_downs', 0)}\n"
+        f"  pack={sprof['pack_s']:.3f}s advance={sprof['advance_s']:.3f}s "
+        f"unpack={sprof['unpack_s']:.3f}s"
+    )
     res = stats.get("fleet.resilience", {})
     print(
         "--- fleet resilience ---\n"

@@ -292,18 +292,20 @@ def clear_all() -> None:
 def snapshot() -> Dict[str, Tuple[int, ...]]:
     """Current counter values: ``(hits, misses)`` per plan cache, plus
     the ``"sim.fold"`` (runs, folds, cycles_skipped, jobs_skipped),
-    ``"rta.fixpoint"`` (exact_hits, misses, warm_hits) and
-    ``"fleet.resilience"`` (degraded_admits, timeout_retries,
-    recovered, crashes) pseudo-entries — one protocol carries every
+    ``"sim.soa"`` (runs, events, stand_downs), ``"rta.fixpoint"``
+    (exact_hits, misses, warm_hits) and ``"fleet.resilience"``
+    (degraded_admits, timeout_retries, recovered, crashes)
+    pseudo-entries — one protocol carries every
     performance counter through the parallel runner's worker deltas.
     """
     from repro.robust import recovery
-    from repro.sched import rta, simulator
+    from repro.sched import rta, simcore, simulator
 
     snap: Dict[str, Tuple[int, ...]] = {
         name: (cache.hits, cache.misses) for name, cache in CACHES.items()
     }
     snap["sim.fold"] = simulator.fold_snapshot()
+    snap["sim.soa"] = simcore.soa_snapshot()
     snap["rta.fixpoint"] = rta.fixpoint_snapshot()
     snap["planstore"] = planstore.counters_snapshot()
     snap["fleet.resilience"] = recovery.resilience_snapshot()
@@ -335,6 +337,10 @@ def absorb(delta: Mapping[str, Tuple[int, ...]]) -> None:
             from repro.sched import simulator
 
             simulator.fold_absorb(vals)
+        elif name == "sim.soa":
+            from repro.sched import simcore
+
+            simcore.soa_absorb(vals)
         elif name == "rta.fixpoint":
             from repro.sched import rta
 
@@ -378,7 +384,7 @@ def counters(names: Tuple[str, ...] = ("refine", "search")) -> Tuple[int, int]:
 def stats() -> Dict[str, Dict[str, int]]:
     """Full per-cache statistics (for BENCH_suite.json and --profile)."""
     from repro.robust import recovery
-    from repro.sched import rta, simulator
+    from repro.sched import rta, simcore, simulator
 
     out = {
         name: {
@@ -390,6 +396,7 @@ def stats() -> Dict[str, Dict[str, int]]:
         for name, cache in CACHES.items()
     }
     out["sim.fold"] = simulator.fold_counters()
+    out["sim.soa"] = simcore.soa_counters()
     out["rta.fixpoint"] = rta.fixpoint_counters()
     out["planstore"] = planstore.counters_dict()
     out["fleet.resilience"] = recovery.resilience_counters()

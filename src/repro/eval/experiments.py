@@ -2155,6 +2155,184 @@ EXPERIMENTS["EXP-F17"] = exp_f17_rta_throughput
 
 
 # ----------------------------------------------------------------------
+# Simulator throughput (EXP-F18)
+# ----------------------------------------------------------------------
+
+
+def _f18_tasksets(n_sets: int, tasks_per_set: int, seed: int) -> List:
+    """Synthesized harmonic task sets for the simulator throughput benchmark.
+
+    Periods are power-of-two multiples of a per-set base, so the
+    hyperperiod equals the longest period and steady-state folding has
+    cycles to detect; per-task compute budgets are drawn from the
+    period (total utilization centred near 0.85) so the population
+    mixes idle tails, contention, and overload.  A quarter of the
+    tasks are XIP-style (all loads zero) to exercise the SoA engine's
+    pure-CPU specializations alongside the DMA pipeline path.
+    """
+    from repro.sched.task import PeriodicTask, Segment
+
+    sets = []
+    for index in range(n_sets):
+        rng = random.Random(_stable_seed(seed, "f18", index))
+        base = rng.choice((1 << 16, 1 << 17, 3 << 16))
+        tasks = []
+        for k in range(tasks_per_set):
+            period = base << rng.randint(0, 3)
+            n_seg = rng.randint(2, 8)
+            budget = int(period * rng.uniform(0.4, 1.3) / tasks_per_set)
+            cut = sorted(rng.randint(1, max(2, budget - 1)) for _ in range(n_seg - 1))
+            spans = [b - a for a, b in zip([0] + cut, cut + [budget])]
+            xip = rng.random() < 0.25
+            segments = tuple(
+                Segment(
+                    name=f"t{k}/s{j}",
+                    load_cycles=0 if xip else rng.choice(
+                        (0, rng.randint(1, max(1, span // 3)))
+                    ),
+                    compute_cycles=max(1, span),
+                )
+                for j, span in enumerate(spans)
+            )
+            tasks.append(PeriodicTask(
+                name=f"t{k}",
+                segments=segments,
+                period=period,
+                deadline=max(1, int(period * rng.uniform(0.8, 1.0))),
+                priority=0,
+                buffers=rng.randint(1, 3),
+                phase=rng.randrange(period) if rng.random() < 0.5 else 0,
+            ))
+        ordered = sorted(tasks, key=lambda t: (t.deadline, t.name))
+        sets.append(TaskSet.of(
+            t.with_priority(rank) for rank, t in enumerate(ordered)
+        ))
+    return sets
+
+
+def exp_f18_sim_throughput(
+    n_sets: int = 40,
+    tasks_per_set: int = 6,
+    hyperperiods: int = 12,
+    seed: int = 2033,
+    scale: float = 1.0,
+    **_,
+) -> ExperimentResult:
+    """Simulator throughput: scalar vs SoA engine vs SoA + folding.
+
+    Simulates ``n_sets`` synthesized harmonic task sets over
+    ``hyperperiods`` hyperperiods three ways — the scalar event loop
+    (``REPRO_VEC_SIM=0``, folding off), the arena-backed SoA core
+    (folding off), and the SoA core composed with steady-state folding
+    — and reports scalar-equivalent heap events processed per second
+    for each mode.  The event total is measured once by the no-fold
+    SoA pass (its ``sim_soa_events`` counter counts exactly the pops
+    the scalar loop would make, fused or not) and serves as the fixed
+    work measure for every mode, so the folded mode's throughput
+    reflects the cycles it *represents*, not the ones it stepped.
+
+    Rows are deterministic (miss totals, bit-identity against the
+    scalar oracle, engine engagement); wall-clock throughputs live in
+    ``meta`` only, like every timing measurement in the suite.  The
+    driver asserts identity itself — a benchmark run that produced
+    different rows would fail here, not in a downstream diff.
+    """
+    import os
+    from dataclasses import asdict
+
+    from repro.robust.overload import OverrunPolicy
+    from repro.sched import simcore
+
+    n = max(4, int(n_sets * scale))
+    sets = _f18_tasksets(n, tasks_per_set, seed)
+    cases = []
+    for taskset in sets:
+        h = max(t.period for t in taskset)  # power-of-two multiples: LCM = max
+        cases.append((taskset, SimConfig(
+            policy=CpuPolicy.FP_NP,
+            horizon=hyperperiods * h,
+            # Bounded state under overload (the abort still counts as a
+            # miss), so deterministic runs reach a repeating cycle and
+            # the fold mode has something to fold.
+            overrun=OverrunPolicy.ABORT_AT_DEADLINE,
+        )))
+
+    modes = (("scalar", "0", "0"), ("soa", "1", "0"), ("soa+fold", "1", "1"))
+    saved = {k: os.environ.get(k) for k in ("REPRO_VEC_SIM", "REPRO_SIM_FOLD")}
+    runs: Dict[str, Tuple[List, float, Tuple[int, int, int], Tuple]] = {}
+    try:
+        for label, vec, fold in modes:
+            os.environ["REPRO_VEC_SIM"] = vec
+            os.environ["REPRO_SIM_FOLD"] = fold
+            soa_before = simcore.soa_snapshot()
+            fold_before = fold_snapshot()
+            start = time.perf_counter()
+            results = simulate_batch(cases)
+            elapsed = time.perf_counter() - start
+            runs[label] = (
+                results, elapsed,
+                simcore.soa_delta_since(soa_before),
+                fold_delta_since(fold_before),
+            )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    def row_dicts(results: List) -> List[Dict]:
+        # fold_cycles / fold_jobs_skipped describe *how* a result was
+        # obtained, not what it is — drop them before comparing modes.
+        out = []
+        for res in results:
+            d = asdict(res)
+            d.pop("fold_cycles", None)
+            d.pop("fold_jobs_skipped", None)
+            out.append(d)
+        return out
+
+    oracle = row_dicts(runs["scalar"][0])
+    events_total = runs["soa"][2][1]  # sim_soa_events of the no-fold pass
+    rows = []
+    meta: Dict = {
+        "tasks_per_set": tasks_per_set,
+        "hyperperiods": hyperperiods,
+        "events_total": events_total,
+    }
+    for label, _vec, _fold in modes:
+        results, elapsed, soa_delta, fold_delta = runs[label]
+        identical = int(row_dicts(results) == oracle)
+        assert identical, f"EXP-F18: mode {label!r} diverged from scalar rows"
+        rows.append((
+            label, n, sum(res.total_misses for res in results),
+            identical, soa_delta[0],
+        ))
+        key = label.replace("+", "_")
+        meta[f"{key}_s"] = round(elapsed, 6)
+        meta[f"{key}_events_per_s"] = (
+            round(events_total / elapsed, 1) if elapsed else None
+        )
+        if fold_delta[2]:
+            meta[f"{key}_fold_cycles_skipped"] = fold_delta[2]
+    return ExperimentResult(
+        exp_id="EXP-F18",
+        title=f"Simulator throughput ({n} sets x {tasks_per_set} tasks)",
+        columns=("mode", "sets", "misses", "identical", "soa_runs"),
+        rows=tuple(rows),
+        notes=(
+            "harmonic synthesized sets; identical=1 means bit-identical "
+            "SimResults vs the scalar oracle (asserted in-driver); "
+            "events/s over the fixed scalar-equivalent event total in meta"
+        ),
+        meta=meta,
+    )
+
+
+EXPERIMENTS["EXP-F18"] = exp_f18_sim_throughput
+
+
+# ----------------------------------------------------------------------
 # Fleet-scale serving (EXP-S1) and plan-store amortization (EXP-S2)
 # ----------------------------------------------------------------------
 

@@ -86,7 +86,20 @@ def simulate_batch(
     tuple) instead of once per run.  Every :class:`SimResult` is
     bit-identical to a scalar ``simulate(taskset, config)`` call — the
     shared setup carries only input-derived values.
+
+    When the SoA engine is active, one preallocated
+    :class:`~repro.sched.simcore.Arena` serves the whole batch: the
+    response buffer and segment columns warm up on the first run of
+    each structure and every later run allocates nothing.
     """
+    arena = None
+    try:
+        from repro.sched import simcore
+
+        if simcore.enabled():
+            arena = simcore.Arena()
+    except ImportError:  # pragma: no cover - simcore ships with the package
+        pass
     setups: dict = {}
     results: List[SimResult] = []
     for taskset, config in cases:
@@ -94,7 +107,7 @@ def simulate_batch(
         setup = setups.get(key)
         if setup is None:
             setup = setups[key] = SharedSetup(taskset)
-        results.append(simulate(taskset, config, setup))
+        results.append(simulate(taskset, config, setup, arena))
     return results
 
 

@@ -65,6 +65,10 @@ _DMA_DONE = 1
 _CPU_DONE = 2
 _DEADLINE = 3
 
+# Hoisted alongside the heappop alias in run(): _push runs per event
+# and a module-global lookup beats the heapq attribute chain.
+_heappush = heapq.heappush
+
 #: Sentinel boundary meaning "no further fold fingerprinting".
 _FOLD_OFF = 1 << 63
 
@@ -456,7 +460,7 @@ class Simulator:
     # Event plumbing
     # ------------------------------------------------------------------
     def _push(self, time: int, kind: int, payload: object) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+        _heappush(self._heap, (time, next(self._seq), kind, payload))
 
     def _trace(self, **kwargs) -> None:
         # Call sites guard on `self.trace is not None` themselves: with
@@ -738,9 +742,10 @@ class Simulator:
                     outcome = TransferOutcome(
                         transfer_cycles, retries, False, FaultKind.RETRY_EXHAUSTED
                     )
-            channel = min(
-                c for c in range(self.config.dma_channels)
-                if c not in self._dma_channels
+            # Single-channel runs (and the first transfer of any run)
+            # skip the free-channel search entirely.
+            channel = 0 if not channels else min(
+                c for c in range(n_channels) if c not in channels
             )
             if outcome is not None and not outcome.ok:
                 self._dma_fault_pending[channel] = outcome
@@ -1178,6 +1183,11 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         dispatch = self._dispatch
+        # Per-event costs hoisted out of the dispatch loop: the
+        # scheduling passes are bound methods looked up once, not per
+        # changed-batch.
+        schedule_dma = self._schedule_dma
+        schedule_cpu = self._schedule_cpu
         hard_cap = self._hard_cap
         fold_boundary = self._fold_boundary
         time = 0
@@ -1199,8 +1209,8 @@ class Simulator:
                 if dispatch(time, kind, payload):
                     changed = True
             if changed and not self._aborted:
-                self._schedule_dma(time)
-                self._schedule_cpu(time)
+                schedule_dma(time)
+                schedule_cpu(time)
         for task in self.taskset:
             self._stats[task.name].unfinished += len(self._queues[task.name])
         counters = _fold_counters
@@ -1227,10 +1237,31 @@ class Simulator:
         )
 
 
+_simcore = None
+
+
 def simulate(
     taskset: TaskSet,
     config: SimConfig,
     shared: Optional[SharedSetup] = None,
+    arena: Optional[object] = None,
 ) -> SimResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    """Run one simulation, preferring the struct-of-arrays core.
+
+    Dispatches to :mod:`repro.sched.simcore` when it is enabled and the
+    config is within its modeled feature set (results are bit-identical;
+    ``REPRO_VEC_SIM=0`` forces the scalar path), and falls back to the
+    scalar :class:`Simulator` otherwise.  ``arena`` optionally reuses a
+    :class:`~repro.sched.simcore.Arena` across runs (see
+    :func:`repro.eval.parallel.simulate_batch`).
+    """
+    global _simcore
+    if _simcore is None:
+        from repro.sched import simcore
+
+        _simcore = simcore
+    if _simcore.enabled():
+        result = _simcore.try_simulate(taskset, config, shared, arena)
+        if result is not None:
+            return result
     return Simulator(taskset, config, shared).run()
